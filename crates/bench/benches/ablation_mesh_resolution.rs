@@ -1,0 +1,33 @@
+//! Ablation: bent-spot mesh resolution vs synthesis speed.
+//!
+//! "Using a 32x17 mesh to represent each spot will result in very accurate
+//! renderings. Lower resolution meshes will result in less accurate
+//! renderings, but can increase performance substantially." (paper §5.1).
+//! This bench sweeps the mesh resolution at a fixed machine shape.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use softpipe::machine::MachineConfig;
+use spotnoise::config::SpotKind;
+use spotnoise::dnc::synthesize_dnc;
+use spotnoise_bench::atmospheric_scaled;
+
+fn bench_mesh_resolution(c: &mut Criterion) {
+    let base = atmospheric_scaled();
+    let machine = MachineConfig::new(4, 2);
+    let mut group = c.benchmark_group("ablation_mesh_resolution");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    for (rows, cols) in [(32usize, 17usize), (16, 9), (12, 7), (8, 5), (4, 3)] {
+        let mut cfg = base.config;
+        cfg.spot_kind = SpotKind::Bent { rows, cols };
+        let id = BenchmarkId::from_parameter(format!("{rows}x{cols}"));
+        group.bench_with_input(id, &cfg, |b, cfg| {
+            b.iter(|| synthesize_dnc(base.field.as_ref(), &base.spots, cfg, &machine))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_mesh_resolution);
+criterion_main!(benches);

@@ -1,0 +1,34 @@
+//! Ablation: spot count vs synthesis speed.
+//!
+//! "40,000 spots per texture will result in very accurate renderings. Using
+//! less spots will result in less accurate renderings, but can increase
+//! performance substantially." (paper §5.2). This bench sweeps the number of
+//! spots of the turbulence workload at a fixed machine shape.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use softpipe::machine::MachineConfig;
+use spotnoise::dnc::synthesize_dnc;
+use spotnoise::spot::generate_spots;
+use spotnoise_bench::turbulence_scaled;
+
+fn bench_spot_count(c: &mut Criterion) {
+    let base = turbulence_scaled();
+    let machine = MachineConfig::new(4, 2);
+    let mut group = c.benchmark_group("ablation_spot_count");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    for count in [500usize, 1000, 2000, 4000, 8000] {
+        let mut cfg = base.config;
+        cfg.spot_count = count;
+        let spots = generate_spots(count, base.field.domain(), cfg.intensity_amplitude, cfg.seed);
+        let id = BenchmarkId::from_parameter(count);
+        group.bench_with_input(id, &cfg, |b, cfg| {
+            b.iter(|| synthesize_dnc(base.field.as_ref(), &spots, cfg, &machine))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_spot_count);
+criterion_main!(benches);

@@ -1,0 +1,35 @@
+//! Ablation: texture tiling vs round-robin spot partitioning.
+//!
+//! "The tradeoff here is the amount of texture space vs. the additional work
+//! to be done when blending the final texture" plus the duplicated
+//! overlap-boundary spots (paper §3–4). This bench compares the two
+//! partitioning strategies at 2 and 4 pipes.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use softpipe::machine::MachineConfig;
+use spotnoise::dnc::synthesize_dnc;
+use spotnoise_bench::atmospheric_scaled;
+
+fn bench_tiling(c: &mut Criterion) {
+    let base = atmospheric_scaled();
+    let mut group = c.benchmark_group("ablation_tiling");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    for pipes in [2usize, 4] {
+        let machine = MachineConfig::new(8, pipes);
+        for tiled in [false, true] {
+            let mut cfg = base.config;
+            cfg.use_tiling = tiled;
+            let label = if tiled { "tiled" } else { "round_robin" };
+            let id = BenchmarkId::from_parameter(format!("{pipes}pipes_{label}"));
+            group.bench_with_input(id, &cfg, |b, cfg| {
+                b.iter(|| synthesize_dnc(base.field.as_ref(), &base.spots, cfg, &machine))
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_tiling);
+criterion_main!(benches);

@@ -1,0 +1,52 @@
+//! Ablation: spot transformation in software vs on the graphics pipe.
+//!
+//! Paper §4: "An exception to this was the spot transformation which is
+//! performed in software by the processors, thus avoiding the high
+//! synchronization overhead costs for setting transformation matrices for
+//! each rendered spot." This bench measures both variants with standard
+//! (disc) spots; the `reproduce` harness and the unit tests additionally
+//! compare the *simulated* cost, where the per-spot matrix load is charged
+//! the InfiniteReality synchronisation penalty.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use flowfield::analytic::Vortex;
+use flowfield::{Rect, Vec2};
+use softpipe::machine::MachineConfig;
+use spotnoise::config::{SpotKind, SynthesisConfig};
+use spotnoise::dnc::synthesize_dnc;
+use spotnoise::spot::generate_spots;
+
+fn bench_transform(c: &mut Criterion) {
+    let domain = Rect::new(Vec2::ZERO, Vec2::new(1.0, 1.0));
+    let field = Vortex {
+        omega: 1.5,
+        center: domain.center(),
+        domain,
+    };
+    let cfg_base = SynthesisConfig {
+        texture_size: 256,
+        spot_count: 4000,
+        spot_radius: 0.02,
+        spot_kind: SpotKind::Disc,
+        ..SynthesisConfig::small_test()
+    };
+    let spots = generate_spots(cfg_base.spot_count, domain, 1.0, 1);
+    let machine = MachineConfig::new(4, 2);
+
+    let mut group = c.benchmark_group("ablation_transform");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    for on_pipe in [false, true] {
+        let mut cfg = cfg_base;
+        cfg.transform_on_pipe = on_pipe;
+        let label = if on_pipe { "on_pipe_matrix_loads" } else { "software_transform" };
+        group.bench_with_input(BenchmarkId::from_parameter(label), &cfg, |b, cfg| {
+            b.iter(|| synthesize_dnc(&field, &spots, cfg, &machine))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_transform);
+criterion_main!(benches);

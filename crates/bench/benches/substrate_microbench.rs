@@ -1,0 +1,86 @@
+//! Micro-benchmarks of the substrates the pipeline is built on: field
+//! interpolation, particle integration, stream-line tracing, spot
+//! rasterization, texture gathering, and one step of each application model.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use flowfield::analytic::Vortex;
+use flowfield::streamline::{trace_streamline, StreamlineOptions};
+use flowfield::{Integrator, Rect, RegularGrid, Vec2, VectorField};
+use flowsim::{DnsConfig, DnsSolver, SmogModel};
+use softpipe::raster::{axis_aligned_spot_quad, rasterize_quad, RasterStats};
+use softpipe::{disc_spot_texture, gather_additive, BlendMode, Texture};
+
+fn bench_substrates(c: &mut Criterion) {
+    let domain = Rect::new(Vec2::ZERO, Vec2::new(1.0, 1.0));
+    let vortex = Vortex {
+        omega: 1.0,
+        center: domain.center(),
+        domain,
+    };
+    let grid = RegularGrid::sample_field(53, 55, &vortex);
+
+    c.bench_function("field/bilinear_interpolation_53x55", |b| {
+        let mut k = 0u64;
+        b.iter(|| {
+            k = k.wrapping_add(1);
+            let p = Vec2::new((k % 97) as f64 / 97.0, (k % 89) as f64 / 89.0);
+            grid.interpolate(p)
+        })
+    });
+
+    c.bench_function("field/rk4_step", |b| {
+        b.iter(|| Integrator::RungeKutta4.step(&grid, Vec2::new(0.3, 0.4), 0.01))
+    });
+
+    c.bench_function("field/streamline_32_points", |b| {
+        let opts = StreamlineOptions {
+            step_fraction: 1.0 / 32.0,
+            ..Default::default()
+        };
+        b.iter(|| trace_streamline(&grid, Vec2::new(0.4, 0.6), 0.2, &opts))
+    });
+
+    c.bench_function("raster/spot_quad_512", |b| {
+        let mut target = Texture::new(512, 512);
+        let spot = disc_spot_texture(32, 0.5);
+        b.iter(|| {
+            let mut stats = RasterStats::default();
+            rasterize_quad(
+                &mut target,
+                &spot,
+                axis_aligned_spot_quad(Vec2::new(256.0, 256.0), 12.0),
+                0.5,
+                BlendMode::Additive,
+                &mut stats,
+            );
+            stats.fragments
+        })
+    });
+
+    c.bench_function("raster/gather_two_512_textures", |b| {
+        let mut a = Texture::new(512, 512);
+        a.fill(0.5);
+        let mut d = Texture::new(512, 512);
+        d.fill(0.25);
+        let partials = vec![a, d];
+        b.iter(|| gather_additive(&partials))
+    });
+
+    let mut group = c.benchmark_group("applications");
+    group.sample_size(10);
+    group.bench_function("smog_step_53x55", |b| {
+        let mut model = SmogModel::paper_resolution(3);
+        b.iter(|| model.step(0.1))
+    });
+    group.bench_function("dns_step_72x40", |b| {
+        let mut solver = DnsSolver::new(DnsConfig::small_test());
+        b.iter(|| solver.step(0.02))
+    });
+    group.finish();
+
+    // Sanity use of the VectorField trait to keep the import honest.
+    let _ = vortex.velocity(Vec2::ZERO);
+}
+
+criterion_group!(benches, bench_substrates);
+criterion_main!(benches);

@@ -1,0 +1,38 @@
+//! Table 1 — textures per second for the atmospheric-pollution workload,
+//! swept over the paper's processor x pipe grid.
+//!
+//! The Criterion bench measures *host wall-clock* time of the
+//! divide-and-conquer executor on a scaled version of the workload (the full
+//! 512x512 / 2500x32x17 workload is run once per configuration by the
+//! `reproduce` binary, which also evaluates the calibrated Onyx2 cost model
+//! that is compared against the published table).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use softpipe::machine::MachineConfig;
+use spotnoise::dnc::synthesize_dnc;
+use spotnoise_bench::atmospheric_scaled;
+
+fn bench_table1(c: &mut Criterion) {
+    let workload = atmospheric_scaled();
+    let mut group = c.benchmark_group("table1_atmospheric");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    for machine in MachineConfig::paper_sweep() {
+        let id = BenchmarkId::from_parameter(format!("{}p_{}g", machine.processors, machine.pipes));
+        group.bench_with_input(id, &machine, |b, machine| {
+            b.iter(|| {
+                synthesize_dnc(
+                    workload.field.as_ref(),
+                    &workload.spots,
+                    &workload.config,
+                    machine,
+                )
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_table1);
+criterion_main!(benches);

@@ -1,0 +1,33 @@
+//! Table 2 — textures per second for the DNS turbulence workload, swept over
+//! the paper's processor x pipe grid (scaled workload; see the `reproduce`
+//! binary for the full-size, cost-model-based table).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use softpipe::machine::MachineConfig;
+use spotnoise::dnc::synthesize_dnc;
+use spotnoise_bench::turbulence_scaled;
+
+fn bench_table2(c: &mut Criterion) {
+    let workload = turbulence_scaled();
+    let mut group = c.benchmark_group("table2_turbulence");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    for machine in MachineConfig::paper_sweep() {
+        let id = BenchmarkId::from_parameter(format!("{}p_{}g", machine.processors, machine.pipes));
+        group.bench_with_input(id, &machine, |b, machine| {
+            b.iter(|| {
+                synthesize_dnc(
+                    workload.field.as_ref(),
+                    &workload.spots,
+                    &workload.config,
+                    machine,
+                )
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_table2);
+criterion_main!(benches);

@@ -1,0 +1,132 @@
+//! # spotnoise — Divide and Conquer Spot Noise
+//!
+//! A reproduction of *"Divide and Conquer Spot Noise"* (W.C. de Leeuw and
+//! R. van Liere, SuperComputing'97): interactive spot-noise texture synthesis
+//! for flow visualization, parallelised over processors and graphics pipes.
+//!
+//! Spot noise builds a texture `f(x) = Σ aᵢ h(x − xᵢ)` from many randomly
+//! weighted, randomly placed spots whose *shape* is deformed by the local
+//! flow; animated over particle paths it gives a dense, continuous picture of
+//! a 2-D vector field. The divide-and-conquer algorithm partitions the spot
+//! collection over *process groups* — each one master processor, a number of
+//! slave processors and exactly one graphics pipe — and blends the resulting
+//! partial textures into the final texture.
+//!
+//! ## Crate layout
+//!
+//! * [`config`] — synthesis parameters and the paper's two workload presets,
+//! * [`spot`] — spot instances and standard (stretched-ellipse) spots,
+//! * [`bent`] — bent spots: stream-line-advected textured meshes,
+//! * [`synth`] — sequential synthesis (the eq. 2.1 baseline),
+//! * [`dnc`] — the divide-and-conquer executor, texture tiling and the
+//!   CPU-only (rayon) variant,
+//! * [`partition`] — spot partitioning strategies,
+//! * [`advect`] — spot/particle animation with life cycles,
+//! * [`filter`] — spot filtering and display post-processing,
+//! * [`pipeline`] — the interactive four-step pipeline,
+//! * [`perfmodel`] — equations 2.1 / 3.2 and the simulated-Onyx2 predictions,
+//! * [`metrics`] — throughput and stage-timing instrumentation.
+//!
+//! ## Quick example
+//!
+//! ```
+//! use flowfield::analytic::Vortex;
+//! use flowfield::{Rect, Vec2};
+//! use softpipe::machine::MachineConfig;
+//! use spotnoise::config::SynthesisConfig;
+//! use spotnoise::spot::generate_spots;
+//! use spotnoise::dnc::synthesize_dnc;
+//!
+//! let domain = Rect::new(Vec2::ZERO, Vec2::new(1.0, 1.0));
+//! let field = Vortex { omega: 1.0, center: domain.center(), domain };
+//! let cfg = SynthesisConfig::small_test();
+//! let spots = generate_spots(cfg.spot_count, domain, cfg.intensity_amplitude, cfg.seed);
+//! let out = synthesize_dnc(&field, &spots, &cfg, &MachineConfig::new(4, 2));
+//! assert_eq!(out.texture.width(), cfg.texture_size);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod advect;
+pub mod bent;
+pub mod config;
+pub mod dnc;
+pub mod filter;
+pub mod metrics;
+pub mod partition;
+pub mod perfmodel;
+pub mod pipeline;
+pub mod quality;
+pub mod spot;
+pub mod synth;
+
+pub use advect::{PositionMode, SpotAnimator};
+pub use config::{SpotKind, SynthesisConfig};
+pub use dnc::{synthesize_cpu_only, synthesize_dnc, DncOutput, GroupReport};
+pub use perfmodel::{eq_2_1, eq_3_2, PerfPrediction};
+pub use pipeline::{ExecutionMode, FrameOutput, Pipeline};
+pub use spot::{generate_spots, Spot};
+pub use synth::{synthesize_sequential, SequentialOutput, SynthesisContext};
+
+#[cfg(test)]
+mod proptests {
+    use crate::config::SynthesisConfig;
+    use crate::dnc::synthesize_dnc_with_context;
+    use crate::partition::{partition_round_robin, partition_tiled, TilingOptions};
+    use crate::spot::{generate_spots, FieldToPixel};
+    use crate::synth::{synthesize_sequential_with_context, SynthesisContext};
+    use flowfield::analytic::Vortex;
+    use flowfield::{Rect, Vec2};
+    use proptest::prelude::*;
+    use softpipe::machine::MachineConfig;
+
+    fn domain() -> Rect {
+        Rect::new(Vec2::ZERO, Vec2::new(1.0, 1.0))
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(12))]
+
+        /// The central correctness property of the paper: for any machine
+        /// shape, divide-and-conquer synthesis matches the sequential result
+        /// up to floating-point reassociation.
+        #[test]
+        fn dnc_equals_sequential(processors in 1usize..6, pipes in 1usize..4, seed in 0u64..50) {
+            let pipes = pipes.min(processors);
+            let cfg = SynthesisConfig { spot_count: 120, texture_size: 64, ..SynthesisConfig::small_test() };
+            let field = Vortex { omega: 1.0, center: Vec2::new(0.5, 0.5), domain: domain() };
+            let spots = generate_spots(cfg.spot_count, domain(), 1.0, seed);
+            let ctx = SynthesisContext::new(&field, &cfg);
+            let seq = synthesize_sequential_with_context(&field, &spots, &cfg, &ctx);
+            let machine = MachineConfig::new(processors, pipes);
+            let dnc = synthesize_dnc_with_context(&field, &spots, &cfg, &machine, &ctx);
+            let mean_diff = seq.texture.absolute_difference(&dnc.texture) / (64.0 * 64.0);
+            prop_assert!(mean_diff < 1e-4, "mean texel difference {mean_diff}");
+        }
+
+        /// Round-robin partitioning is a true partition for any group count.
+        #[test]
+        fn round_robin_is_partition(n_spots in 1usize..400, groups in 1usize..9) {
+            let spots = generate_spots(n_spots, domain(), 1.0, 7);
+            let parts = partition_round_robin(&spots, groups);
+            prop_assert_eq!(parts.len(), groups);
+            let total: usize = parts.iter().map(Vec::len).sum();
+            prop_assert_eq!(total, n_spots);
+            let max = parts.iter().map(Vec::len).max().unwrap();
+            let min = parts.iter().map(Vec::len).min().unwrap();
+            prop_assert!(max - min <= 1);
+        }
+
+        /// Tiled partitioning never loses a spot, and the duplicate count is
+        /// consistent with the per-group totals.
+        #[test]
+        fn tiling_never_loses_spots(n_spots in 1usize..400, groups in 1usize..9, margin in 0.0f64..30.0) {
+            let spots = generate_spots(n_spots, domain(), 1.0, 11);
+            let mapper = FieldToPixel::new(domain(), 128);
+            let part = partition_tiled(&spots, &mapper, groups, &TilingOptions { overlap_margin_pixels: margin });
+            let total: usize = part.groups.iter().map(Vec::len).sum();
+            prop_assert_eq!(total, n_spots + part.duplicated);
+            prop_assert!(total >= n_spots);
+        }
+    }
+}

@@ -1,0 +1,189 @@
+//! Throughput and stage-timing instrumentation.
+//!
+//! The quantity the paper reports is *textures per second* for the texture
+//! synthesis part of the pipeline (steps 2 and 3 only — "Only the time for
+//! texture synthesis is given"). The helpers here measure wall-clock stage
+//! times on the host, convert them into textures/second, and bundle them with
+//! the simulated-machine prediction so the benchmark harness can print both
+//! side by side.
+
+use crate::perfmodel::PerfPrediction;
+use serde::{Deserialize, Serialize};
+use std::time::{Duration, Instant};
+
+/// Wall-clock durations of the four pipeline stages of one frame.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct StageTimings {
+    /// Step 1: reading / producing the data set (microseconds).
+    pub read_us: u64,
+    /// Step 2: particle advection (microseconds).
+    pub advect_us: u64,
+    /// Step 3: texture synthesis (microseconds).
+    pub synthesize_us: u64,
+    /// Step 4: rendering the final scene (microseconds).
+    pub render_us: u64,
+}
+
+impl StageTimings {
+    /// Total wall-clock time of the frame in seconds.
+    pub fn total_seconds(&self) -> f64 {
+        (self.read_us + self.advect_us + self.synthesize_us + self.render_us) as f64 / 1.0e6
+    }
+
+    /// The texture-synthesis time (steps 2 + 3) in seconds — the quantity the
+    /// paper's tables are based on.
+    pub fn synthesis_seconds(&self) -> f64 {
+        (self.advect_us + self.synthesize_us) as f64 / 1.0e6
+    }
+
+    /// Textures per second implied by the synthesis time of this frame.
+    pub fn textures_per_second(&self) -> f64 {
+        let s = self.synthesis_seconds();
+        if s > 0.0 {
+            1.0 / s
+        } else {
+            0.0
+        }
+    }
+}
+
+/// Measures a closure and returns its result together with the elapsed
+/// microseconds.
+pub fn timed<T>(f: impl FnOnce() -> T) -> (T, u64) {
+    let start = Instant::now();
+    let out = f();
+    (out, start.elapsed().as_micros() as u64)
+}
+
+/// A sliding frame-rate meter for interactive sessions.
+#[derive(Debug, Clone)]
+pub struct ThroughputMeter {
+    window: Duration,
+    frames: Vec<Instant>,
+}
+
+impl ThroughputMeter {
+    /// Creates a meter averaging over the given window.
+    pub fn new(window: Duration) -> Self {
+        ThroughputMeter {
+            window,
+            frames: Vec::new(),
+        }
+    }
+
+    /// Records the completion of one frame (texture).
+    pub fn tick(&mut self) {
+        let now = Instant::now();
+        self.frames.push(now);
+        let cutoff = now.checked_sub(self.window);
+        if let Some(cutoff) = cutoff {
+            self.frames.retain(|t| *t >= cutoff);
+        }
+    }
+
+    /// Number of frames recorded within the current window.
+    pub fn frames_in_window(&self) -> usize {
+        self.frames.len()
+    }
+
+    /// Estimated textures per second over the window.
+    pub fn textures_per_second(&self) -> f64 {
+        if self.frames.len() < 2 {
+            return 0.0;
+        }
+        let span = self
+            .frames
+            .last()
+            .unwrap()
+            .duration_since(*self.frames.first().unwrap())
+            .as_secs_f64();
+        if span <= 0.0 {
+            0.0
+        } else {
+            (self.frames.len() - 1) as f64 / span
+        }
+    }
+}
+
+/// A frame's complete measurement record: wall-clock stage times plus (when
+/// the divide-and-conquer executor ran) the simulated-machine prediction.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct FrameMetrics {
+    /// Wall-clock stage timings on the host.
+    pub timings: StageTimings,
+    /// Simulated Onyx2 prediction for the same work, when available.
+    pub predicted: Option<PerfPrediction>,
+    /// Number of spots synthesised in the frame.
+    pub spots: usize,
+}
+
+impl FrameMetrics {
+    /// Wall-clock textures per second of this frame.
+    pub fn measured_textures_per_second(&self) -> f64 {
+        self.timings.textures_per_second()
+    }
+
+    /// Simulated textures per second, when a prediction is attached.
+    pub fn simulated_textures_per_second(&self) -> Option<f64> {
+        self.predicted.as_ref().map(|p| p.textures_per_second)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stage_timings_totals() {
+        let t = StageTimings {
+            read_us: 1_000,
+            advect_us: 2_000,
+            synthesize_us: 7_000,
+            render_us: 500,
+        };
+        assert!((t.total_seconds() - 0.0105).abs() < 1e-9);
+        assert!((t.synthesis_seconds() - 0.009).abs() < 1e-9);
+        assert!((t.textures_per_second() - 1.0 / 0.009).abs() < 1e-6);
+        let zero = StageTimings::default();
+        assert_eq!(zero.textures_per_second(), 0.0);
+    }
+
+    #[test]
+    fn timed_measures_and_returns_value() {
+        let (v, us) = timed(|| {
+            std::thread::sleep(Duration::from_millis(5));
+            42
+        });
+        assert_eq!(v, 42);
+        assert!(us >= 4_000, "elapsed {us}us");
+    }
+
+    #[test]
+    fn throughput_meter_counts_recent_frames() {
+        let mut m = ThroughputMeter::new(Duration::from_secs(10));
+        assert_eq!(m.textures_per_second(), 0.0);
+        for _ in 0..5 {
+            m.tick();
+        }
+        assert_eq!(m.frames_in_window(), 5);
+        // Five immediate ticks give a very high (but finite or zero) rate;
+        // the meter must not panic or return NaN.
+        assert!(m.textures_per_second().is_finite());
+    }
+
+    #[test]
+    fn frame_metrics_expose_both_rates() {
+        let fm = FrameMetrics {
+            timings: StageTimings {
+                read_us: 0,
+                advect_us: 0,
+                synthesize_us: 100_000,
+                render_us: 0,
+            },
+            predicted: None,
+            spots: 100,
+        };
+        assert!((fm.measured_textures_per_second() - 10.0).abs() < 1e-9);
+        assert!(fm.simulated_textures_per_second().is_none());
+    }
+}

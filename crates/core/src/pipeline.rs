@@ -1,0 +1,268 @@
+//! The interactive spot-noise pipeline (paper figure 3 / figure 5).
+//!
+//! One frame of the interactive visualization consists of four steps:
+//!
+//! 1. *read data* — the application produces (or loads) the current vector
+//!    field; for steering and browsing this happens 5–15 times a second,
+//! 2. *advect particles* — spot positions follow particle paths,
+//! 3. *generate texture* — the spots are synthesised into a texture, either
+//!    sequentially or with the divide-and-conquer executor,
+//! 4. *render scene* — the texture is post-processed and handed to the
+//!    presentation layer (colormapping, overlays) for display.
+//!
+//! [`Pipeline`] owns the state that persists between frames (the spot
+//! animator and the synthesis configuration) and measures per-stage timings,
+//! so applications only have to supply a field per frame.
+
+use crate::advect::{PositionMode, SpotAnimator};
+use crate::config::SynthesisConfig;
+use crate::dnc::{synthesize_dnc, DncOutput};
+use crate::filter::standard_postprocess;
+use crate::metrics::{timed, FrameMetrics, StageTimings};
+use crate::synth::synthesize_sequential;
+use flowfield::particles::ParticleOptions;
+use flowfield::{Rect, VectorField};
+use softpipe::machine::MachineConfig;
+use softpipe::Texture;
+
+/// How the texture-synthesis step is executed.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ExecutionMode {
+    /// One processor, one (synchronous) pipe — the baseline of eq. 2.1.
+    Sequential,
+    /// The divide-and-conquer executor on a virtual machine configuration.
+    DivideAndConquer(MachineConfig),
+}
+
+/// Result of one pipeline frame.
+#[derive(Debug, Clone)]
+pub struct FrameOutput {
+    /// The raw (signed) spot-noise texture.
+    pub texture: Texture,
+    /// The display-ready texture after spot filtering and contrast stretch.
+    pub display: Texture,
+    /// Measurements of the frame.
+    pub metrics: FrameMetrics,
+    /// The divide-and-conquer report, when that executor ran.
+    pub dnc: Option<DncOutput>,
+}
+
+/// The persistent state of the interactive pipeline.
+#[derive(Debug)]
+pub struct Pipeline {
+    cfg: SynthesisConfig,
+    mode: ExecutionMode,
+    animator: SpotAnimator,
+    postprocess: bool,
+    frames: u64,
+}
+
+impl Pipeline {
+    /// Creates a pipeline for a field domain, with spots advected along
+    /// particle paths.
+    pub fn new(cfg: SynthesisConfig, mode: ExecutionMode, domain: Rect) -> Self {
+        cfg.validate().expect("invalid synthesis configuration");
+        let animator = SpotAnimator::new(domain, cfg.spot_count, PositionMode::Advected, cfg.seed);
+        Pipeline {
+            cfg,
+            mode,
+            animator,
+            postprocess: true,
+            frames: 0,
+        }
+    }
+
+    /// Creates a pipeline with full control over the spot life cycle and
+    /// position mode (used to reproduce Figure 2's default-vs-advected
+    /// comparison).
+    pub fn with_animator(
+        cfg: SynthesisConfig,
+        mode: ExecutionMode,
+        domain: Rect,
+        particle_options: ParticleOptions,
+        position_mode: PositionMode,
+    ) -> Self {
+        cfg.validate().expect("invalid synthesis configuration");
+        let animator = SpotAnimator::with_options(domain, particle_options, position_mode, cfg.seed);
+        Pipeline {
+            cfg,
+            mode,
+            animator,
+            postprocess: true,
+            frames: 0,
+        }
+    }
+
+    /// Enables or disables the display post-processing (spot filtering and
+    /// contrast stretch) of step 4.
+    pub fn set_postprocess(&mut self, enabled: bool) {
+        self.postprocess = enabled;
+    }
+
+    /// The synthesis configuration.
+    pub fn config(&self) -> &SynthesisConfig {
+        &self.cfg
+    }
+
+    /// The execution mode.
+    pub fn mode(&self) -> ExecutionMode {
+        self.mode
+    }
+
+    /// Mutable access to the spot animator (to tweak life-cycle parameters
+    /// interactively, as the paper's Figure 2 does).
+    pub fn animator_mut(&mut self) -> &mut SpotAnimator {
+        &mut self.animator
+    }
+
+    /// Number of frames produced so far.
+    pub fn frames(&self) -> u64 {
+        self.frames
+    }
+
+    /// Produces one frame: advects the spots over `dt` through `field`,
+    /// synthesises the texture and post-processes it for display.
+    ///
+    /// `read_us` is the wall-clock cost of producing `field` (pipeline step
+    /// 1), which the caller measures because data production lives in the
+    /// application; pass 0 when not relevant.
+    pub fn advance(&mut self, field: &dyn VectorField, dt: f64, read_us: u64) -> FrameOutput {
+        // Step 2: particle advection.
+        let (_, advect_us) = timed(|| self.animator.advance(field, dt));
+        let spots = self.animator.spots();
+
+        // Step 3: texture synthesis.
+        let mode = self.mode;
+        let cfg = self.cfg;
+        let ((texture, dnc), synthesize_us) = timed(|| match mode {
+            ExecutionMode::Sequential => {
+                let out = synthesize_sequential(field, &spots, &cfg);
+                (out.texture, None)
+            }
+            ExecutionMode::DivideAndConquer(machine) => {
+                let out = synthesize_dnc(field, &spots, &cfg, &machine);
+                (out.texture.clone(), Some(out))
+            }
+        });
+
+        // Step 4: display post-processing.
+        let postprocess = self.postprocess;
+        let (display, render_us) = timed(|| {
+            if postprocess {
+                standard_postprocess(&texture, cfg.spot_radius_pixels())
+            } else {
+                texture.normalized()
+            }
+        });
+
+        self.frames += 1;
+        let timings = StageTimings {
+            read_us,
+            advect_us,
+            synthesize_us,
+            render_us,
+        };
+        let predicted = dnc.as_ref().map(|d| d.predicted.clone());
+        FrameOutput {
+            texture,
+            display,
+            metrics: FrameMetrics {
+                timings,
+                predicted,
+                spots: spots.len(),
+            },
+            dnc,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flowfield::analytic::Vortex;
+    use flowfield::Vec2;
+
+    fn domain() -> Rect {
+        Rect::new(Vec2::ZERO, Vec2::new(1.0, 1.0))
+    }
+
+    fn field() -> Vortex {
+        Vortex {
+            omega: 1.0,
+            center: Vec2::new(0.5, 0.5),
+            domain: domain(),
+        }
+    }
+
+    #[test]
+    fn sequential_pipeline_produces_frames() {
+        let cfg = SynthesisConfig::small_test();
+        let mut p = Pipeline::new(cfg, ExecutionMode::Sequential, domain());
+        let f = field();
+        let frame = p.advance(&f, 0.05, 123);
+        assert_eq!(frame.texture.width(), cfg.texture_size);
+        assert!(frame.dnc.is_none());
+        assert_eq!(frame.metrics.timings.read_us, 123);
+        assert!(frame.metrics.timings.synthesize_us > 0);
+        assert_eq!(frame.metrics.spots, cfg.spot_count);
+        assert_eq!(p.frames(), 1);
+        // Display texture is in [0, 1].
+        let (lo, hi) = frame.display.range();
+        assert!(lo >= 0.0 && hi <= 1.0);
+    }
+
+    #[test]
+    fn dnc_pipeline_attaches_report_and_prediction() {
+        let cfg = SynthesisConfig::small_test();
+        let machine = MachineConfig::new(4, 2);
+        let mut p = Pipeline::new(cfg, ExecutionMode::DivideAndConquer(machine), domain());
+        let f = field();
+        let frame = p.advance(&f, 0.05, 0);
+        let dnc = frame.dnc.expect("dnc report expected");
+        assert_eq!(dnc.groups.len(), 2);
+        assert!(frame.metrics.predicted.is_some());
+        assert!(frame.metrics.simulated_textures_per_second().unwrap() > 0.0);
+    }
+
+    #[test]
+    fn successive_frames_differ_because_spots_advect() {
+        let cfg = SynthesisConfig::small_test();
+        let mut p = Pipeline::new(cfg, ExecutionMode::Sequential, domain());
+        let f = field();
+        let a = p.advance(&f, 0.1, 0);
+        let b = p.advance(&f, 0.1, 0);
+        assert!(a.texture.absolute_difference(&b.texture) > 0.0);
+        assert_eq!(p.frames(), 2);
+    }
+
+    #[test]
+    fn postprocess_can_be_disabled() {
+        let cfg = SynthesisConfig::small_test();
+        let mut p = Pipeline::new(cfg, ExecutionMode::Sequential, domain());
+        p.set_postprocess(false);
+        let frame = p.advance(&field(), 0.05, 0);
+        // Without the high-pass filter the display is just the normalised
+        // texture, which still lies in [0, 1].
+        let (lo, hi) = frame.display.range();
+        assert!(lo >= 0.0 && hi <= 1.0);
+    }
+
+    #[test]
+    fn with_animator_uses_requested_position_mode() {
+        let cfg = SynthesisConfig::small_test();
+        let opts = ParticleOptions {
+            count: cfg.spot_count,
+            mean_lifetime: 20,
+            ..Default::default()
+        };
+        let p = Pipeline::with_animator(
+            cfg,
+            ExecutionMode::Sequential,
+            domain(),
+            opts,
+            PositionMode::Random,
+        );
+        assert_eq!(p.config().spot_count, cfg.spot_count);
+        assert_eq!(p.mode(), ExecutionMode::Sequential);
+    }
+}

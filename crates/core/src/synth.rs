@@ -1,0 +1,245 @@
+//! Sequential spot-noise texture synthesis.
+//!
+//! This is the reference implementation of the paper's pipeline steps 2–3 on
+//! a single processor and a single graphics pipe (the baseline of equation
+//! 2.1 and the `(1, 1)` cell of Tables 1 and 2). The divide-and-conquer
+//! executor in [`crate::dnc`] must produce the same texture up to
+//! floating-point reassociation; the equivalence tests rely on this module as
+//! the ground truth.
+
+use crate::bent::build_bent_spot;
+use crate::config::{SpotKind, SynthesisConfig};
+use crate::spot::{build_standard_spot, FieldToPixel, Spot, SpotGeometry, SpotJob};
+use flowfield::stats::{field_stats, SpeedNormalizer};
+use flowfield::VectorField;
+use softpipe::cost::CpuWork;
+use softpipe::pipe::{PipeCore, PipeOutput, RenderCommand};
+use softpipe::{disc_spot_texture, BlendMode, Texture};
+use std::sync::Arc;
+
+/// Everything that is shared by all spot-shape computations of one frame:
+/// the coordinate mapping, the speed normaliser and the spot-function
+/// texture. Building it once per frame keeps the per-spot work identical
+/// between the sequential and the parallel executors.
+#[derive(Debug, Clone)]
+pub struct SynthesisContext {
+    /// Field-to-pixel coordinate mapping.
+    pub mapper: FieldToPixel,
+    /// Speed normaliser derived from the field statistics.
+    pub normalizer: SpeedNormalizer,
+    /// The pre-rendered spot-function texture `h(x)`.
+    pub spot_texture: Arc<Texture>,
+}
+
+impl SynthesisContext {
+    /// Builds the per-frame context for a field and a configuration.
+    pub fn new(field: &dyn VectorField, cfg: &SynthesisConfig) -> Self {
+        let stats = field_stats(field, 32, 32);
+        SynthesisContext {
+            mapper: FieldToPixel::new(field.domain(), cfg.texture_size),
+            normalizer: SpeedNormalizer::from_stats(&stats),
+            spot_texture: Arc::new(disc_spot_texture(cfg.spot_texture_size, cfg.spot_softness)),
+        }
+    }
+
+    /// Builds the geometry job for one spot (dispatching on the spot kind).
+    pub fn build_job(
+        &self,
+        field: &dyn VectorField,
+        spot: &Spot,
+        cfg: &SynthesisConfig,
+    ) -> SpotJob {
+        match cfg.spot_kind {
+            SpotKind::Disc => build_standard_spot(field, spot, cfg, &self.mapper, &self.normalizer),
+            SpotKind::Bent { .. } => build_bent_spot(field, spot, cfg, &self.mapper, &self.normalizer),
+        }
+    }
+}
+
+/// Converts a spot geometry into the render command submitted to a pipe.
+pub fn geometry_command(geometry: SpotGeometry, intensity: f32) -> RenderCommand {
+    match geometry {
+        SpotGeometry::Quad(vertices) => RenderCommand::Quad {
+            vertices,
+            intensity,
+        },
+        SpotGeometry::Mesh(mesh) => RenderCommand::Mesh { mesh, intensity },
+    }
+}
+
+/// Converts a finished [`SpotJob`] into the render-command sequence for a
+/// pipe. Software-transformed spots are a single draw command; pipe-
+/// transformed spots additionally load the per-spot matrix first (costing a
+/// pipe synchronisation, which is exactly the trade-off being measured).
+pub fn job_commands(job: SpotJob) -> impl Iterator<Item = RenderCommand> {
+    let transform_cmd = job.pipe_transform.map(RenderCommand::LoadTransform);
+    let draw = geometry_command(job.geometry, job.intensity);
+    transform_cmd.into_iter().chain(std::iter::once(draw))
+}
+
+/// Result of a sequential synthesis run.
+#[derive(Debug, Clone)]
+pub struct SequentialOutput {
+    /// The synthesised spot-noise texture.
+    pub texture: Texture,
+    /// CPU work performed for spot-shape computation.
+    pub cpu_work: CpuWork,
+    /// The pipe's output counters.
+    pub pipe: PipeOutput,
+}
+
+/// Synthesises a spot-noise texture for `spots` over `field` on a single
+/// processor and a single (synchronous) pipe.
+pub fn synthesize_sequential(
+    field: &dyn VectorField,
+    spots: &[Spot],
+    cfg: &SynthesisConfig,
+) -> SequentialOutput {
+    cfg.validate().expect("invalid synthesis configuration");
+    let ctx = SynthesisContext::new(field, cfg);
+    synthesize_sequential_with_context(field, spots, cfg, &ctx)
+}
+
+/// Like [`synthesize_sequential`], but reusing a prepared context (the
+/// divide-and-conquer equivalence tests need both paths to share one
+/// context so the per-spot geometry is bit-identical).
+pub fn synthesize_sequential_with_context(
+    field: &dyn VectorField,
+    spots: &[Spot],
+    cfg: &SynthesisConfig,
+    ctx: &SynthesisContext,
+) -> SequentialOutput {
+    let mut core = PipeCore::new(cfg.texture_size, cfg.texture_size);
+    core.execute(RenderCommand::Clear);
+    core.execute(RenderCommand::UploadTexture(0, ctx.spot_texture.clone()));
+    core.execute(RenderCommand::BindTexture(0));
+    core.execute(RenderCommand::SetBlend(BlendMode::Additive));
+
+    let mut cpu_work = CpuWork::default();
+    for spot in spots {
+        let job = ctx.build_job(field, spot, cfg);
+        cpu_work.merge(&job.cpu_work);
+        for cmd in job_commands(job) {
+            core.execute(cmd);
+        }
+    }
+    let pipe = core.finish();
+    SequentialOutput {
+        texture: pipe.texture.clone(),
+        cpu_work,
+        pipe,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spot::generate_spots;
+    use flowfield::analytic::{Uniform, Vortex};
+    use flowfield::{Rect, Vec2};
+
+    fn domain() -> Rect {
+        Rect::new(Vec2::ZERO, Vec2::new(1.0, 1.0))
+    }
+
+    fn vortex() -> Vortex {
+        Vortex {
+            omega: 1.0,
+            center: Vec2::new(0.5, 0.5),
+            domain: domain(),
+        }
+    }
+
+    #[test]
+    fn sequential_synthesis_produces_nonzero_texture() {
+        let cfg = SynthesisConfig::small_test();
+        let field = vortex();
+        let spots = generate_spots(cfg.spot_count, domain(), cfg.intensity_amplitude, cfg.seed);
+        let out = synthesize_sequential(&field, &spots, &cfg);
+        assert_eq!(out.texture.width(), cfg.texture_size);
+        assert!(out.texture.variance() > 0.0, "texture has no contrast");
+        assert_eq!(out.cpu_work.spots, cfg.spot_count as u64);
+        assert!(out.pipe.raster.fragments > 0);
+    }
+
+    #[test]
+    fn spot_count_scales_texture_energy() {
+        let field = Uniform {
+            velocity: Vec2::new(1.0, 0.0),
+            domain: domain(),
+        };
+        let mut cfg = SynthesisConfig::small_test();
+        cfg.spot_count = 100;
+        let spots_small = generate_spots(100, domain(), 1.0, 3);
+        let small = synthesize_sequential(&field, &spots_small, &cfg);
+        cfg.spot_count = 400;
+        let spots_large = generate_spots(400, domain(), 1.0, 3);
+        let large = synthesize_sequential(&field, &spots_large, &cfg);
+        // More spots -> more accumulated |intensity| (variance grows roughly
+        // linearly with the spot count for zero-mean spots).
+        assert!(large.texture.variance() > small.texture.variance());
+    }
+
+    #[test]
+    fn texture_mean_is_near_zero_for_zero_mean_spots() {
+        let cfg = SynthesisConfig {
+            spot_count: 2000,
+            ..SynthesisConfig::small_test()
+        };
+        let field = vortex();
+        let spots = generate_spots(cfg.spot_count, domain(), 1.0, 11);
+        let out = synthesize_sequential(&field, &spots, &cfg);
+        let (lo, hi) = out.texture.range();
+        assert!(lo < 0.0 && hi > 0.0, "range ({lo}, {hi}) not centred");
+        // The mean intensity is small compared to the peak amplitude.
+        assert!(out.texture.mean().abs() < 0.25 * hi.max(-lo));
+    }
+
+    #[test]
+    fn bent_configuration_runs_and_counts_streamline_work() {
+        let cfg = SynthesisConfig {
+            spot_kind: SpotKind::Bent { rows: 8, cols: 3 },
+            spot_count: 100,
+            ..SynthesisConfig::small_test()
+        };
+        let field = vortex();
+        let spots = generate_spots(cfg.spot_count, domain(), 1.0, 5);
+        let out = synthesize_sequential(&field, &spots, &cfg);
+        assert!(out.cpu_work.streamline_steps > 0);
+        assert_eq!(out.cpu_work.mesh_vertices, 100 * 24);
+        assert!(out.texture.variance() > 0.0);
+    }
+
+    #[test]
+    fn same_seed_same_texture() {
+        let cfg = SynthesisConfig::small_test();
+        let field = vortex();
+        let spots = generate_spots(cfg.spot_count, domain(), 1.0, cfg.seed);
+        let a = synthesize_sequential(&field, &spots, &cfg);
+        let b = synthesize_sequential(&field, &spots, &cfg);
+        assert_eq!(a.texture.absolute_difference(&b.texture), 0.0);
+    }
+
+    #[test]
+    fn vertices_submitted_match_config_prediction() {
+        let cfg = SynthesisConfig {
+            spot_count: 50,
+            ..SynthesisConfig::small_test()
+        };
+        let field = vortex();
+        let spots = generate_spots(cfg.spot_count, domain(), 1.0, 2);
+        let out = synthesize_sequential(&field, &spots, &cfg);
+        assert_eq!(out.pipe.raster.vertices as usize, cfg.vertices_per_texture());
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid synthesis configuration")]
+    fn invalid_config_rejected() {
+        let cfg = SynthesisConfig {
+            spot_count: 0,
+            ..SynthesisConfig::small_test()
+        };
+        let field = vortex();
+        let _ = synthesize_sequential(&field, &[], &cfg);
+    }
+}

@@ -1,0 +1,107 @@
+//! # flowfield — vector-field substrate for divide-and-conquer spot noise
+//!
+//! This crate provides everything the spot-noise pipeline needs to know about
+//! the data it visualizes:
+//!
+//! * [`vec2`] — 2-D vector/matrix/rectangle arithmetic,
+//! * [`grid`] — regular and rectilinear sampled grids with bilinear
+//!   interpolation, plus the [`grid::VectorField`]/[`grid::ScalarField`]
+//!   traits the rest of the workspace programs against,
+//! * [`analytic`] — closed-form test fields (vortex, saddle, double gyre,
+//!   vortex street, ...),
+//! * [`integrate`] — Euler/RK2/RK4 particle integrators,
+//! * [`streamline`] — arc-length stream-line tracing used by bent spots,
+//! * [`particles`] — particle ensembles with life cycles (spot positions),
+//! * [`stats`] — field statistics and derived grids (vorticity, divergence),
+//! * [`io`] — a simple text format for storing sampled grids (the data
+//!   browser's storage layer).
+//!
+//! The crate is deliberately free of any rendering or parallelism concerns;
+//! it is the "read data set" and "advect particles" substrate of the paper's
+//! pipeline (steps 1 and 2 of figure 3).
+
+#![warn(missing_docs)]
+
+pub mod analytic;
+pub mod grid;
+pub mod integrate;
+pub mod io;
+pub mod particles;
+pub mod stats;
+pub mod streamline;
+pub mod vec2;
+
+pub use grid::{RectilinearGrid, RegularGrid, ScalarField, ScalarGrid, VectorField};
+pub use integrate::Integrator;
+pub use particles::{Particle, ParticleEnsemble, ParticleOptions};
+pub use streamline::{trace_streamline, Streamline, StreamlineOptions};
+pub use vec2::{Mat2, Rect, Vec2};
+
+#[cfg(test)]
+mod proptests {
+    use crate::analytic::{divergence, Vortex};
+    use crate::grid::{RegularGrid, VectorField};
+    use crate::integrate::Integrator;
+    use crate::streamline::{trace_streamline, StreamlineOptions};
+    use crate::vec2::{Rect, Vec2};
+    use proptest::prelude::*;
+
+    fn domain() -> Rect {
+        Rect::new(Vec2::new(-1.0, -1.0), Vec2::new(1.0, 1.0))
+    }
+
+    proptest! {
+        /// Bilinear interpolation of a grid never exceeds the range of the
+        /// node values it interpolates between (convexity).
+        #[test]
+        fn interpolation_is_convex(x in -1.0f64..1.0, y in -1.0f64..1.0, seed in 0u64..1000) {
+            use rand::{Rng, SeedableRng};
+            let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(seed);
+            let g = RegularGrid::from_fn(6, 6, domain(), |_| {
+                Vec2::new(rng.gen_range(-1.0..1.0), rng.gen_range(-1.0..1.0))
+            });
+            let v = g.interpolate(Vec2::new(x, y));
+            let max_x = g.samples().iter().map(|s| s.x).fold(f64::NEG_INFINITY, f64::max);
+            let min_x = g.samples().iter().map(|s| s.x).fold(f64::INFINITY, f64::min);
+            prop_assert!(v.x <= max_x + 1e-12 && v.x >= min_x - 1e-12);
+        }
+
+        /// Vortex fields are divergence-free everywhere we can probe.
+        #[test]
+        fn vortex_divergence_free(x in -0.9f64..0.9, y in -0.9f64..0.9, omega in 0.1f64..5.0) {
+            let f = Vortex { omega, center: Vec2::ZERO, domain: domain() };
+            prop_assert!(divergence(&f, Vec2::new(x, y), 1e-4).abs() < 1e-5);
+        }
+
+        /// RK4 advection through a vortex conserves the orbit radius.
+        #[test]
+        fn rk4_conserves_radius(r in 0.1f64..0.9, theta in 0.0f64..6.28, t in 0.0f64..2.0) {
+            let f = Vortex { omega: 1.0, center: Vec2::ZERO, domain: domain() };
+            let start = Vec2::from_angle(theta) * r;
+            let end = Integrator::RungeKutta4.advect(&f, start, t, 64);
+            prop_assert!((end.norm() - r).abs() < 1e-4);
+        }
+
+        /// Stream lines never leave the field domain.
+        #[test]
+        fn streamlines_stay_in_domain(x in -1.0f64..1.0, y in -1.0f64..1.0, len in 0.1f64..3.0) {
+            let f = Vortex { omega: 1.0, center: Vec2::ZERO, domain: domain() };
+            let sl = trace_streamline(&f, Vec2::new(x, y), len, &StreamlineOptions::default());
+            prop_assert!(sl.points.iter().all(|p| f.domain().expanded(1e-9).contains(*p)));
+        }
+
+        /// Resampled stream lines have exactly the requested vertex count and
+        /// preserve the end points.
+        #[test]
+        fn resample_count(n in 2usize..64, x in -0.5f64..0.5, y in -0.5f64..0.5) {
+            let f = Vortex { omega: 1.0, center: Vec2::ZERO, domain: domain() };
+            let sl = trace_streamline(&f, Vec2::new(x, y), 0.5, &StreamlineOptions::default());
+            let r = sl.resample(n);
+            prop_assert_eq!(r.len(), n);
+            if sl.points.len() >= 2 {
+                prop_assert!((r[0] - sl.points[0]).norm() < 1e-9);
+                prop_assert!((r[n - 1] - *sl.points.last().unwrap()).norm() < 1e-9);
+            }
+        }
+    }
+}

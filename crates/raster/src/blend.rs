@@ -1,0 +1,127 @@
+//! Fragment blending modes.
+//!
+//! Spot noise relies on *additive* blending of spot intensities into the
+//! texture (the sum in `f(x) = Σ aᵢ h(x−xᵢ)`). The OpenGL-style state
+//! machine also supports the other modes a graphics pipe provides, which the
+//! presentation layer uses when compositing overlays.
+
+use serde::{Deserialize, Serialize};
+
+/// How an incoming fragment value is combined with the value already stored
+/// in the target texture.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum BlendMode {
+    /// Destination is replaced by the source.
+    Replace,
+    /// Source is added to the destination (the spot-noise accumulation mode).
+    Additive,
+    /// Destination keeps the maximum of source and destination.
+    Max,
+    /// Classic alpha blending `dst = src * alpha + dst * (1 - alpha)`, with
+    /// the constant alpha stored in the mode.
+    Alpha(AlphaFactor),
+}
+
+/// A blend factor in `[0, 1]`, wrapped so that `BlendMode` stays `Eq` and
+/// hashable while still carrying a floating-point alpha.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct AlphaFactor(u16);
+
+impl AlphaFactor {
+    /// Creates an alpha factor from a float in `[0, 1]` (clamped).
+    pub fn new(alpha: f32) -> Self {
+        AlphaFactor((alpha.clamp(0.0, 1.0) * u16::MAX as f32).round() as u16)
+    }
+
+    /// The alpha value as a float in `[0, 1]`.
+    pub fn value(self) -> f32 {
+        self.0 as f32 / u16::MAX as f32
+    }
+}
+
+impl Default for BlendMode {
+    fn default() -> Self {
+        BlendMode::Additive
+    }
+}
+
+impl BlendMode {
+    /// Applies the blend equation for a single fragment.
+    #[inline]
+    pub fn apply(self, dst: f32, src: f32) -> f32 {
+        match self {
+            BlendMode::Replace => src,
+            BlendMode::Additive => dst + src,
+            BlendMode::Max => dst.max(src),
+            BlendMode::Alpha(a) => {
+                let alpha = a.value();
+                src * alpha + dst * (1.0 - alpha)
+            }
+        }
+    }
+
+    /// True for modes where the order in which fragments arrive does not
+    /// change the final value (up to floating-point rounding). Divide and
+    /// conquer relies on this property of the additive mode: partial textures
+    /// can be generated independently and blended in any order.
+    pub fn is_order_independent(self) -> bool {
+        matches!(self, BlendMode::Additive | BlendMode::Max)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn replace_ignores_destination() {
+        assert_eq!(BlendMode::Replace.apply(5.0, 2.0), 2.0);
+    }
+
+    #[test]
+    fn additive_sums() {
+        assert_eq!(BlendMode::Additive.apply(1.0, 2.5), 3.5);
+        assert_eq!(BlendMode::Additive.apply(-1.0, 1.0), 0.0);
+    }
+
+    #[test]
+    fn max_keeps_larger() {
+        assert_eq!(BlendMode::Max.apply(1.0, 2.5), 2.5);
+        assert_eq!(BlendMode::Max.apply(3.0, 2.5), 3.0);
+    }
+
+    #[test]
+    fn alpha_interpolates() {
+        let half = BlendMode::Alpha(AlphaFactor::new(0.5));
+        assert!((half.apply(0.0, 1.0) - 0.5).abs() < 1e-3);
+        let opaque = BlendMode::Alpha(AlphaFactor::new(1.0));
+        assert!((opaque.apply(0.0, 1.0) - 1.0).abs() < 1e-3);
+        let clear = BlendMode::Alpha(AlphaFactor::new(0.0));
+        assert!((clear.apply(0.25, 1.0) - 0.25).abs() < 1e-3);
+    }
+
+    #[test]
+    fn alpha_factor_clamps_input() {
+        assert_eq!(AlphaFactor::new(2.0).value(), 1.0);
+        assert_eq!(AlphaFactor::new(-1.0).value(), 0.0);
+    }
+
+    #[test]
+    fn order_independence_classification() {
+        assert!(BlendMode::Additive.is_order_independent());
+        assert!(BlendMode::Max.is_order_independent());
+        assert!(!BlendMode::Replace.is_order_independent());
+        assert!(!BlendMode::Alpha(AlphaFactor::new(0.5)).is_order_independent());
+    }
+
+    #[test]
+    fn additive_is_commutative_and_associative() {
+        let vals = [0.3f32, 1.7, -0.4, 2.2];
+        let forward = vals.iter().fold(0.0, |acc, &v| BlendMode::Additive.apply(acc, v));
+        let backward = vals
+            .iter()
+            .rev()
+            .fold(0.0, |acc, &v| BlendMode::Additive.apply(acc, v));
+        assert!((forward - backward).abs() < 1e-6);
+    }
+}

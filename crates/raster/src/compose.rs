@@ -1,0 +1,213 @@
+//! Gathering and blending partial textures.
+//!
+//! After each process group finishes its particle set, the per-pipe partial
+//! textures are gathered and blended into the final spot-noise texture. This
+//! is the *sequential* step of the divide-and-conquer algorithm — the `c`
+//! term of equation 3.2 — and it is what prevents perfectly linear speedups
+//! in the paper's tables. Two composition strategies are provided, matching
+//! the two partitioning strategies of the implementation section:
+//!
+//! * [`gather_additive`] — partial textures cover the whole target and are
+//!   summed texel by texel (pure spot-set partitioning), and
+//! * [`compose_tiles`] — each partial texture only owns a pixel region of the
+//!   target (texture tiling) and regions are copied into place.
+
+use crate::texture::Texture;
+use serde::{Deserialize, Serialize};
+
+/// A pixel-space tile: the half-open region `[x0, x1) x [y0, y1)` of the
+/// final texture owned by one process group.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PixelTile {
+    /// Left edge (inclusive).
+    pub x0: usize,
+    /// Bottom edge (inclusive).
+    pub y0: usize,
+    /// Right edge (exclusive).
+    pub x1: usize,
+    /// Top edge (exclusive).
+    pub y1: usize,
+}
+
+impl PixelTile {
+    /// Number of texels in the tile.
+    pub fn area(&self) -> usize {
+        self.x1.saturating_sub(self.x0) * self.y1.saturating_sub(self.y0)
+    }
+
+    /// True when the pixel `(x, y)` lies inside the tile.
+    pub fn contains(&self, x: usize, y: usize) -> bool {
+        x >= self.x0 && x < self.x1 && y >= self.y0 && y < self.y1
+    }
+
+    /// Splits a `width` x `height` texture into an `nx` x `ny` grid of tiles
+    /// covering every texel exactly once.
+    pub fn grid(width: usize, height: usize, nx: usize, ny: usize) -> Vec<PixelTile> {
+        assert!(nx > 0 && ny > 0, "tile grid must be non-empty");
+        let mut out = Vec::with_capacity(nx * ny);
+        for j in 0..ny {
+            for i in 0..nx {
+                out.push(PixelTile {
+                    x0: width * i / nx,
+                    y0: height * j / ny,
+                    x1: width * (i + 1) / nx,
+                    y1: height * (j + 1) / ny,
+                });
+            }
+        }
+        out
+    }
+}
+
+/// Result of a composition: the final texture plus the number of texels that
+/// had to be blended or copied (the work the cost model charges as the
+/// sequential `c` term).
+#[derive(Debug, Clone)]
+pub struct ComposeResult {
+    /// The composed final texture.
+    pub texture: Texture,
+    /// Texels processed during composition.
+    pub blend_texels: u64,
+}
+
+/// Blends partial textures (all covering the full target) by texel-wise
+/// addition. The additive blend is order independent, so the result does not
+/// depend on the order of `partials` — the property the divide-and-conquer
+/// correctness tests verify.
+///
+/// # Panics
+/// Panics when `partials` is empty or the sizes disagree.
+pub fn gather_additive(partials: &[Texture]) -> ComposeResult {
+    assert!(!partials.is_empty(), "nothing to gather");
+    let mut texture = partials[0].clone();
+    let mut blend_texels = 0u64;
+    for partial in &partials[1..] {
+        texture.accumulate(partial);
+        blend_texels += partial.data().len() as u64;
+    }
+    ComposeResult {
+        texture,
+        blend_texels,
+    }
+}
+
+/// Composes per-tile partial textures by copying each tile's pixel region
+/// into the final texture. Tiles must not overlap; texels not covered by any
+/// tile remain zero.
+///
+/// # Panics
+/// Panics when `partials` is empty, sizes disagree, or tile counts mismatch.
+pub fn compose_tiles(partials: &[Texture], tiles: &[PixelTile]) -> ComposeResult {
+    assert!(!partials.is_empty(), "nothing to compose");
+    assert_eq!(partials.len(), tiles.len(), "one tile per partial texture");
+    let width = partials[0].width();
+    let height = partials[0].height();
+    let mut texture = Texture::new(width, height);
+    let mut blend_texels = 0u64;
+    for (partial, tile) in partials.iter().zip(tiles) {
+        texture.blit_region(partial, tile.x0, tile.y0, tile.x1, tile.y1);
+        blend_texels += tile.area() as u64;
+    }
+    ComposeResult {
+        texture,
+        blend_texels,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn constant(w: usize, h: usize, v: f32) -> Texture {
+        let mut t = Texture::new(w, h);
+        t.fill(v);
+        t
+    }
+
+    #[test]
+    fn gather_sums_partials() {
+        let partials = vec![constant(8, 8, 0.25), constant(8, 8, 0.5), constant(8, 8, 1.0)];
+        let r = gather_additive(&partials);
+        assert!(r.texture.data().iter().all(|&v| (v - 1.75).abs() < 1e-6));
+        assert_eq!(r.blend_texels, 2 * 64);
+    }
+
+    #[test]
+    fn gather_is_order_independent() {
+        let a = constant(4, 4, 0.3);
+        let b = constant(4, 4, 1.1);
+        let c = constant(4, 4, -0.4);
+        let fwd = gather_additive(&[a.clone(), b.clone(), c.clone()]);
+        let rev = gather_additive(&[c, b, a]);
+        assert!(fwd.texture.absolute_difference(&rev.texture) < 1e-5);
+    }
+
+    #[test]
+    #[should_panic(expected = "nothing to gather")]
+    fn gather_rejects_empty_input() {
+        let _ = gather_additive(&[]);
+    }
+
+    #[test]
+    fn tile_grid_partitions_texture_exactly() {
+        let tiles = PixelTile::grid(512, 512, 2, 2);
+        assert_eq!(tiles.len(), 4);
+        let total: usize = tiles.iter().map(|t| t.area()).sum();
+        assert_eq!(total, 512 * 512);
+        // Every pixel is inside exactly one tile.
+        for &(x, y) in &[(0, 0), (255, 255), (256, 256), (511, 511), (100, 400)] {
+            let owners = tiles.iter().filter(|t| t.contains(x, y)).count();
+            assert_eq!(owners, 1, "pixel ({x},{y}) owned by {owners} tiles");
+        }
+    }
+
+    #[test]
+    fn tile_grid_handles_non_divisible_sizes() {
+        let tiles = PixelTile::grid(10, 7, 3, 2);
+        let total: usize = tiles.iter().map(|t| t.area()).sum();
+        assert_eq!(total, 70);
+    }
+
+    #[test]
+    fn compose_tiles_copies_each_region() {
+        let tiles = PixelTile::grid(8, 8, 2, 1);
+        let mut left = Texture::new(8, 8);
+        for y in 0..8 {
+            for x in 0..4 {
+                *left.texel_mut(x, y) = 1.0;
+            }
+        }
+        let mut right = Texture::new(8, 8);
+        for y in 0..8 {
+            for x in 4..8 {
+                *right.texel_mut(x, y) = 2.0;
+            }
+        }
+        let r = compose_tiles(&[left, right], &tiles);
+        assert_eq!(r.texture.texel(0, 0), 1.0);
+        assert_eq!(r.texture.texel(3, 7), 1.0);
+        assert_eq!(r.texture.texel(4, 0), 2.0);
+        assert_eq!(r.texture.texel(7, 7), 2.0);
+        assert_eq!(r.blend_texels, 64);
+    }
+
+    #[test]
+    fn compose_tiles_ignores_content_outside_owned_region() {
+        let tiles = PixelTile::grid(8, 8, 2, 1);
+        // The left-tile texture also has garbage in the right half, which
+        // must not leak into the final texture (overlap-boundary spots render
+        // into both tiles; each tile only contributes its owned region).
+        let mut left = constant(8, 8, 1.0);
+        let right = constant(8, 8, 2.0);
+        *left.texel_mut(6, 6) = 99.0;
+        let r = compose_tiles(&[left, right], &tiles);
+        assert_eq!(r.texture.texel(6, 6), 2.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "one tile per partial texture")]
+    fn compose_tiles_rejects_count_mismatch() {
+        let tiles = PixelTile::grid(8, 8, 2, 2);
+        let _ = compose_tiles(&[constant(8, 8, 1.0)], &tiles);
+    }
+}

@@ -1,0 +1,130 @@
+//! # softpipe — a software graphics subsystem for spot-noise synthesis
+//!
+//! The paper runs on an SGI Onyx2 whose InfiniteReality pipes rasterize,
+//! texture and blend the spots. This crate is the reproduction's substitute:
+//! a software rasterizer exposed through an OpenGL-like command interface,
+//! with worker-thread "pipes", state-change accounting, bus-bandwidth
+//! tracking and a calibrated cost model so that both the *behaviour*
+//! (textures produced) and the *performance shape* (Tables 1 and 2) of the
+//! original system can be reproduced.
+//!
+//! Module map:
+//!
+//! * [`texture`] — grayscale intensity textures and spot-function textures,
+//! * [`blend`] — blend modes (additive blending is the spot-noise sum),
+//! * [`raster`] — triangle/quad scan conversion with texture mapping,
+//! * [`mesh`] — textured meshes for bent spots,
+//! * [`framebuffer`] — RGB framebuffer and PPM export for the final scene,
+//! * [`state`] — the OpenGL-like state machine with change counting,
+//! * [`pipe`] — synchronous pipe core and threaded [`pipe::GraphicsPipe`],
+//! * [`compose`] — gathering/blending partial textures (the sequential step),
+//! * [`bus`] — host-to-graphics bus traffic accounting,
+//! * [`cost`] — the Onyx2-calibrated cost model,
+//! * [`machine`] — the workstation model (processors, pipes, assignment).
+
+#![warn(missing_docs)]
+
+pub mod blend;
+pub mod bus;
+pub mod compose;
+pub mod cost;
+pub mod framebuffer;
+pub mod machine;
+pub mod mesh;
+pub mod pipe;
+pub mod raster;
+pub mod state;
+pub mod texture;
+
+pub use blend::BlendMode;
+pub use bus::{BusStats, BusTracker, Traffic};
+pub use compose::{compose_tiles, gather_additive, ComposeResult, PixelTile};
+pub use cost::{CostModel, CpuWork, PipeWork};
+pub use framebuffer::{Framebuffer, Rgb};
+pub use machine::MachineConfig;
+pub use mesh::TexturedMesh;
+pub use pipe::{GraphicsPipe, PipeCore, PipeOutput, RenderCommand};
+pub use raster::{RasterStats, Vertex};
+pub use state::{StateChangeStats, StateMachine, Transform2};
+pub use texture::{disc_spot_texture, gaussian_spot_texture, Texture};
+
+#[cfg(test)]
+mod proptests {
+    use crate::blend::BlendMode;
+    use crate::compose::gather_additive;
+    use crate::raster::{axis_aligned_spot_quad, rasterize_quad, RasterStats};
+    use crate::texture::{disc_spot_texture, Texture};
+    use flowfield::Vec2;
+    use proptest::prelude::*;
+
+    proptest! {
+        /// Additive blending of a spot never changes texels outside the
+        /// spot's bounding box.
+        #[test]
+        fn spot_rendering_is_local(cx in 8.0f64..56.0, cy in 8.0f64..56.0, r in 1.0f64..8.0) {
+            let mut target = Texture::new(64, 64);
+            let spot = disc_spot_texture(16, 0.5);
+            let mut stats = RasterStats::default();
+            let quad = axis_aligned_spot_quad(Vec2::new(cx, cy), r);
+            rasterize_quad(&mut target, &spot, quad, 1.0, BlendMode::Additive, &mut stats);
+            for y in 0..64usize {
+                for x in 0..64usize {
+                    let inside = (x as f64 + 0.5 - cx).abs() <= r + 1.0
+                        && (y as f64 + 0.5 - cy).abs() <= r + 1.0;
+                    if !inside {
+                        prop_assert_eq!(target.texel(x, y), 0.0);
+                    }
+                }
+            }
+        }
+
+        /// Gathering partial textures is independent of the partition: a set
+        /// of spots rendered into one texture equals the same spots split
+        /// into two textures and gathered.
+        #[test]
+        fn gather_equals_single_pass(split in 1usize..7, seed in 0u64..500) {
+            use rand::{Rng, SeedableRng};
+            let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(seed);
+            let spots: Vec<(Vec2, f64, f32)> = (0..8)
+                .map(|_| {
+                    (
+                        Vec2::new(rng.gen_range(4.0..60.0), rng.gen_range(4.0..60.0)),
+                        rng.gen_range(2.0..6.0),
+                        rng.gen_range(-1.0..1.0f32),
+                    )
+                })
+                .collect();
+            let spot_tex = disc_spot_texture(16, 0.5);
+            let render = |subset: &[(Vec2, f64, f32)]| {
+                let mut t = Texture::new(64, 64);
+                let mut stats = RasterStats::default();
+                for (c, r, a) in subset {
+                    rasterize_quad(
+                        &mut t,
+                        &spot_tex,
+                        axis_aligned_spot_quad(*c, *r),
+                        *a,
+                        BlendMode::Additive,
+                        &mut stats,
+                    );
+                }
+                t
+            };
+            let all = render(&spots);
+            let first = render(&spots[..split]);
+            let second = render(&spots[split..]);
+            let gathered = gather_additive(&[first, second]);
+            let diff = all.absolute_difference(&gathered.texture);
+            prop_assert!(diff < 1e-3, "difference {diff}");
+        }
+
+        /// The blend modes' algebraic identities hold for arbitrary inputs.
+        #[test]
+        fn blend_identities(dst in -10.0f32..10.0, src in -10.0f32..10.0) {
+            prop_assert_eq!(BlendMode::Replace.apply(dst, src), src);
+            prop_assert_eq!(BlendMode::Additive.apply(dst, src), dst + src);
+            prop_assert!(BlendMode::Max.apply(dst, src) >= dst);
+            prop_assert!(BlendMode::Max.apply(dst, src) >= src);
+        }
+    }
+}

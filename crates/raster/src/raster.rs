@@ -1,0 +1,351 @@
+//! Triangle scan conversion with texture mapping.
+//!
+//! This is the heart of the software "graphics pipe": it does what the
+//! InfiniteReality did for the paper — transform already-computed vertices
+//! into fragments, sample the spot texture, and blend the result into the
+//! target texture. The implementation is a straightforward barycentric
+//! half-space rasterizer; it also counts vertices and fragments so the cost
+//! model can charge simulated pipe time for the work performed.
+
+use crate::blend::BlendMode;
+use crate::texture::Texture;
+use flowfield::Vec2;
+use serde::{Deserialize, Serialize};
+
+/// A vertex as submitted to the graphics pipe: a position in *texture pixel
+/// coordinates* and a texture coordinate into the bound spot texture.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Vertex {
+    /// Position in target-texture pixel coordinates.
+    pub position: Vec2,
+    /// Texture coordinate (u, v) in `[0, 1]` into the bound spot texture.
+    pub uv: (f32, f32),
+}
+
+impl Vertex {
+    /// Creates a vertex.
+    pub fn new(position: Vec2, u: f32, v: f32) -> Self {
+        Vertex {
+            position,
+            uv: (u, v),
+        }
+    }
+}
+
+/// Counters of the geometry and fragment work a pipe performed; inputs of
+/// the simulated-time cost model and of the bus-bandwidth accounting.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RasterStats {
+    /// Vertices transformed.
+    pub vertices: u64,
+    /// Triangles set up (after trivially-degenerate rejection).
+    pub triangles: u64,
+    /// Fragments generated (texels touched, before blending).
+    pub fragments: u64,
+    /// Primitives rejected because they were degenerate or fully outside.
+    pub rejected: u64,
+}
+
+impl RasterStats {
+    /// Accumulates the counters of another stats block.
+    pub fn merge(&mut self, other: &RasterStats) {
+        self.vertices += other.vertices;
+        self.triangles += other.triangles;
+        self.fragments += other.fragments;
+        self.rejected += other.rejected;
+    }
+}
+
+#[inline]
+fn edge(a: Vec2, b: Vec2, p: Vec2) -> f64 {
+    (b - a).cross(p - a)
+}
+
+/// Top-left fill rule: with counter-clockwise winding, a pixel centre lying
+/// exactly on an edge belongs to the triangle only when the edge is a "left"
+/// edge (going upward) or a "top" edge (horizontal, going leftward). This
+/// guarantees that adjacent triangles sharing an edge — the two halves of a
+/// spot quad, or neighbouring bent-spot mesh cells — cover every texel
+/// exactly once, which additive blending requires for correctness.
+#[inline]
+fn edge_is_top_left(a: Vec2, b: Vec2) -> bool {
+    let d = b - a;
+    d.y > 0.0 || (d.y == 0.0 && d.x < 0.0)
+}
+
+/// Rasterizes a single textured triangle into `target`.
+///
+/// The spot texture is sampled bilinearly at the interpolated uv coordinate,
+/// multiplied by `intensity` (the random spot weight `aᵢ`) and blended into
+/// the target using `blend`.
+pub fn rasterize_triangle(
+    target: &mut Texture,
+    spot_texture: &Texture,
+    v0: Vertex,
+    v1: Vertex,
+    v2: Vertex,
+    intensity: f32,
+    blend: BlendMode,
+    stats: &mut RasterStats,
+) {
+    stats.vertices += 3;
+    let area = edge(v0.position, v1.position, v2.position);
+    if area.abs() < 1e-12 {
+        stats.rejected += 1;
+        return;
+    }
+    // Normalise to counter-clockwise winding so the fill rule is consistent.
+    let (v0, v1, v2) = if area > 0.0 { (v0, v1, v2) } else { (v0, v2, v1) };
+    let area = area.abs();
+
+    // Bounding box clipped to the target.
+    let min_x = v0.position.x.min(v1.position.x).min(v2.position.x);
+    let max_x = v0.position.x.max(v1.position.x).max(v2.position.x);
+    let min_y = v0.position.y.min(v1.position.y).min(v2.position.y);
+    let max_y = v0.position.y.max(v1.position.y).max(v2.position.y);
+    if max_x < 0.0 || max_y < 0.0 || min_x >= target.width() as f64 || min_y >= target.height() as f64
+    {
+        stats.rejected += 1;
+        return;
+    }
+    stats.triangles += 1;
+    let x0 = (min_x.floor().max(0.0)) as usize;
+    let y0 = (min_y.floor().max(0.0)) as usize;
+    let x1 = (max_x.ceil().min(target.width() as f64 - 1.0)) as usize;
+    let y1 = (max_y.ceil().min(target.height() as f64 - 1.0)) as usize;
+
+    // Zero-weight acceptance per edge under the top-left rule.
+    let accept0 = edge_is_top_left(v1.position, v2.position);
+    let accept1 = edge_is_top_left(v2.position, v0.position);
+    let accept2 = edge_is_top_left(v0.position, v1.position);
+
+    let inv_area = 1.0 / area;
+    for py in y0..=y1 {
+        for px in x0..=x1 {
+            let p = Vec2::new(px as f64 + 0.5, py as f64 + 0.5);
+            let e0 = edge(v1.position, v2.position, p);
+            let e1 = edge(v2.position, v0.position, p);
+            let e2 = edge(v0.position, v1.position, p);
+            let inside = (e0 > 0.0 || (e0 == 0.0 && accept0))
+                && (e1 > 0.0 || (e1 == 0.0 && accept1))
+                && (e2 > 0.0 || (e2 == 0.0 && accept2));
+            if !inside {
+                continue;
+            }
+            let w0 = e0 * inv_area;
+            let w1 = e1 * inv_area;
+            let w2 = e2 * inv_area;
+            let u = w0 as f32 * v0.uv.0 + w1 as f32 * v1.uv.0 + w2 as f32 * v2.uv.0;
+            let v = w0 as f32 * v0.uv.1 + w1 as f32 * v1.uv.1 + w2 as f32 * v2.uv.1;
+            let sample = spot_texture.sample_bilinear(u, v) * intensity;
+            let dst = target.texel(px, py);
+            *target.texel_mut(px, py) = blend.apply(dst, sample);
+            stats.fragments += 1;
+        }
+    }
+}
+
+/// Rasterizes a textured quadrilateral (the standard four-vertex spot) as two
+/// triangles. Vertices must be supplied in perimeter order.
+pub fn rasterize_quad(
+    target: &mut Texture,
+    spot_texture: &Texture,
+    quad: [Vertex; 4],
+    intensity: f32,
+    blend: BlendMode,
+    stats: &mut RasterStats,
+) {
+    rasterize_triangle(
+        target,
+        spot_texture,
+        quad[0],
+        quad[1],
+        quad[2],
+        intensity,
+        blend,
+        stats,
+    );
+    rasterize_triangle(
+        target,
+        spot_texture,
+        quad[0],
+        quad[2],
+        quad[3],
+        intensity,
+        blend,
+        stats,
+    );
+    // A quad is submitted as 4 vertices on the bus even though the two
+    // triangles share an edge; correct the double-counted pair.
+    stats.vertices = stats.vertices.saturating_sub(2);
+}
+
+/// Builds the axis-aligned quad covering a disc spot of radius `radius`
+/// centred at `center` (in pixel coordinates), with uv spanning the full spot
+/// texture.
+pub fn axis_aligned_spot_quad(center: Vec2, radius: f64) -> [Vertex; 4] {
+    let r = radius;
+    [
+        Vertex::new(center + Vec2::new(-r, -r), 0.0, 0.0),
+        Vertex::new(center + Vec2::new(r, -r), 1.0, 0.0),
+        Vertex::new(center + Vec2::new(r, r), 1.0, 1.0),
+        Vertex::new(center + Vec2::new(-r, r), 0.0, 1.0),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::texture::disc_spot_texture;
+
+    fn flat_spot() -> Texture {
+        let mut t = Texture::new(8, 8);
+        t.fill(1.0);
+        t
+    }
+
+    #[test]
+    fn triangle_covers_expected_area() {
+        let mut target = Texture::new(32, 32);
+        let spot = flat_spot();
+        let mut stats = RasterStats::default();
+        // Right triangle covering half of a 16x16 square.
+        let v0 = Vertex::new(Vec2::new(0.0, 0.0), 0.0, 0.0);
+        let v1 = Vertex::new(Vec2::new(16.0, 0.0), 1.0, 0.0);
+        let v2 = Vertex::new(Vec2::new(0.0, 16.0), 0.0, 1.0);
+        rasterize_triangle(&mut target, &spot, v0, v1, v2, 1.0, BlendMode::Additive, &mut stats);
+        assert_eq!(stats.triangles, 1);
+        assert_eq!(stats.vertices, 3);
+        // About half of 256 texels should be covered.
+        assert!(stats.fragments > 100 && stats.fragments < 160, "{}", stats.fragments);
+        // Covered texels got the intensity, others stayed zero.
+        assert!(target.texel(2, 2) > 0.0);
+        assert_eq!(target.texel(30, 30), 0.0);
+    }
+
+    #[test]
+    fn winding_does_not_matter() {
+        let spot = flat_spot();
+        let v0 = Vertex::new(Vec2::new(2.0, 2.0), 0.0, 0.0);
+        let v1 = Vertex::new(Vec2::new(12.0, 2.0), 1.0, 0.0);
+        let v2 = Vertex::new(Vec2::new(2.0, 12.0), 0.0, 1.0);
+        let mut a = Texture::new(16, 16);
+        let mut b = Texture::new(16, 16);
+        let mut s = RasterStats::default();
+        rasterize_triangle(&mut a, &spot, v0, v1, v2, 1.0, BlendMode::Additive, &mut s);
+        rasterize_triangle(&mut b, &spot, v0, v2, v1, 1.0, BlendMode::Additive, &mut s);
+        assert_eq!(a.absolute_difference(&b), 0.0);
+    }
+
+    #[test]
+    fn degenerate_triangle_rejected() {
+        let mut target = Texture::new(16, 16);
+        let spot = flat_spot();
+        let mut stats = RasterStats::default();
+        let v = Vertex::new(Vec2::new(4.0, 4.0), 0.0, 0.0);
+        rasterize_triangle(&mut target, &spot, v, v, v, 1.0, BlendMode::Additive, &mut stats);
+        assert_eq!(stats.triangles, 0);
+        assert_eq!(stats.rejected, 1);
+        assert_eq!(stats.fragments, 0);
+    }
+
+    #[test]
+    fn offscreen_triangle_rejected() {
+        let mut target = Texture::new(16, 16);
+        let spot = flat_spot();
+        let mut stats = RasterStats::default();
+        let v0 = Vertex::new(Vec2::new(100.0, 100.0), 0.0, 0.0);
+        let v1 = Vertex::new(Vec2::new(110.0, 100.0), 1.0, 0.0);
+        let v2 = Vertex::new(Vec2::new(100.0, 110.0), 0.0, 1.0);
+        rasterize_triangle(&mut target, &spot, v0, v1, v2, 1.0, BlendMode::Additive, &mut stats);
+        assert_eq!(stats.rejected, 1);
+        assert_eq!(stats.fragments, 0);
+    }
+
+    #[test]
+    fn quad_covers_square_and_counts_four_vertices() {
+        let mut target = Texture::new(32, 32);
+        let spot = flat_spot();
+        let mut stats = RasterStats::default();
+        let quad = axis_aligned_spot_quad(Vec2::new(16.0, 16.0), 8.0);
+        rasterize_quad(&mut target, &spot, quad, 2.0, BlendMode::Additive, &mut stats);
+        assert_eq!(stats.vertices, 4);
+        assert_eq!(stats.triangles, 2);
+        // The 16x16 square around the centre is filled with intensity 2.
+        assert!((target.texel(16, 16) - 2.0).abs() < 1e-6);
+        assert!((target.texel(10, 20) - 2.0).abs() < 1e-6);
+        assert_eq!(target.texel(2, 2), 0.0);
+    }
+
+    #[test]
+    fn quad_interior_fragments_not_double_blended_on_diagonal() {
+        // Additive blending would show a bright diagonal seam if the shared
+        // edge of the two triangles were rasterized twice. Count fragments
+        // instead: they must equal the covered area, not exceed it much.
+        let mut target = Texture::new(64, 64);
+        let spot = flat_spot();
+        let mut stats = RasterStats::default();
+        let quad = axis_aligned_spot_quad(Vec2::new(32.0, 32.0), 16.0);
+        rasterize_quad(&mut target, &spot, quad, 1.0, BlendMode::Additive, &mut stats);
+        let max = target.data().iter().cloned().fold(0.0f32, f32::max);
+        assert!(max <= 1.0 + 1e-5, "diagonal seam double-blended: {max}");
+    }
+
+    #[test]
+    fn spot_texture_modulates_fragment_intensity() {
+        let mut target = Texture::new(64, 64);
+        let spot = disc_spot_texture(32, 0.4);
+        let mut stats = RasterStats::default();
+        let quad = axis_aligned_spot_quad(Vec2::new(32.0, 32.0), 16.0);
+        rasterize_quad(&mut target, &spot, quad, 1.0, BlendMode::Additive, &mut stats);
+        // Centre of the spot is bright, the quad corner (outside the disc) is
+        // nearly zero.
+        assert!(target.texel(32, 32) > 0.9);
+        assert!(target.texel(18, 18) < 0.1);
+    }
+
+    #[test]
+    fn negative_intensity_darkens() {
+        let mut target = Texture::new(32, 32);
+        target.fill(1.0);
+        let spot = flat_spot();
+        let mut stats = RasterStats::default();
+        let quad = axis_aligned_spot_quad(Vec2::new(16.0, 16.0), 4.0);
+        rasterize_quad(&mut target, &spot, quad, -0.5, BlendMode::Additive, &mut stats);
+        assert!((target.texel(16, 16) - 0.5).abs() < 1e-6);
+        assert!((target.texel(2, 2) - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn stats_merge_accumulates() {
+        let mut a = RasterStats {
+            vertices: 3,
+            triangles: 1,
+            fragments: 10,
+            rejected: 0,
+        };
+        let b = RasterStats {
+            vertices: 4,
+            triangles: 2,
+            fragments: 20,
+            rejected: 1,
+        };
+        a.merge(&b);
+        assert_eq!(a.vertices, 7);
+        assert_eq!(a.triangles, 3);
+        assert_eq!(a.fragments, 30);
+        assert_eq!(a.rejected, 1);
+    }
+
+    #[test]
+    fn partial_overlap_with_target_edge_is_clipped() {
+        let mut target = Texture::new(16, 16);
+        let spot = flat_spot();
+        let mut stats = RasterStats::default();
+        let quad = axis_aligned_spot_quad(Vec2::new(0.0, 8.0), 4.0);
+        rasterize_quad(&mut target, &spot, quad, 1.0, BlendMode::Additive, &mut stats);
+        // Fragments were produced only for the on-screen half.
+        assert!(stats.fragments > 0);
+        assert!(stats.fragments <= 5 * 9);
+    }
+}

@@ -1,0 +1,366 @@
+//! Grayscale intensity textures.
+//!
+//! Spot noise accumulates intensities into a scalar texture (the paper's
+//! 512x512 texture map). The same type doubles as the *spot texture* — the
+//! small pre-rendered image of the spot function `h(x)` that is mapped onto
+//! each rendered quad or bent-spot mesh.
+
+use serde::{Deserialize, Serialize};
+
+/// A single-channel floating-point texture, row-major, origin at the
+/// bottom-left (matching OpenGL texture conventions).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Texture {
+    width: usize,
+    height: usize,
+    data: Vec<f32>,
+}
+
+impl Texture {
+    /// Creates a texture filled with zeros.
+    pub fn new(width: usize, height: usize) -> Self {
+        assert!(width > 0 && height > 0, "texture must be non-empty");
+        Texture {
+            width,
+            height,
+            data: vec![0.0; width * height],
+        }
+    }
+
+    /// Creates a texture by evaluating `f(u, v)` at every texel centre,
+    /// where `u, v` are in `[0, 1]`.
+    pub fn from_fn(width: usize, height: usize, mut f: impl FnMut(f32, f32) -> f32) -> Self {
+        let mut t = Texture::new(width, height);
+        for y in 0..height {
+            for x in 0..width {
+                let u = (x as f32 + 0.5) / width as f32;
+                let v = (y as f32 + 0.5) / height as f32;
+                t.data[y * width + x] = f(u, v);
+            }
+        }
+        t
+    }
+
+    /// Texture width in texels.
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// Texture height in texels.
+    pub fn height(&self) -> usize {
+        self.height
+    }
+
+    /// Raw texel storage, row-major from the bottom row.
+    pub fn data(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// Mutable raw texel storage.
+    pub fn data_mut(&mut self) -> &mut [f32] {
+        &mut self.data
+    }
+
+    /// Number of bytes occupied by the texel data (used for bus/texture
+    /// bandwidth accounting).
+    pub fn byte_size(&self) -> usize {
+        self.data.len() * std::mem::size_of::<f32>()
+    }
+
+    /// Value of the texel at `(x, y)`.
+    #[inline]
+    pub fn texel(&self, x: usize, y: usize) -> f32 {
+        debug_assert!(x < self.width && y < self.height);
+        self.data[y * self.width + x]
+    }
+
+    /// Mutable reference to the texel at `(x, y)`.
+    #[inline]
+    pub fn texel_mut(&mut self, x: usize, y: usize) -> &mut f32 {
+        debug_assert!(x < self.width && y < self.height);
+        &mut self.data[y * self.width + x]
+    }
+
+    /// Sets every texel to `value`.
+    pub fn fill(&mut self, value: f32) {
+        self.data.fill(value);
+    }
+
+    /// Nearest-neighbour sample at texture coordinates `(u, v)` in `[0,1]`,
+    /// clamped at the edges.
+    pub fn sample_nearest(&self, u: f32, v: f32) -> f32 {
+        let x = ((u * self.width as f32) as isize).clamp(0, self.width as isize - 1) as usize;
+        let y = ((v * self.height as f32) as isize).clamp(0, self.height as isize - 1) as usize;
+        self.texel(x, y)
+    }
+
+    /// Bilinear sample at texture coordinates `(u, v)` in `[0,1]`, clamped at
+    /// the edges.
+    pub fn sample_bilinear(&self, u: f32, v: f32) -> f32 {
+        let fx = (u * self.width as f32 - 0.5).clamp(0.0, self.width as f32 - 1.0);
+        let fy = (v * self.height as f32 - 0.5).clamp(0.0, self.height as f32 - 1.0);
+        let x0 = fx.floor() as usize;
+        let y0 = fy.floor() as usize;
+        let x1 = (x0 + 1).min(self.width - 1);
+        let y1 = (y0 + 1).min(self.height - 1);
+        let tx = fx - x0 as f32;
+        let ty = fy - y0 as f32;
+        let a = self.texel(x0, y0);
+        let b = self.texel(x1, y0);
+        let c = self.texel(x0, y1);
+        let d = self.texel(x1, y1);
+        let bottom = a + (b - a) * tx;
+        let top = c + (d - c) * tx;
+        bottom + (top - bottom) * ty
+    }
+
+    /// Adds `other` texel-wise into `self` (the gather/blend step that
+    /// combines per-pipe partial textures into the final texture).
+    ///
+    /// # Panics
+    /// Panics when the dimensions differ.
+    pub fn accumulate(&mut self, other: &Texture) {
+        assert_eq!(self.width, other.width, "texture widths differ");
+        assert_eq!(self.height, other.height, "texture heights differ");
+        for (dst, src) in self.data.iter_mut().zip(&other.data) {
+            *dst += *src;
+        }
+    }
+
+    /// Copies a sub-rectangle of `other` into the same location of `self`
+    /// (used when composing disjoint texture tiles).
+    pub fn blit_region(&mut self, other: &Texture, x0: usize, y0: usize, x1: usize, y1: usize) {
+        assert_eq!(self.width, other.width, "texture widths differ");
+        assert_eq!(self.height, other.height, "texture heights differ");
+        let x1 = x1.min(self.width);
+        let y1 = y1.min(self.height);
+        for y in y0..y1 {
+            for x in x0..x1 {
+                self.data[y * self.width + x] = other.data[y * self.width + x];
+            }
+        }
+    }
+
+    /// Minimum and maximum texel value.
+    pub fn range(&self) -> (f32, f32) {
+        let mut lo = f32::INFINITY;
+        let mut hi = f32::NEG_INFINITY;
+        for &v in &self.data {
+            lo = lo.min(v);
+            hi = hi.max(v);
+        }
+        (lo, hi)
+    }
+
+    /// Mean texel value.
+    pub fn mean(&self) -> f32 {
+        if self.data.is_empty() {
+            return 0.0;
+        }
+        self.data.iter().sum::<f32>() / self.data.len() as f32
+    }
+
+    /// Variance of the texel values (the "contrast" of the noise texture).
+    pub fn variance(&self) -> f32 {
+        if self.data.is_empty() {
+            return 0.0;
+        }
+        let mean = self.mean();
+        self.data.iter().map(|v| (v - mean) * (v - mean)).sum::<f32>() / self.data.len() as f32
+    }
+
+    /// Rescales all texels so the value range maps onto `[0, 1]`.
+    /// Constant textures map to 0.5.
+    pub fn normalized(&self) -> Texture {
+        let (lo, hi) = self.range();
+        let span = hi - lo;
+        let mut out = self.clone();
+        if span <= f32::EPSILON {
+            out.fill(0.5);
+        } else {
+            for v in &mut out.data {
+                *v = (*v - lo) / span;
+            }
+        }
+        out
+    }
+
+    /// Sum of absolute differences against another texture of the same size;
+    /// used by the equivalence tests between sequential and parallel paths.
+    pub fn absolute_difference(&self, other: &Texture) -> f64 {
+        assert_eq!(self.width, other.width);
+        assert_eq!(self.height, other.height);
+        self.data
+            .iter()
+            .zip(&other.data)
+            .map(|(a, b)| (a - b).abs() as f64)
+            .sum()
+    }
+}
+
+/// Builds the canonical circular spot texture: intensity 1 inside the disc,
+/// with a smooth (cosine) fall-off of relative width `softness` at the rim.
+///
+/// The paper defines the spot function `h(x)` as "everywhere zero except for
+/// an area that is small compared to the texture size"; a softened disc is
+/// the default shape used throughout.
+pub fn disc_spot_texture(size: usize, softness: f32) -> Texture {
+    Texture::from_fn(size, size, |u, v| {
+        let dx = u - 0.5;
+        let dy = v - 0.5;
+        let r = (dx * dx + dy * dy).sqrt() * 2.0; // 1.0 at the inscribed circle
+        let inner = 1.0 - softness.clamp(0.0, 1.0);
+        if r <= inner {
+            1.0
+        } else if r >= 1.0 {
+            0.0
+        } else {
+            // Cosine roll-off between the inner radius and the rim.
+            let t = (r - inner) / (1.0 - inner).max(f32::EPSILON);
+            0.5 * (1.0 + (std::f32::consts::PI * t).cos())
+        }
+    })
+}
+
+/// Builds a Gaussian spot texture with standard deviation `sigma` expressed
+/// as a fraction of the half-width.
+pub fn gaussian_spot_texture(size: usize, sigma: f32) -> Texture {
+    let s = sigma.max(1e-6);
+    Texture::from_fn(size, size, |u, v| {
+        let dx = (u - 0.5) * 2.0;
+        let dy = (v - 0.5) * 2.0;
+        let r2 = dx * dx + dy * dy;
+        (-r2 / (2.0 * s * s)).exp()
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn new_texture_is_zeroed() {
+        let t = Texture::new(8, 4);
+        assert_eq!(t.width(), 8);
+        assert_eq!(t.height(), 4);
+        assert!(t.data().iter().all(|&v| v == 0.0));
+        assert_eq!(t.byte_size(), 8 * 4 * 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty")]
+    fn zero_size_texture_rejected() {
+        let _ = Texture::new(0, 4);
+    }
+
+    #[test]
+    fn texel_read_write() {
+        let mut t = Texture::new(4, 4);
+        *t.texel_mut(2, 3) = 1.5;
+        assert_eq!(t.texel(2, 3), 1.5);
+        assert_eq!(t.texel(0, 0), 0.0);
+    }
+
+    #[test]
+    fn bilinear_sampling_of_constant_texture() {
+        let mut t = Texture::new(16, 16);
+        t.fill(0.7);
+        for &(u, v) in &[(0.0, 0.0), (0.5, 0.5), (1.0, 1.0), (0.3, 0.9)] {
+            assert!((t.sample_bilinear(u, v) - 0.7).abs() < 1e-6);
+            assert!((t.sample_nearest(u, v) - 0.7).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn bilinear_sampling_interpolates_gradient() {
+        // A texture with a horizontal ramp: bilinear samples follow the ramp.
+        let t = Texture::from_fn(32, 8, |u, _| u);
+        let a = t.sample_bilinear(0.25, 0.5);
+        let b = t.sample_bilinear(0.75, 0.5);
+        assert!(b > a + 0.3);
+        // Samples at texel centres hit the stored value exactly.
+        let center_u = (5.0 + 0.5) / 32.0;
+        assert!((t.sample_bilinear(center_u, 0.5) - t.texel(5, 3)).abs() < 1e-6);
+    }
+
+    #[test]
+    fn accumulate_adds_texelwise() {
+        let mut a = Texture::new(4, 4);
+        a.fill(1.0);
+        let mut b = Texture::new(4, 4);
+        b.fill(0.25);
+        a.accumulate(&b);
+        assert!(a.data().iter().all(|&v| (v - 1.25).abs() < 1e-6));
+    }
+
+    #[test]
+    #[should_panic(expected = "widths differ")]
+    fn accumulate_rejects_size_mismatch() {
+        let mut a = Texture::new(4, 4);
+        let b = Texture::new(8, 4);
+        a.accumulate(&b);
+    }
+
+    #[test]
+    fn blit_region_copies_only_requested_rect() {
+        let mut dst = Texture::new(8, 8);
+        let mut src = Texture::new(8, 8);
+        src.fill(2.0);
+        dst.blit_region(&src, 2, 2, 4, 4);
+        assert_eq!(dst.texel(2, 2), 2.0);
+        assert_eq!(dst.texel(3, 3), 2.0);
+        assert_eq!(dst.texel(4, 4), 0.0);
+        assert_eq!(dst.texel(1, 2), 0.0);
+    }
+
+    #[test]
+    fn range_mean_variance() {
+        let t = Texture::from_fn(4, 1, |u, _| u);
+        let (lo, hi) = t.range();
+        assert!(lo >= 0.0 && hi <= 1.0 && hi > lo);
+        assert!(t.mean() > 0.0);
+        assert!(t.variance() > 0.0);
+        let mut flat = Texture::new(4, 4);
+        flat.fill(3.0);
+        assert_eq!(flat.variance(), 0.0);
+    }
+
+    #[test]
+    fn normalized_maps_to_unit_range() {
+        let t = Texture::from_fn(8, 8, |u, v| 5.0 * u - 3.0 * v);
+        let n = t.normalized();
+        let (lo, hi) = n.range();
+        assert!((lo - 0.0).abs() < 1e-6);
+        assert!((hi - 1.0).abs() < 1e-6);
+        let mut flat = Texture::new(4, 4);
+        flat.fill(9.0);
+        assert!(flat.normalized().data().iter().all(|&v| (v - 0.5).abs() < 1e-6));
+    }
+
+    #[test]
+    fn disc_spot_is_bright_at_center_dark_at_corner() {
+        let t = disc_spot_texture(32, 0.3);
+        assert!(t.sample_bilinear(0.5, 0.5) > 0.95);
+        assert!(t.sample_bilinear(0.02, 0.02) < 0.05);
+        // Radially monotone (roughly): mid radius is between centre and rim.
+        let mid = t.sample_bilinear(0.5 + 0.2, 0.5);
+        assert!(mid <= 1.0 && mid >= 0.0);
+    }
+
+    #[test]
+    fn gaussian_spot_peaks_at_center() {
+        let t = gaussian_spot_texture(32, 0.4);
+        let c = t.sample_bilinear(0.5, 0.5);
+        let e = t.sample_bilinear(0.95, 0.5);
+        assert!(c > 0.9);
+        assert!(e < c);
+    }
+
+    #[test]
+    fn absolute_difference_zero_for_identical() {
+        let t = disc_spot_texture(16, 0.5);
+        assert_eq!(t.absolute_difference(&t), 0.0);
+        let z = Texture::new(16, 16);
+        assert!(t.absolute_difference(&z) > 0.0);
+    }
+}

@@ -1,0 +1,82 @@
+//! Browsing a DNS data base of turbulent flow (paper §5.2, Figure 7).
+//!
+//! ```text
+//! cargo run --release -p spotnoise-apps --example turbulence_browser
+//! ```
+//!
+//! Runs the DNS substitute until vortex shedding develops, records slices
+//! into the data-browser store, then plays the data base back while
+//! visualising each slice with spot noise — reporting whether the playback
+//! rate clears the "monitor how the vortices behave over time" threshold.
+
+use flowsim::{record_dns_run, DataBrowser, DnsConfig, DnsSolver};
+use flowviz::{draw_rect_outline, texture_to_framebuffer, Colormap};
+use softpipe::machine::MachineConfig;
+use softpipe::Rgb;
+use spotnoise::config::{SpotKind, SynthesisConfig};
+use spotnoise::dnc::synthesize_dnc;
+use spotnoise::filter::standard_postprocess;
+use spotnoise::spot::generate_spots;
+
+fn main() {
+    // 1. Produce the data base: run the solver and record slices.
+    println!("running the DNS substitute and recording slices ...");
+    let mut solver = DnsSolver::new(DnsConfig::small_test());
+    // Spin up the wake before recording.
+    for _ in 0..120 {
+        solver.step(0.02);
+    }
+    let mut browser = DataBrowser::in_memory();
+    record_dns_run(&mut solver, &mut browser, 8, 10, 0.02).expect("recording failed");
+    println!(
+        "data base: {} frames, {} kB (the real DNS data base reaches terabytes), wake fluctuation {:.3}",
+        browser.len(),
+        browser.total_bytes() / 1024,
+        solver.wake_fluctuation(),
+    );
+
+    // 2. Browse: play through the data base and synthesise each slice.
+    let cfg = SynthesisConfig {
+        texture_size: 256,
+        spot_count: 5000,
+        spot_kind: SpotKind::Bent { rows: 8, cols: 3 },
+        ..SynthesisConfig::turbulence_paper()
+    };
+    let machine = MachineConfig::onyx2_full();
+    let block = *solver.block();
+
+    let mut last_display = None;
+    let playback = std::time::Instant::now();
+    let frame_count = browser.len();
+    for _ in 0..frame_count {
+        let (info, grid) = browser.next_frame().expect("playback failed");
+        let spots = generate_spots(cfg.spot_count, grid.domain(), cfg.intensity_amplitude, cfg.seed);
+        let out = synthesize_dnc(&grid, &spots, &cfg, &machine);
+        println!(
+            "frame {:>2} (t = {:>5.2}): {:>6.2} textures/s measured, {:>5.2} simulated Onyx2",
+            info.index,
+            info.time,
+            out.measured_textures_per_second(),
+            out.predicted.textures_per_second,
+        );
+        last_display = Some((standard_postprocess(&out.texture, cfg.spot_radius_pixels()), grid));
+    }
+    let elapsed = playback.elapsed().as_secs_f64();
+    println!(
+        "played {} frames in {:.2} s -> {:.2} frames/s end to end",
+        frame_count,
+        elapsed,
+        frame_count as f64 / elapsed
+    );
+
+    // 3. Save the last frame as a Figure-7-style image with the block drawn.
+    if let Some((display, grid)) = last_display {
+        let width = 512usize;
+        let height = (width as f64 * grid.domain().height() / grid.domain().width()) as usize;
+        let mut fb = texture_to_framebuffer(&display, width, height, Colormap::Grayscale);
+        draw_rect_outline(&mut fb, grid.domain(), block.rect, Rgb::new(255, 80, 80));
+        let path = std::env::temp_dir().join("spotnoise_turbulence_browser.ppm");
+        fb.save_ppm(&path).expect("failed to write image");
+        println!("wrote {}", path.display());
+    }
+}

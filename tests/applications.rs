@@ -1,0 +1,131 @@
+//! End-to-end tests of the two applications: the smog steering loop and the
+//! DNS browsing loop, including the data-base record/playback path and the
+//! Figure-2 skin-friction comparison.
+
+use flowfield::particles::ParticleOptions;
+use flowsim::{
+    attachment_height, pattern_from_dns, record_dns_run, skin_friction_field, DataBrowser,
+    DnsConfig, DnsSolver, SmogModel, SteeringCommand, SteeringQueue,
+};
+use softpipe::machine::MachineConfig;
+use spotnoise::advect::PositionMode;
+use spotnoise::config::{SpotKind, SynthesisConfig};
+use spotnoise::dnc::synthesize_dnc;
+use spotnoise::pipeline::{ExecutionMode, Pipeline};
+use spotnoise::spot::generate_spots;
+
+#[test]
+fn smog_steering_loop_reacts_to_commands() {
+    let mut model = SmogModel::new(27, 28, 2);
+    let mut queue = SteeringQueue::new();
+    // Run five frames, then triple emissions and run five more.
+    for _ in 0..5 {
+        model.step(0.2);
+    }
+    let mass_before = model.total_pollutant();
+    queue.push(SteeringCommand::ScaleEmissions(3.0));
+    let params = queue.apply_all(*model.params());
+    model.set_params(params);
+    for _ in 0..5 {
+        model.step(0.2);
+    }
+    let mass_after = model.total_pollutant();
+    assert!(mass_after > mass_before, "steering had no effect");
+    assert!((model.params().emission_multiplier - 3.0).abs() < 1e-12);
+}
+
+#[test]
+fn dns_browser_playback_feeds_spot_noise() {
+    let mut solver = DnsSolver::new(DnsConfig {
+        nx: 48,
+        ny: 32,
+        ..DnsConfig::small_test()
+    });
+    for _ in 0..60 {
+        solver.step(0.02);
+    }
+    let mut browser = DataBrowser::in_memory();
+    record_dns_run(&mut solver, &mut browser, 3, 5, 0.02).unwrap();
+    assert_eq!(browser.len(), 3);
+    assert!(browser.total_bytes() > 0);
+
+    let cfg = SynthesisConfig {
+        texture_size: 96,
+        spot_count: 500,
+        spot_kind: SpotKind::Bent { rows: 6, cols: 3 },
+        ..SynthesisConfig::turbulence_paper()
+    };
+    let machine = MachineConfig::new(4, 2);
+    let mut variances = Vec::new();
+    for _ in 0..browser.len() {
+        let (_, grid) = browser.next_frame().unwrap();
+        let spots = generate_spots(cfg.spot_count, grid.domain(), cfg.intensity_amplitude, cfg.seed);
+        let out = synthesize_dnc(&grid, &spots, &cfg, &machine);
+        assert!(out.texture.variance() > 0.0);
+        variances.push(out.texture.variance());
+    }
+    // Playback wrapped around to frame 0 again.
+    assert_eq!(browser.cursor(), 0);
+    assert_eq!(variances.len(), 3);
+}
+
+#[test]
+fn figure2_advected_mode_differs_from_default_mode() {
+    let mut dns = DnsSolver::new(DnsConfig::small_test());
+    for _ in 0..60 {
+        dns.step(0.02);
+    }
+    let h = attachment_height(&dns);
+    assert!((0.0..=1.0).contains(&h));
+    let field = skin_friction_field(&pattern_from_dns(&dns), 48, 48);
+
+    let cfg = SynthesisConfig {
+        texture_size: 96,
+        spot_count: 400,
+        ..SynthesisConfig::small_test()
+    };
+    let render = |mode: PositionMode| {
+        let mut pipeline = Pipeline::with_animator(
+            cfg,
+            ExecutionMode::Sequential,
+            field.domain(),
+            ParticleOptions {
+                count: cfg.spot_count,
+                mean_lifetime: 15,
+                ..Default::default()
+            },
+            mode,
+        );
+        let mut frame = pipeline.advance(&field, 0.05, 0);
+        for _ in 0..4 {
+            frame = pipeline.advance(&field, 0.05, 0);
+        }
+        frame.display
+    };
+    let default_img = render(PositionMode::Random);
+    let advected_img = render(PositionMode::Advected);
+    // The two parameterisations produce visibly different textures (that is
+    // the entire point of Figure 2).
+    let mean_diff = default_img.absolute_difference(&advected_img) / (96.0 * 96.0);
+    assert!(mean_diff > 1e-3, "modes indistinguishable: {mean_diff}");
+}
+
+#[test]
+fn dns_wake_statistics_are_reported_per_frame() {
+    let mut solver = DnsSolver::new(DnsConfig {
+        nx: 48,
+        ny: 32,
+        ..DnsConfig::small_test()
+    });
+    let mut fluctuations = Vec::new();
+    for _ in 0..3 {
+        for _ in 0..30 {
+            solver.step(0.02);
+        }
+        fluctuations.push(solver.wake_fluctuation());
+    }
+    assert_eq!(fluctuations.len(), 3);
+    assert!(fluctuations.iter().all(|f| f.is_finite()));
+    // The wake builds up over the run.
+    assert!(fluctuations.last().unwrap() >= fluctuations.first().unwrap());
+}
