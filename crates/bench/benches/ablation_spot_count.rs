@@ -21,7 +21,12 @@ fn bench_spot_count(c: &mut Criterion) {
     for count in [500usize, 1000, 2000, 4000, 8000] {
         let mut cfg = base.config;
         cfg.spot_count = count;
-        let spots = generate_spots(count, base.field.domain(), cfg.intensity_amplitude, cfg.seed);
+        let spots = generate_spots(
+            count,
+            base.field.domain(),
+            cfg.intensity_amplitude,
+            cfg.seed,
+        );
         let id = BenchmarkId::from_parameter(count);
         group.bench_with_input(id, &cfg, |b, cfg| {
             b.iter(|| synthesize_dnc(base.field.as_ref(), &spots, cfg, &machine))

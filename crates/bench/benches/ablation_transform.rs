@@ -40,7 +40,11 @@ fn bench_transform(c: &mut Criterion) {
     for on_pipe in [false, true] {
         let mut cfg = cfg_base;
         cfg.transform_on_pipe = on_pipe;
-        let label = if on_pipe { "on_pipe_matrix_loads" } else { "software_transform" };
+        let label = if on_pipe {
+            "on_pipe_matrix_loads"
+        } else {
+            "software_transform"
+        };
         group.bench_with_input(BenchmarkId::from_parameter(label), &cfg, |b, cfg| {
             b.iter(|| synthesize_dnc(&field, &spots, cfg, &machine))
         });

@@ -18,11 +18,27 @@ fn bench_workload(c: &mut Criterion, workload: &Workload, label: &str) {
     });
     let machine = MachineConfig::onyx2_full();
     group.bench_function("dnc_8p_4g", |b| {
-        b.iter(|| synthesize_dnc(workload.field.as_ref(), &workload.spots, &workload.config, &machine))
+        b.iter(|| {
+            synthesize_dnc(
+                workload.field.as_ref(),
+                &workload.spots,
+                &workload.config,
+                &machine,
+            )
+        })
     });
-    let threads = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4);
+    let threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4);
     group.bench_function("cpu_only_rayon", |b| {
-        b.iter(|| synthesize_cpu_only(workload.field.as_ref(), &workload.spots, &workload.config, threads))
+        b.iter(|| {
+            synthesize_cpu_only(
+                workload.field.as_ref(),
+                &workload.spots,
+                &workload.config,
+                threads,
+            )
+        })
     });
     group.finish();
 }

@@ -57,6 +57,25 @@ fn bench_substrates(c: &mut Criterion) {
         })
     });
 
+    // The retained naive rasterizer, on the same workload: the before/after
+    // pair that BENCH_raster.json records.
+    c.bench_function("raster/spot_quad_512_reference", |b| {
+        let mut target = Texture::new(512, 512);
+        let spot = disc_spot_texture(32, 0.5);
+        b.iter(|| {
+            let mut stats = RasterStats::default();
+            softpipe::raster::reference::rasterize_quad(
+                &mut target,
+                &spot,
+                axis_aligned_spot_quad(Vec2::new(256.0, 256.0), 12.0),
+                0.5,
+                BlendMode::Additive,
+                &mut stats,
+            );
+            stats.fragments
+        })
+    });
+
     c.bench_function("raster/gather_two_512_textures", |b| {
         let mut a = Texture::new(512, 512);
         a.fill(0.5);

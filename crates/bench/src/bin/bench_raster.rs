@@ -1,0 +1,33 @@
+//! Rasterizer before/after benchmark: times the naive per-pixel reference
+//! path against the span-walking fast path on representative spot workloads
+//! and writes the results to `BENCH_raster.json`.
+//!
+//! ```text
+//! cargo run --release -p spotnoise-bench --bin bench_raster -- [--out BENCH_raster.json]
+//! ```
+
+use std::path::PathBuf;
+
+fn main() {
+    let mut out = PathBuf::from("BENCH_raster.json");
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--out" => {
+                if let Some(path) = args.next() {
+                    out = PathBuf::from(path);
+                }
+            }
+            other => eprintln!("unknown argument: {other}"),
+        }
+    }
+    // Fail on an unwritable destination before spending minutes measuring.
+    if let Some(parent) = out.parent().filter(|p| !p.as_os_str().is_empty()) {
+        std::fs::create_dir_all(parent).expect("cannot create output directory");
+    }
+    let report = spotnoise_bench::raster_bench::run_raster_bench();
+    println!("{}", spotnoise_bench::raster_bench::format_report(&report));
+    std::fs::write(&out, spotnoise_bench::raster_bench::report_to_json(&report))
+        .expect("write BENCH_raster.json");
+    println!("wrote {}", out.display());
+}

@@ -16,7 +16,9 @@
 use flowfield::particles::ParticleOptions;
 use flowfield::{Rect, Vec2};
 use flowsim::{pattern_from_dns, skin_friction_field, DnsConfig, DnsSolver, SmogModel};
-use flowviz::{draw_map, draw_rect_outline, overlay_scalar_field, texture_to_framebuffer, Colormap};
+use flowviz::{
+    draw_map, draw_rect_outline, overlay_scalar_field, texture_to_framebuffer, Colormap,
+};
 use softpipe::machine::MachineConfig;
 use softpipe::Rgb;
 use spotnoise::advect::PositionMode;
@@ -51,7 +53,14 @@ fn main() {
     }
     if targets.is_empty() || targets.iter().any(|t| t == "all") {
         targets = vec![
-            "table1", "table2", "figure1", "figure2", "figure6", "figure7", "bandwidth", "pipeline",
+            "table1",
+            "table2",
+            "figure1",
+            "figure2",
+            "figure6",
+            "figure7",
+            "bandwidth",
+            "pipeline",
         ]
         .into_iter()
         .map(String::from)
@@ -98,7 +107,7 @@ fn reproduce_table(which: u8, quick: bool, out_dir: &Path) {
     println!("{}", format_published(&published));
     println!("Measured host wall-clock textures/second (this machine, software pipes):");
     println!("{}", format_table(&cells, false));
-    let json = serde_json::to_string_pretty(&cells).expect("serialize cells");
+    let json = spotnoise_bench::json::sweep_cells_to_json(&cells);
     let path = out_dir.join(format!("table{which}.json"));
     std::fs::write(&path, json).expect("write table json");
     println!("wrote {}\n", path.display());
@@ -172,7 +181,11 @@ fn figure1(out_dir: &Path) {
         }],
         &single_cfg,
     );
-    save_gray(&single.texture.normalized(), out_dir, "figure1_single_spot.ppm");
+    save_gray(
+        &single.texture.normalized(),
+        out_dir,
+        "figure1_single_spot.ppm",
+    );
 
     // Right: many spots of random intensity — pure (undeformed) spot noise.
     let noise_cfg = SynthesisConfig {
@@ -253,7 +266,12 @@ fn figure6(out_dir: &Path, quick: bool) {
     } else {
         SynthesisConfig::atmospheric_paper()
     };
-    let spots = generate_spots(cfg.spot_count, model.domain(), cfg.intensity_amplitude, cfg.seed);
+    let spots = generate_spots(
+        cfg.spot_count,
+        model.domain(),
+        cfg.intensity_amplitude,
+        cfg.seed,
+    );
     let machine = MachineConfig::onyx2_full();
     let out = synthesize_dnc(model.wind_field(), &spots, &cfg, &machine);
     println!(
@@ -262,9 +280,20 @@ fn figure6(out_dir: &Path, quick: bool) {
         out.measured_textures_per_second()
     );
     let display = standard_postprocess(&out.texture, cfg.spot_radius_pixels());
-    let mut fb = texture_to_framebuffer(&display, cfg.texture_size, cfg.texture_size, Colormap::Grayscale);
+    let mut fb = texture_to_framebuffer(
+        &display,
+        cfg.texture_size,
+        cfg.texture_size,
+        Colormap::Grayscale,
+    );
     let range = model.concentration().range();
-    overlay_scalar_field(&mut fb, model.concentration(), range, Colormap::Rainbow, 0.55);
+    overlay_scalar_field(
+        &mut fb,
+        model.concentration(),
+        range,
+        Colormap::Rainbow,
+        0.55,
+    );
     draw_map(&mut fb, model.domain(), Rgb::new(240, 240, 240));
     let path = out_dir.join("figure6_smog.ppm");
     fb.save_ppm(&path).expect("write figure 6");
@@ -305,7 +334,12 @@ fn figure7(out_dir: &Path, quick: bool) {
         SynthesisConfig::turbulence_paper()
     };
     let slice = dns.rectilinear_slice();
-    let spots = generate_spots(cfg.spot_count, slice.domain(), cfg.intensity_amplitude, cfg.seed);
+    let spots = generate_spots(
+        cfg.spot_count,
+        slice.domain(),
+        cfg.intensity_amplitude,
+        cfg.seed,
+    );
     let machine = MachineConfig::onyx2_full();
     let out = synthesize_dnc(&slice, &spots, &cfg, &machine);
     println!(
@@ -314,9 +348,20 @@ fn figure7(out_dir: &Path, quick: bool) {
         out.measured_textures_per_second()
     );
     let display = standard_postprocess(&out.texture, cfg.spot_radius_pixels());
-    let height = (cfg.texture_size as f64 * slice.domain().height() / slice.domain().width()) as usize;
-    let mut fb = texture_to_framebuffer(&display, cfg.texture_size, height.max(32), Colormap::Grayscale);
-    draw_rect_outline(&mut fb, slice.domain(), dns.block().rect, Rgb::new(255, 80, 80));
+    let height =
+        (cfg.texture_size as f64 * slice.domain().height() / slice.domain().width()) as usize;
+    let mut fb = texture_to_framebuffer(
+        &display,
+        cfg.texture_size,
+        height.max(32),
+        Colormap::Grayscale,
+    );
+    draw_rect_outline(
+        &mut fb,
+        slice.domain(),
+        dns.block().rect,
+        Rgb::new(255, 80, 80),
+    );
     let path = out_dir.join("figure7_wake.ppm");
     fb.save_ppm(&path).expect("write figure 7");
     println!("wrote {}\n", path.display());
@@ -325,9 +370,18 @@ fn figure7(out_dir: &Path, quick: bool) {
 /// Section 5.1 / 5.2 bandwidth observations.
 fn bandwidth(quick: bool) {
     println!("=== Bandwidth observation (paper section 5.1 / 5.2) ===");
-    let workload: Workload = if quick { atmospheric_scaled() } else { atmospheric_paper() };
+    let workload: Workload = if quick {
+        atmospheric_scaled()
+    } else {
+        atmospheric_paper()
+    };
     let machine = MachineConfig::onyx2_full();
-    let out = synthesize_dnc(workload.field.as_ref(), &workload.spots, &workload.config, &machine);
+    let out = synthesize_dnc(
+        workload.field.as_ref(),
+        &workload.spots,
+        &workload.config,
+        &machine,
+    );
     let cost = machine.cost;
     let vertex_bytes = cost.vertex_bytes(out.total_pipe_work().vertices);
     let mb_per_texture = vertex_bytes as f64 / 1.0e6;
@@ -358,7 +412,11 @@ fn pipeline_breakdown() {
         ..SynthesisConfig::atmospheric_paper()
     };
     let machine = MachineConfig::onyx2_full();
-    let mut pipeline = Pipeline::new(cfg, ExecutionMode::DivideAndConquer(machine), model.domain());
+    let mut pipeline = Pipeline::new(
+        cfg,
+        ExecutionMode::DivideAndConquer(machine),
+        model.domain(),
+    );
     for frame_idx in 0..3 {
         let (_, read_us) = spotnoise::metrics::timed(|| model.step(0.2));
         let frame = pipeline.advance(model.wind_field(), 0.2, read_us);
@@ -377,7 +435,12 @@ fn pipeline_breakdown() {
 }
 
 fn save_gray(texture: &softpipe::Texture, out_dir: &Path, name: &str) {
-    let fb = texture_to_framebuffer(texture, texture.width(), texture.height(), Colormap::Grayscale);
+    let fb = texture_to_framebuffer(
+        texture,
+        texture.width(),
+        texture.height(),
+        Colormap::Grayscale,
+    );
     let path = out_dir.join(name);
     fb.save_ppm(&path).expect("write image");
     println!("wrote {}", path.display());

@@ -1,0 +1,197 @@
+//! Minimal JSON emission.
+//!
+//! The container this repository builds in has no registry access, so
+//! `serde_json` is unavailable; the handful of JSON artifacts the harness
+//! writes (`tableN.json`, `BENCH_raster.json`) are emitted through this small
+//! value builder instead. Output is pretty-printed with two-space indents and
+//! stable key order (insertion order).
+
+use std::fmt::Write as _;
+
+/// A JSON value.
+#[derive(Debug, Clone)]
+pub enum Json {
+    /// `null`.
+    Null,
+    /// Boolean.
+    Bool(bool),
+    /// Finite number (non-finite values are emitted as `null`, like
+    /// serde_json's default behaviour for f64).
+    Number(f64),
+    /// String.
+    Str(String),
+    /// Array.
+    Array(Vec<Json>),
+    /// Object with insertion-ordered keys.
+    Object(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// Builds an object from key/value pairs.
+    pub fn object(pairs: impl IntoIterator<Item = (&'static str, Json)>) -> Json {
+        Json::Object(pairs.into_iter().map(|(k, v)| (k.to_string(), v)).collect())
+    }
+
+    /// Builds an array from values.
+    pub fn array(values: impl IntoIterator<Item = Json>) -> Json {
+        Json::Array(values.into_iter().collect())
+    }
+
+    /// Builds a string value.
+    pub fn str(value: impl Into<String>) -> Json {
+        Json::Str(value.into())
+    }
+
+    /// Builds a number value.
+    pub fn num(value: f64) -> Json {
+        Json::Number(value)
+    }
+
+    /// Serializes with two-space indentation and a trailing newline.
+    pub fn to_string_pretty(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out, 0);
+        out.push('\n');
+        out
+    }
+
+    fn write(&self, out: &mut String, indent: usize) {
+        let pad = "  ".repeat(indent + 1);
+        let close_pad = "  ".repeat(indent);
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Json::Number(n) => {
+                if !n.is_finite() {
+                    out.push_str("null");
+                } else if *n == n.trunc() && n.abs() < 9.0e15 {
+                    let _ = write!(out, "{}", *n as i64);
+                } else {
+                    let _ = write!(out, "{n}");
+                }
+            }
+            Json::Str(s) => {
+                out.push('"');
+                for c in s.chars() {
+                    match c {
+                        '"' => out.push_str("\\\""),
+                        '\\' => out.push_str("\\\\"),
+                        '\n' => out.push_str("\\n"),
+                        '\r' => out.push_str("\\r"),
+                        '\t' => out.push_str("\\t"),
+                        c if (c as u32) < 0x20 => {
+                            let _ = write!(out, "\\u{:04x}", c as u32);
+                        }
+                        c => out.push(c),
+                    }
+                }
+                out.push('"');
+            }
+            Json::Array(items) => {
+                if items.is_empty() {
+                    out.push_str("[]");
+                    return;
+                }
+                out.push_str("[\n");
+                for (i, item) in items.iter().enumerate() {
+                    out.push_str(&pad);
+                    item.write(out, indent + 1);
+                    if i + 1 < items.len() {
+                        out.push(',');
+                    }
+                    out.push('\n');
+                }
+                out.push_str(&close_pad);
+                out.push(']');
+            }
+            Json::Object(pairs) => {
+                if pairs.is_empty() {
+                    out.push_str("{}");
+                    return;
+                }
+                out.push_str("{\n");
+                for (i, (key, value)) in pairs.iter().enumerate() {
+                    out.push_str(&pad);
+                    Json::Str(key.clone()).write(out, indent + 1);
+                    out.push_str(": ");
+                    value.write(out, indent + 1);
+                    if i + 1 < pairs.len() {
+                        out.push(',');
+                    }
+                    out.push('\n');
+                }
+                out.push_str(&close_pad);
+                out.push('}');
+            }
+        }
+    }
+}
+
+/// Serializes a table sweep the way `reproduce` stores `tableN.json`.
+pub fn sweep_cells_to_json(cells: &[crate::SweepCell]) -> String {
+    Json::array(cells.iter().map(|c| {
+        Json::object([
+            ("processors", Json::num(c.processors as f64)),
+            ("pipes", Json::num(c.pipes as f64)),
+            (
+                "simulated_textures_per_second",
+                Json::num(c.simulated_textures_per_second),
+            ),
+            (
+                "measured_textures_per_second",
+                Json::num(c.measured_textures_per_second),
+            ),
+            (
+                "prediction",
+                Json::object([
+                    (
+                        "group_seconds",
+                        Json::array(c.prediction.group_seconds.iter().map(|&s| Json::num(s))),
+                    ),
+                    ("blend_seconds", Json::num(c.prediction.blend_seconds)),
+                    ("total_seconds", Json::num(c.prediction.total_seconds)),
+                    (
+                        "textures_per_second",
+                        Json::num(c.prediction.textures_per_second),
+                    ),
+                    ("bus_seconds", Json::num(c.prediction.bus_seconds)),
+                ]),
+            ),
+        ])
+    }))
+    .to_string_pretty()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalars_render() {
+        assert_eq!(Json::Null.to_string_pretty(), "null\n");
+        assert_eq!(Json::Bool(true).to_string_pretty(), "true\n");
+        assert_eq!(Json::num(3.0).to_string_pretty(), "3\n");
+        assert_eq!(Json::num(3.25).to_string_pretty(), "3.25\n");
+        assert_eq!(Json::num(f64::NAN).to_string_pretty(), "null\n");
+    }
+
+    #[test]
+    fn strings_are_escaped() {
+        let s = Json::str("a\"b\\c\nd").to_string_pretty();
+        assert_eq!(s, "\"a\\\"b\\\\c\\nd\"\n");
+    }
+
+    #[test]
+    fn nested_structure_is_indented() {
+        let v = Json::object([
+            ("name", Json::str("quad")),
+            ("values", Json::array([Json::num(1.0), Json::num(2.0)])),
+            ("empty", Json::array([])),
+        ]);
+        let text = v.to_string_pretty();
+        assert!(text.contains("\"name\": \"quad\""));
+        assert!(text.contains("\"empty\": []"));
+        assert!(text.starts_with("{\n  "));
+        assert!(text.ends_with("}\n"));
+    }
+}

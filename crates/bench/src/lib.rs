@@ -18,14 +18,17 @@
 
 #![warn(missing_docs)]
 
+pub mod json;
+pub mod raster_bench;
+
 use flowfield::{Rect, RegularGrid, Vec2, VectorField};
 use flowsim::{DnsConfig, DnsSolver, SmogModel};
 use serde::{Deserialize, Serialize};
+use softpipe::machine::MachineConfig;
 use spotnoise::config::{SpotKind, SynthesisConfig};
 use spotnoise::dnc::synthesize_dnc;
 use spotnoise::perfmodel::PerfPrediction;
 use spotnoise::spot::{generate_spots, Spot};
-use softpipe::machine::MachineConfig;
 
 /// A complete benchmark workload: field + spots + configuration.
 pub struct Workload {
@@ -136,7 +139,12 @@ pub fn analytic_small() -> Workload {
         domain,
     };
     let config = SynthesisConfig::small_test();
-    let spots = generate_spots(config.spot_count, domain, config.intensity_amplitude, config.seed);
+    let spots = generate_spots(
+        config.spot_count,
+        domain,
+        config.intensity_amplitude,
+        config.seed,
+    );
     Workload {
         name: "analytic vortex (small)",
         field: Box::new(field),
@@ -168,7 +176,12 @@ pub fn run_table_sweep(workload: &Workload) -> Vec<SweepCell> {
     MachineConfig::paper_sweep()
         .into_iter()
         .map(|machine| {
-            let out = synthesize_dnc(workload.field.as_ref(), &workload.spots, &workload.config, &machine);
+            let out = synthesize_dnc(
+                workload.field.as_ref(),
+                &workload.spots,
+                &workload.config,
+                &machine,
+            );
             SweepCell {
                 processors: machine.processors,
                 pipes: machine.pipes,

@@ -1,0 +1,425 @@
+//! Before/after measurement of the rasterizer hot path.
+//!
+//! Times the retained naive reference rasterizer (full bounding-box scan,
+//! three inside-tests per pixel) against the span walker on the workloads
+//! that dominate the paper's pipelines — axis-aligned spot quads on a 512²
+//! target, flat-spot quads (the uniform-row nearest-sample fast path), bent
+//! 16x3 turbulence meshes — plus the additive gather step. Results feed
+//! `BENCH_raster.json`, the perf trajectory's first data point.
+//!
+//! Every case first asserts that the two paths produce pixel-identical
+//! output, so a reported speedup can never come from silently computing
+//! something different.
+
+use crate::json::Json;
+use flowfield::Vec2;
+use softpipe::raster::{axis_aligned_spot_quad, rasterize_quad, reference, RasterStats, Vertex};
+use softpipe::{disc_spot_texture, gather_additive, BlendMode, Texture, TexturedMesh};
+use std::time::Instant;
+
+/// One measured before/after case.
+#[derive(Debug, Clone)]
+pub struct BenchCase {
+    /// Case identifier.
+    pub name: &'static str,
+    /// What the case exercises.
+    pub description: &'static str,
+    /// Fragments produced by one operation (identical for both paths).
+    pub fragments_per_op: u64,
+    /// Best-of-samples nanoseconds per operation, naive reference path.
+    pub reference_ns_per_op: f64,
+    /// Best-of-samples nanoseconds per operation, span-walking path.
+    pub optimized_ns_per_op: f64,
+}
+
+impl BenchCase {
+    /// Reference time / optimized time.
+    pub fn speedup(&self) -> f64 {
+        if self.optimized_ns_per_op > 0.0 {
+            self.reference_ns_per_op / self.optimized_ns_per_op
+        } else {
+            0.0
+        }
+    }
+
+    /// Fragments per second through the optimized path.
+    pub fn optimized_fragments_per_second(&self) -> f64 {
+        if self.optimized_ns_per_op > 0.0 {
+            self.fragments_per_op as f64 / (self.optimized_ns_per_op * 1e-9)
+        } else {
+            0.0
+        }
+    }
+}
+
+/// The full report.
+#[derive(Debug, Clone)]
+pub struct RasterBenchReport {
+    /// Worker threads available to the parallel gather.
+    pub threads: usize,
+    /// Measured cases.
+    pub cases: Vec<BenchCase>,
+}
+
+/// Interleaved best-of-samples timer: alternates batches of the two
+/// operations so neither is systematically favoured by cache warm-up or
+/// scheduler drift, and returns each operation's minimum nanoseconds per
+/// call (the minimum is the noise-robust statistic on a shared, loaded
+/// host). One warm-up batch of each runs before measurement.
+fn time_pair_best(
+    samples: usize,
+    batch: usize,
+    mut a: impl FnMut(),
+    mut b: impl FnMut(),
+) -> (f64, f64) {
+    let time_batch = |op: &mut dyn FnMut()| {
+        let start = Instant::now();
+        for _ in 0..batch {
+            op();
+        }
+        start.elapsed().as_nanos() as f64 / batch as f64
+    };
+    time_batch(&mut a);
+    time_batch(&mut b);
+    let mut best_a = f64::MAX;
+    let mut best_b = f64::MAX;
+    for _ in 0..samples {
+        best_a = best_a.min(time_batch(&mut a));
+        best_b = best_b.min(time_batch(&mut b));
+    }
+    (best_a, best_b)
+}
+
+fn batch_for(target_ns_per_sample: f64, probe_ns: f64) -> usize {
+    ((target_ns_per_sample / probe_ns.max(1.0)).ceil() as usize).clamp(1, 1_000_000)
+}
+
+/// Calibrates, verifies pixel parity, and measures one quad case.
+fn quad_case(
+    name: &'static str,
+    description: &'static str,
+    spot: &Texture,
+    quad: [Vertex; 4],
+    intensity: f32,
+) -> BenchCase {
+    let mut fast = Texture::new(512, 512);
+    let mut slow = Texture::new(512, 512);
+    let mut fast_stats = RasterStats::default();
+    let mut slow_stats = RasterStats::default();
+    rasterize_quad(
+        &mut fast,
+        spot,
+        quad,
+        intensity,
+        BlendMode::Additive,
+        &mut fast_stats,
+    );
+    reference::rasterize_quad(
+        &mut slow,
+        spot,
+        quad,
+        intensity,
+        BlendMode::Additive,
+        &mut slow_stats,
+    );
+    assert_eq!(
+        fast.absolute_difference(&slow),
+        0.0,
+        "{name}: span walker diverged from reference"
+    );
+    assert_eq!(fast_stats, slow_stats, "{name}: stats diverged");
+
+    let mut target = Texture::new(512, 512);
+    let probe = {
+        let mut stats = RasterStats::default();
+        let start = Instant::now();
+        reference::rasterize_quad(
+            &mut target,
+            spot,
+            quad,
+            intensity,
+            BlendMode::Additive,
+            &mut stats,
+        );
+        start.elapsed().as_nanos() as f64
+    };
+    let batch = batch_for(10.0e6, probe);
+    let mut targets = (Texture::new(512, 512), Texture::new(512, 512));
+    let (reference_ns, optimized) = time_pair_best(
+        9,
+        batch,
+        || {
+            let mut stats = RasterStats::default();
+            reference::rasterize_quad(
+                &mut targets.0,
+                spot,
+                quad,
+                intensity,
+                BlendMode::Additive,
+                &mut stats,
+            );
+        },
+        || {
+            let mut stats = RasterStats::default();
+            rasterize_quad(
+                &mut targets.1,
+                spot,
+                quad,
+                intensity,
+                BlendMode::Additive,
+                &mut stats,
+            );
+        },
+    );
+    BenchCase {
+        name,
+        description,
+        fragments_per_op: fast_stats.fragments,
+        reference_ns_per_op: reference_ns,
+        optimized_ns_per_op: optimized,
+    }
+}
+
+/// Builds a bent-ish mesh: a rectangle mesh rotated so neither texture
+/// coordinate is row-constant, exercising the general sampling path the way
+/// stream-line-advected spots do.
+fn rotated_mesh(
+    rows: usize,
+    cols: usize,
+    center: Vec2,
+    w: f64,
+    h: f64,
+    angle: f64,
+) -> TexturedMesh {
+    let (sin, cos) = angle.sin_cos();
+    let mut vertices = Vec::with_capacity(rows * cols);
+    for r in 0..rows {
+        let t = r as f64 / (rows - 1) as f64;
+        for c in 0..cols {
+            let s = c as f64 / (cols - 1) as f64;
+            let local = Vec2::new((t - 0.5) * w, (s - 0.5) * h);
+            let rotated = Vec2::new(local.x * cos - local.y * sin, local.x * sin + local.y * cos);
+            vertices.push(Vertex::new(center + rotated, t as f32, s as f32));
+        }
+    }
+    TexturedMesh::new(rows, cols, vertices)
+}
+
+fn mesh_case(name: &'static str, description: &'static str, mesh: &TexturedMesh) -> BenchCase {
+    let spot = disc_spot_texture(32, 0.5);
+    let mut fast = Texture::new(512, 512);
+    let mut slow = Texture::new(512, 512);
+    let mut fast_stats = RasterStats::default();
+    let mut slow_stats = RasterStats::default();
+    mesh.rasterize(&mut fast, &spot, 0.5, BlendMode::Additive, &mut fast_stats);
+    mesh.rasterize_reference(&mut slow, &spot, 0.5, BlendMode::Additive, &mut slow_stats);
+    assert_eq!(
+        fast.absolute_difference(&slow),
+        0.0,
+        "{name}: span walker diverged from reference"
+    );
+    assert_eq!(fast_stats, slow_stats, "{name}: stats diverged");
+
+    let mut target = Texture::new(512, 512);
+    let probe = {
+        let mut stats = RasterStats::default();
+        let start = Instant::now();
+        mesh.rasterize_reference(&mut target, &spot, 0.5, BlendMode::Additive, &mut stats);
+        start.elapsed().as_nanos() as f64
+    };
+    let batch = batch_for(10.0e6, probe);
+    let mut targets = (Texture::new(512, 512), Texture::new(512, 512));
+    let (reference_ns, optimized) = time_pair_best(
+        9,
+        batch,
+        || {
+            let mut stats = RasterStats::default();
+            mesh.rasterize_reference(&mut targets.0, &spot, 0.5, BlendMode::Additive, &mut stats);
+        },
+        || {
+            let mut stats = RasterStats::default();
+            mesh.rasterize(&mut targets.1, &spot, 0.5, BlendMode::Additive, &mut stats);
+        },
+    );
+    BenchCase {
+        name,
+        description,
+        fragments_per_op: fast_stats.fragments,
+        reference_ns_per_op: reference_ns,
+        optimized_ns_per_op: optimized,
+    }
+}
+
+fn gather_case() -> BenchCase {
+    // Four full-coverage 512² partials, as a 4-pipe machine produces.
+    let partials: Vec<Texture> = (0..4)
+        .map(|i| {
+            let mut t = Texture::new(512, 512);
+            t.fill(0.25 * (i + 1) as f32);
+            t
+        })
+        .collect();
+    // Sequential baseline: the pre-optimization accumulate loop.
+    let sequential = |ps: &[Texture]| {
+        let mut texture = ps[0].clone();
+        for p in &ps[1..] {
+            texture.accumulate(p);
+        }
+        texture
+    };
+    let fast = gather_additive(&partials);
+    assert_eq!(
+        fast.texture.absolute_difference(&sequential(&partials)),
+        0.0,
+        "parallel gather diverged from sequential"
+    );
+    let texels = (partials.len() - 1) as u64 * 512 * 512;
+    let (reference_ns, optimized) = time_pair_best(
+        9,
+        20,
+        || {
+            std::hint::black_box(sequential(&partials));
+        },
+        || {
+            std::hint::black_box(gather_additive(&partials));
+        },
+    );
+    BenchCase {
+        name: "gather_additive_512x4",
+        description: "blend 4 full 512x512 partials (sequential c term, parallel host impl)",
+        fragments_per_op: texels,
+        reference_ns_per_op: reference_ns,
+        optimized_ns_per_op: optimized,
+    }
+}
+
+/// Runs every case and assembles the report.
+pub fn run_raster_bench() -> RasterBenchReport {
+    let disc = disc_spot_texture(32, 0.5);
+    let mut flat = Texture::new(32, 32);
+    flat.fill(1.0);
+
+    let cases = vec![
+        quad_case(
+            "quad_512_disc_r12",
+            "axis-aligned disc-spot quad, radius 12 px, 512x512 target (microbench shape)",
+            &disc,
+            axis_aligned_spot_quad(Vec2::new(256.0, 256.0), 12.0),
+            0.5,
+        ),
+        quad_case(
+            "quad_512_disc_r48",
+            "axis-aligned disc-spot quad, radius 48 px (large spots)",
+            &disc,
+            axis_aligned_spot_quad(Vec2::new(256.0, 256.0), 48.0),
+            0.5,
+        ),
+        quad_case(
+            "quad_512_flat_r12",
+            "flat spot texture: uniform-row nearest-sample fast path",
+            &flat,
+            axis_aligned_spot_quad(Vec2::new(256.0, 256.0), 12.0),
+            0.5,
+        ),
+        mesh_case(
+            "mesh_16x3_rotated",
+            "bent 16x3 turbulence-style mesh, rotated 30 degrees",
+            &rotated_mesh(16, 3, Vec2::new(256.0, 256.0), 60.0, 12.0, 0.52),
+        ),
+        mesh_case(
+            "mesh_32x17_rotated",
+            "bent 32x17 atmospheric-style mesh, rotated 30 degrees",
+            &rotated_mesh(32, 17, Vec2::new(256.0, 256.0), 80.0, 40.0, 0.52),
+        ),
+        gather_case(),
+    ];
+    RasterBenchReport {
+        threads: std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get),
+        cases,
+    }
+}
+
+/// Human-readable table for stdout.
+pub fn format_report(report: &RasterBenchReport) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "rasterizer before/after ({} threads)\n",
+        report.threads
+    ));
+    out.push_str(&format!(
+        "{:<24} {:>12} {:>14} {:>14} {:>9}\n",
+        "case", "fragments", "reference", "optimized", "speedup"
+    ));
+    for case in &report.cases {
+        out.push_str(&format!(
+            "{:<24} {:>12} {:>11.1} us {:>11.1} us {:>8.2}x\n",
+            case.name,
+            case.fragments_per_op,
+            case.reference_ns_per_op / 1.0e3,
+            case.optimized_ns_per_op / 1.0e3,
+            case.speedup()
+        ));
+    }
+    out
+}
+
+/// Serializes the report in the `BENCH_raster.json` schema.
+pub fn report_to_json(report: &RasterBenchReport) -> String {
+    Json::object([
+        ("schema", Json::str("bench_raster/v1")),
+        ("threads", Json::num(report.threads as f64)),
+        (
+            "cases",
+            Json::array(report.cases.iter().map(|c| {
+                Json::object([
+                    ("name", Json::str(c.name)),
+                    ("description", Json::str(c.description)),
+                    ("fragments_per_op", Json::num(c.fragments_per_op as f64)),
+                    ("reference_ns_per_op", Json::num(c.reference_ns_per_op)),
+                    ("optimized_ns_per_op", Json::num(c.optimized_ns_per_op)),
+                    ("speedup", Json::num(c.speedup())),
+                    (
+                        "optimized_fragments_per_second",
+                        Json::num(c.optimized_fragments_per_second()),
+                    ),
+                ])
+            })),
+        ),
+    ])
+    .to_string_pretty()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn speedup_and_throughput_math() {
+        let case = BenchCase {
+            name: "x",
+            description: "d",
+            fragments_per_op: 1000,
+            reference_ns_per_op: 2000.0,
+            optimized_ns_per_op: 1000.0,
+        };
+        assert!((case.speedup() - 2.0).abs() < 1e-12);
+        assert!((case.optimized_fragments_per_second() - 1.0e9).abs() < 1.0);
+    }
+
+    #[test]
+    fn report_json_contains_schema_and_cases() {
+        let report = RasterBenchReport {
+            threads: 4,
+            cases: vec![BenchCase {
+                name: "quad",
+                description: "d",
+                fragments_per_op: 10,
+                reference_ns_per_op: 10.0,
+                optimized_ns_per_op: 5.0,
+            }],
+        };
+        let json = report_to_json(&report);
+        assert!(json.contains("\"schema\": \"bench_raster/v1\""));
+        assert!(json.contains("\"speedup\": 2"));
+    }
+}

@@ -48,7 +48,12 @@ impl SpotAnimator {
     }
 
     /// Creates an animator with full control over the particle life cycle.
-    pub fn with_options(domain: Rect, options: ParticleOptions, mode: PositionMode, seed: u64) -> Self {
+    pub fn with_options(
+        domain: Rect,
+        options: ParticleOptions,
+        mode: PositionMode,
+        seed: u64,
+    ) -> Self {
         SpotAnimator {
             ensemble: ParticleEnsemble::new(domain, options, seed),
             mode,

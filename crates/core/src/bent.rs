@@ -194,7 +194,9 @@ mod tests {
         let cfg = SynthesisConfig::small_test();
         let mapper = FieldToPixel::new(domain(), cfg.texture_size);
         let norm = SpeedNormalizer::new(0.0, 1.0);
-        assert!(BentSpotParams::at_position(&f, Vec2::new(0.5, 0.5), &cfg, &mapper, &norm).is_none());
+        assert!(
+            BentSpotParams::at_position(&f, Vec2::new(0.5, 0.5), &cfg, &mapper, &norm).is_none()
+        );
     }
 
     #[test]
@@ -222,7 +224,11 @@ mod tests {
         let y_center = mapper.to_pixel(spot.position).y;
         for r in 0..mesh.rows() {
             let v = mesh.vertex(r, 1); // middle column
-            assert!((v.position.y - y_center).abs() < 1.0, "row {r}: {:?}", v.position);
+            assert!(
+                (v.position.y - y_center).abs() < 1.0,
+                "row {r}: {:?}",
+                v.position
+            );
         }
         // CPU work counted.
         assert_eq!(job.cpu_work.spots, 1);
@@ -264,7 +270,8 @@ mod tests {
         // And the ribbon is genuinely curved: first and last row tangent
         // directions differ.
         let first = mesh.vertex(1, 1).position - mesh.vertex(0, 1).position;
-        let last = mesh.vertex(mesh.rows() - 1, 1).position - mesh.vertex(mesh.rows() - 2, 1).position;
+        let last =
+            mesh.vertex(mesh.rows() - 1, 1).position - mesh.vertex(mesh.rows() - 2, 1).position;
         let cos = first.normalized().dot(last.normalized());
         assert!(cos < 0.999, "ribbon did not bend (cos = {cos})");
     }

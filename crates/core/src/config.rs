@@ -235,12 +235,42 @@ mod tests {
     fn validation_rejects_bad_parameters() {
         let ok = SynthesisConfig::small_test();
         assert!(ok.validate().is_ok());
-        assert!(SynthesisConfig { texture_size: 4, ..ok }.validate().is_err());
-        assert!(SynthesisConfig { spot_count: 0, ..ok }.validate().is_err());
-        assert!(SynthesisConfig { spot_radius: 0.9, ..ok }.validate().is_err());
-        assert!(SynthesisConfig { spot_radius: 0.0, ..ok }.validate().is_err());
-        assert!(SynthesisConfig { max_stretch: 0.5, ..ok }.validate().is_err());
-        assert!(SynthesisConfig { spot_texture_size: 1, ..ok }.validate().is_err());
+        assert!(SynthesisConfig {
+            texture_size: 4,
+            ..ok
+        }
+        .validate()
+        .is_err());
+        assert!(SynthesisConfig {
+            spot_count: 0,
+            ..ok
+        }
+        .validate()
+        .is_err());
+        assert!(SynthesisConfig {
+            spot_radius: 0.9,
+            ..ok
+        }
+        .validate()
+        .is_err());
+        assert!(SynthesisConfig {
+            spot_radius: 0.0,
+            ..ok
+        }
+        .validate()
+        .is_err());
+        assert!(SynthesisConfig {
+            max_stretch: 0.5,
+            ..ok
+        }
+        .validate()
+        .is_err());
+        assert!(SynthesisConfig {
+            spot_texture_size: 1,
+            ..ok
+        }
+        .validate()
+        .is_err());
         assert!(SynthesisConfig {
             spot_kind: SpotKind::Bent { rows: 1, cols: 3 },
             ..ok

@@ -112,7 +112,7 @@ mod tests {
 
     #[test]
     fn blur_reduces_variance() {
-        let t = Texture::from_fn(32, 32, |u, v| ((u * 37.0).sin() * (v * 23.0).cos()) as f32);
+        let t = Texture::from_fn(32, 32, |u, v| (u * 37.0).sin() * (v * 23.0).cos());
         let b = box_blur(&t, 2);
         assert!(b.variance() < t.variance());
         // Mean is (approximately) preserved by the normalised kernel.
@@ -138,7 +138,11 @@ mod tests {
 
     #[test]
     fn highpass_keeps_high_frequency_detail() {
-        let t = Texture::from_fn(64, 64, |u, _| if (u * 32.0) as i32 % 2 == 0 { 1.0 } else { 0.0 });
+        let t = Texture::from_fn(
+            64,
+            64,
+            |u, _| if (u * 32.0) as i32 % 2 == 0 { 1.0 } else { 0.0 },
+        );
         let hp = highpass(&t, 8);
         // The checker pattern survives with roughly half amplitude around 0.
         assert!(hp.variance() > 0.1 * t.variance());
@@ -168,7 +172,7 @@ mod tests {
 
     #[test]
     fn standard_postprocess_output_is_displayable() {
-        let t = Texture::from_fn(64, 64, |u, v| ((u * 31.0).sin() + (v * 17.0).cos()) as f32);
+        let t = Texture::from_fn(64, 64, |u, v| (u * 31.0).sin() + (v * 17.0).cos());
         let p = standard_postprocess(&t, 4.0);
         let (lo, hi) = p.range();
         assert!(lo >= 0.0 && hi <= 1.0);

@@ -70,7 +70,7 @@ pub fn tile_grid_shape(groups: usize) -> (usize, usize) {
     let mut best_score = usize::MAX;
     let mut nx = 1;
     while nx * nx <= groups {
-        if groups % nx == 0 {
+        if groups.is_multiple_of(nx) {
             let ny = groups / nx;
             let score = ny - nx; // ny >= nx here
             if score < best_score {
@@ -199,7 +199,10 @@ mod tests {
     fn chunk_partition_preserves_order_and_count() {
         let s = spots(10);
         let parts = partition_chunks(&s, 3);
-        assert_eq!(parts.iter().map(Vec::len).collect::<Vec<_>>(), vec![4, 3, 3]);
+        assert_eq!(
+            parts.iter().map(Vec::len).collect::<Vec<_>>(),
+            vec![4, 3, 3]
+        );
         let flat: Vec<Spot> = parts.into_iter().flatten().collect();
         for (a, b) in s.iter().zip(&flat) {
             assert_eq!(a.position, b.position);

@@ -75,7 +75,11 @@ pub struct PerfPrediction {
 /// runs on the group's single pipe. Group times are overlapped (the frame is
 /// done when the slowest group is done), then the sequential gather/blend
 /// cost is added.
-pub fn predict(machine: &MachineConfig, groups: &[GroupWork], compose_texels: u64) -> PerfPrediction {
+pub fn predict(
+    machine: &MachineConfig,
+    groups: &[GroupWork],
+    compose_texels: u64,
+) -> PerfPrediction {
     assert!(!groups.is_empty(), "need at least one group");
     let cost: &CostModel = &machine.cost;
     // When the machine has fewer processors than pipes, a physical processor
@@ -94,8 +98,8 @@ pub fn predict(machine: &MachineConfig, groups: &[GroupWork], compose_texels: u6
         group_seconds.push(eq_2_1(cpu_s, pipe_s));
         total_vertices += g.pipe.vertices;
     }
-    let blend_seconds = cost.blend_fixed_overhead
-        + cost.pipe_per_blend_texel * compose_texels as f64;
+    let blend_seconds =
+        cost.blend_fixed_overhead + cost.pipe_per_blend_texel * compose_texels as f64;
     let slowest = group_seconds.iter().cloned().fold(0.0, f64::max);
     let total_seconds = slowest + blend_seconds;
     PerfPrediction {

@@ -83,7 +83,8 @@ impl Pipeline {
         position_mode: PositionMode,
     ) -> Self {
         cfg.validate().expect("invalid synthesis configuration");
-        let animator = SpotAnimator::with_options(domain, particle_options, position_mode, cfg.seed);
+        let animator =
+            SpotAnimator::with_options(domain, particle_options, position_mode, cfg.seed);
         Pipeline {
             cfg,
             mode,

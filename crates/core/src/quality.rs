@@ -38,10 +38,10 @@ pub fn shifted_correlation(texture: &Texture, offset: (f64, f64)) -> f64 {
                 continue;
             }
             xs.push(texture.texel(x, y) as f64);
-            ys.push(texture.sample_bilinear(
-                (sx as f32 + 0.5) / w as f32,
-                (sy as f32 + 0.5) / h as f32,
-            ) as f64);
+            ys.push(
+                texture.sample_bilinear((sx as f32 + 0.5) / w as f32, (sy as f32 + 0.5) / h as f32)
+                    as f64,
+            );
         }
     }
     pearson(&xs, &ys)
@@ -192,7 +192,7 @@ mod tests {
 
     #[test]
     fn zero_shift_correlation_is_one() {
-        let t = Texture::from_fn(64, 64, |u, v| ((u * 40.0).sin() + (v * 23.0).cos()) as f32);
+        let t = Texture::from_fn(64, 64, |u, v| (u * 40.0).sin() + (v * 23.0).cos());
         let c = shifted_correlation(&t, (0.0, 0.0));
         assert!(c > 0.99, "self correlation {c}");
     }
@@ -202,7 +202,7 @@ mod tests {
         // A texture of horizontal stripes is perfectly correlated under
         // horizontal shifts and strongly anti-correlated under half-period
         // vertical shifts.
-        let t = Texture::from_fn(64, 64, |_, v| ((v * 64.0 * std::f32::consts::PI / 4.0).sin()) as f32);
+        let t = Texture::from_fn(64, 64, |_, v| (v * 64.0 * std::f32::consts::PI / 4.0).sin());
         let along = shifted_correlation(&t, (5.0, 0.0));
         let across = shifted_correlation(&t, (0.0, 4.0));
         assert!(along > 0.9, "along {along}");

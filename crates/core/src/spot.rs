@@ -334,8 +334,10 @@ mod tests {
         // Width along x is 12, height 4.
         let xs: Vec<f64> = quad.iter().map(|v| v.position.x).collect();
         let ys: Vec<f64> = quad.iter().map(|v| v.position.y).collect();
-        let w = xs.iter().cloned().fold(f64::MIN, f64::max) - xs.iter().cloned().fold(f64::MAX, f64::min);
-        let h = ys.iter().cloned().fold(f64::MIN, f64::max) - ys.iter().cloned().fold(f64::MAX, f64::min);
+        let w = xs.iter().cloned().fold(f64::MIN, f64::max)
+            - xs.iter().cloned().fold(f64::MAX, f64::min);
+        let h = ys.iter().cloned().fold(f64::MIN, f64::max)
+            - ys.iter().cloned().fold(f64::MAX, f64::min);
         assert!((w - 12.0).abs() < 1e-9);
         assert!((h - 4.0).abs() < 1e-9);
 
@@ -346,7 +348,8 @@ mod tests {
         };
         let quad90 = standard_spot_quad(&t90, Vec2::ZERO);
         let xs: Vec<f64> = quad90.iter().map(|v| v.position.x).collect();
-        let w90 = xs.iter().cloned().fold(f64::MIN, f64::max) - xs.iter().cloned().fold(f64::MAX, f64::min);
+        let w90 = xs.iter().cloned().fold(f64::MIN, f64::max)
+            - xs.iter().cloned().fold(f64::MAX, f64::min);
         assert!((w90 - 4.0).abs() < 1e-9);
     }
 

@@ -51,7 +51,9 @@ impl SynthesisContext {
     ) -> SpotJob {
         match cfg.spot_kind {
             SpotKind::Disc => build_standard_spot(field, spot, cfg, &self.mapper, &self.normalizer),
-            SpotKind::Bent { .. } => build_bent_spot(field, spot, cfg, &self.mapper, &self.normalizer),
+            SpotKind::Bent { .. } => {
+                build_bent_spot(field, spot, cfg, &self.mapper, &self.normalizer)
+            }
         }
     }
 }
@@ -229,7 +231,10 @@ mod tests {
         let field = vortex();
         let spots = generate_spots(cfg.spot_count, domain(), 1.0, 2);
         let out = synthesize_sequential(&field, &spots, &cfg);
-        assert_eq!(out.pipe.raster.vertices as usize, cfg.vertices_per_texture());
+        assert_eq!(
+            out.pipe.raster.vertices as usize,
+            cfg.vertices_per_texture()
+        );
     }
 
     #[test]

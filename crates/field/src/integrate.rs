@@ -11,20 +11,15 @@ use crate::vec2::Vec2;
 use serde::{Deserialize, Serialize};
 
 /// Explicit integration scheme for `dx/dt = v(x)`.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub enum Integrator {
     /// Forward Euler: first order, one field evaluation per step.
     Euler,
     /// Midpoint (RK2): second order, two evaluations per step.
     Midpoint,
     /// Classical Runge–Kutta (RK4): fourth order, four evaluations per step.
+    #[default]
     RungeKutta4,
-}
-
-impl Default for Integrator {
-    fn default() -> Self {
-        Integrator::RungeKutta4
-    }
 }
 
 impl Integrator {
@@ -121,7 +116,11 @@ mod tests {
             velocity: Vec2::new(1.0, 2.0),
             domain: Rect::UNIT,
         };
-        for integ in [Integrator::Euler, Integrator::Midpoint, Integrator::RungeKutta4] {
+        for integ in [
+            Integrator::Euler,
+            Integrator::Midpoint,
+            Integrator::RungeKutta4,
+        ] {
             let p = integ.step(&f, Vec2::ZERO, 0.5);
             assert!((p.x - 0.5).abs() < 1e-12 && (p.y - 1.0).abs() < 1e-12);
         }

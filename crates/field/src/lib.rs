@@ -75,7 +75,7 @@ mod proptests {
 
         /// RK4 advection through a vortex conserves the orbit radius.
         #[test]
-        fn rk4_conserves_radius(r in 0.1f64..0.9, theta in 0.0f64..6.28, t in 0.0f64..2.0) {
+        fn rk4_conserves_radius(r in 0.1f64..0.9, theta in 0.0f64..std::f64::consts::TAU, t in 0.0f64..2.0) {
             let f = Vortex { omega: 1.0, center: Vec2::ZERO, domain: domain() };
             let start = Vec2::from_angle(theta) * r;
             let end = Integrator::RungeKutta4.advect(&f, start, t, 64);

@@ -266,8 +266,7 @@ mod tests {
     fn intensities_are_zero_mean_ish_and_bounded() {
         let e = ParticleEnsemble::new(domain(), options(4000), 3);
         let amp = e.options().intensity_amplitude;
-        let mean: f64 =
-            e.particles().iter().map(|p| p.intensity).sum::<f64>() / e.len() as f64;
+        let mean: f64 = e.particles().iter().map(|p| p.intensity).sum::<f64>() / e.len() as f64;
         assert!(mean.abs() < 0.05, "sample mean {mean} too far from zero");
         assert!(e.particles().iter().all(|p| p.intensity.abs() <= amp));
     }
@@ -339,7 +338,10 @@ mod tests {
         let mut e = ParticleEnsemble::new(domain(), opts, 13);
         e.step(&field, 1.0);
         // Everyone hit the right edge and stayed there.
-        assert!(e.particles().iter().all(|p| (p.position.x - 1.0).abs() < 1e-12));
+        assert!(e
+            .particles()
+            .iter()
+            .all(|p| (p.position.x - 1.0).abs() < 1e-12));
     }
 
     #[test]

@@ -50,10 +50,7 @@ pub struct Streamline {
 impl Streamline {
     /// Total arc length of the polyline.
     pub fn arc_length(&self) -> f64 {
-        self.points
-            .windows(2)
-            .map(|w| (w[1] - w[0]).norm())
-            .sum()
+        self.points.windows(2).map(|w| (w[1] - w[0]).norm()).sum()
     }
 
     /// Resamples the polyline to exactly `n` points, uniformly spaced in arc
@@ -106,7 +103,11 @@ impl Streamline {
                 points[i + 1] - points[i - 1]
             };
             let t = d.normalized();
-            out[i] = if t == Vec2::ZERO { out[i.saturating_sub(1)] } else { t };
+            out[i] = if t == Vec2::ZERO {
+                out[i.saturating_sub(1)]
+            } else {
+                t
+            };
         }
         out
     }

@@ -9,11 +9,12 @@ use serde::{Deserialize, Serialize};
 
 /// How an incoming fragment value is combined with the value already stored
 /// in the target texture.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub enum BlendMode {
     /// Destination is replaced by the source.
     Replace,
     /// Source is added to the destination (the spot-noise accumulation mode).
+    #[default]
     Additive,
     /// Destination keeps the maximum of source and destination.
     Max,
@@ -36,12 +37,6 @@ impl AlphaFactor {
     /// The alpha value as a float in `[0, 1]`.
     pub fn value(self) -> f32 {
         self.0 as f32 / u16::MAX as f32
-    }
-}
-
-impl Default for BlendMode {
-    fn default() -> Self {
-        BlendMode::Additive
     }
 }
 
@@ -117,7 +112,9 @@ mod tests {
     #[test]
     fn additive_is_commutative_and_associative() {
         let vals = [0.3f32, 1.7, -0.4, 2.2];
-        let forward = vals.iter().fold(0.0, |acc, &v| BlendMode::Additive.apply(acc, v));
+        let forward = vals
+            .iter()
+            .fold(0.0, |acc, &v| BlendMode::Additive.apply(acc, v));
         let backward = vals
             .iter()
             .rev()

@@ -11,9 +11,24 @@
 //!   summed texel by texel (pure spot-set partitioning), and
 //! * [`compose_tiles`] — each partial texture only owns a pixel region of the
 //!   target (texture tiling) and regions are copied into place.
+//!
+//! Although the `c` term stays *sequential in the performance model* (the
+//! simulated Onyx2 charges it at full blend cost, exactly as eq. 3.2
+//! prescribes), the host implementation parallelizes the texel work over row
+//! chunks with rayon: every output row is owned by exactly one task, and the
+//! per-texel accumulation order over the partials is unchanged, so the
+//! result is bit-identical to the sequential loop.
 
 use crate::texture::Texture;
+use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
+
+/// Rows per parallel task when composing textures.
+const COMPOSE_ROW_CHUNK: usize = 32;
+
+/// Below this texel count the textures are composed on the calling thread;
+/// spawning workers costs more than the memory traffic saves.
+const PARALLEL_COMPOSE_MIN_TEXELS: usize = 64 * 1024;
 
 /// A pixel-space tile: the half-open region `[x0, x1) x [y0, y1)` of the
 /// final texture owned by one process group.
@@ -80,11 +95,43 @@ pub struct ComposeResult {
 pub fn gather_additive(partials: &[Texture]) -> ComposeResult {
     assert!(!partials.is_empty(), "nothing to gather");
     let mut texture = partials[0].clone();
-    let mut blend_texels = 0u64;
-    for partial in &partials[1..] {
-        texture.accumulate(partial);
-        blend_texels += partial.data().len() as u64;
+    let rest = &partials[1..];
+    for partial in rest {
+        assert_eq!(texture.width(), partial.width(), "texture widths differ");
+        assert_eq!(texture.height(), partial.height(), "texture heights differ");
     }
+    let width = texture.width();
+    let texels = texture.data().len();
+    let blend_texels = (rest.len() * texels) as u64;
+    if rest.is_empty() {
+        return ComposeResult {
+            texture,
+            blend_texels,
+        };
+    }
+    if texels < PARALLEL_COMPOSE_MIN_TEXELS || rayon::current_num_threads() == 1 {
+        for partial in rest {
+            texture.accumulate(partial);
+        }
+        return ComposeResult {
+            texture,
+            blend_texels,
+        };
+    }
+    let chunk_len = width * COMPOSE_ROW_CHUNK;
+    texture
+        .data_mut()
+        .par_chunks_mut(chunk_len)
+        .enumerate()
+        .for_each(|(chunk_index, chunk)| {
+            let start = chunk_index * chunk_len;
+            for partial in rest {
+                let src = &partial.data()[start..start + chunk.len()];
+                for (dst, s) in chunk.iter_mut().zip(src) {
+                    *dst += *s;
+                }
+            }
+        });
     ComposeResult {
         texture,
         blend_texels,
@@ -102,12 +149,44 @@ pub fn compose_tiles(partials: &[Texture], tiles: &[PixelTile]) -> ComposeResult
     assert_eq!(partials.len(), tiles.len(), "one tile per partial texture");
     let width = partials[0].width();
     let height = partials[0].height();
-    let mut texture = Texture::new(width, height);
-    let mut blend_texels = 0u64;
-    for (partial, tile) in partials.iter().zip(tiles) {
-        texture.blit_region(partial, tile.x0, tile.y0, tile.x1, tile.y1);
-        blend_texels += tile.area() as u64;
+    for partial in partials {
+        assert_eq!(partial.width(), width, "texture widths differ");
+        assert_eq!(partial.height(), height, "texture heights differ");
     }
+    let mut texture = Texture::new(width, height);
+    let blend_texels = tiles.iter().map(|t| t.area() as u64).sum();
+    if width * height < PARALLEL_COMPOSE_MIN_TEXELS || rayon::current_num_threads() == 1 {
+        for (partial, tile) in partials.iter().zip(tiles) {
+            texture.blit_region(partial, tile.x0, tile.y0, tile.x1, tile.y1);
+        }
+        return ComposeResult {
+            texture,
+            blend_texels,
+        };
+    }
+    let chunk_len = width * COMPOSE_ROW_CHUNK;
+    texture
+        .data_mut()
+        .par_chunks_mut(chunk_len)
+        .enumerate()
+        .for_each(|(chunk_index, chunk)| {
+            let y_start = chunk_index * COMPOSE_ROW_CHUNK;
+            let rows = chunk.len() / width;
+            for (partial, tile) in partials.iter().zip(tiles) {
+                let x1 = tile.x1.min(width);
+                if tile.x0 >= x1 {
+                    continue;
+                }
+                let y_lo = tile.y0.max(y_start);
+                let y_hi = tile.y1.min(height).min(y_start + rows);
+                for y in y_lo..y_hi {
+                    let local = (y - y_start) * width;
+                    let row_start = y * width;
+                    chunk[local + tile.x0..local + x1]
+                        .copy_from_slice(&partial.data()[row_start + tile.x0..row_start + x1]);
+                }
+            }
+        });
     ComposeResult {
         texture,
         blend_texels,
@@ -126,7 +205,11 @@ mod tests {
 
     #[test]
     fn gather_sums_partials() {
-        let partials = vec![constant(8, 8, 0.25), constant(8, 8, 0.5), constant(8, 8, 1.0)];
+        let partials = vec![
+            constant(8, 8, 0.25),
+            constant(8, 8, 0.5),
+            constant(8, 8, 1.0),
+        ];
         let r = gather_additive(&partials);
         assert!(r.texture.data().iter().all(|&v| (v - 1.75).abs() < 1e-6));
         assert_eq!(r.blend_texels, 2 * 64);

@@ -227,7 +227,10 @@ mod tests {
         // Turbulence: ~1.92 M vertices -> ~31 MB/texture (paper, section 5.2).
         let dns_bytes = m.vertex_bytes(40_000 * 16 * 3);
         let dns_mb = dns_bytes as f64 / 1.0e6;
-        assert!((dns_mb - 31.0).abs() < 1.5, "turbulence MB/texture = {dns_mb}");
+        assert!(
+            (dns_mb - 31.0).abs() < 1.5,
+            "turbulence MB/texture = {dns_mb}"
+        );
     }
 
     #[test]

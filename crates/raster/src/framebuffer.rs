@@ -42,7 +42,11 @@ impl Rgb {
     pub fn lerp(self, other: Rgb, t: f32) -> Rgb {
         let t = t.clamp(0.0, 1.0);
         let mix = |a: u8, b: u8| (a as f32 + (b as f32 - a as f32) * t).round() as u8;
-        Rgb::new(mix(self.r, other.r), mix(self.g, other.g), mix(self.b, other.b))
+        Rgb::new(
+            mix(self.r, other.r),
+            mix(self.g, other.g),
+            mix(self.b, other.b),
+        )
     }
 }
 

@@ -166,7 +166,11 @@ impl Texture {
             return 0.0;
         }
         let mean = self.mean();
-        self.data.iter().map(|v| (v - mean) * (v - mean)).sum::<f32>() / self.data.len() as f32
+        self.data
+            .iter()
+            .map(|v| (v - mean) * (v - mean))
+            .sum::<f32>()
+            / self.data.len() as f32
     }
 
     /// Rescales all texels so the value range maps onto `[0, 1]`.
@@ -334,7 +338,11 @@ mod tests {
         assert!((hi - 1.0).abs() < 1e-6);
         let mut flat = Texture::new(4, 4);
         flat.fill(9.0);
-        assert!(flat.normalized().data().iter().all(|&v| (v - 0.5).abs() < 1e-6));
+        assert!(flat
+            .normalized()
+            .data()
+            .iter()
+            .all(|&v| (v - 0.5).abs() < 1e-6));
     }
 
     #[test]
@@ -344,7 +352,7 @@ mod tests {
         assert!(t.sample_bilinear(0.02, 0.02) < 0.05);
         // Radially monotone (roughly): mid radius is between centre and rim.
         let mid = t.sample_bilinear(0.5 + 0.2, 0.5);
-        assert!(mid <= 1.0 && mid >= 0.0);
+        assert!((0.0..=1.0).contains(&mid));
     }
 
     #[test]

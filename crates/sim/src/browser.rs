@@ -166,12 +166,9 @@ mod tests {
     use flowfield::Rect;
 
     fn grid(value: f64) -> RegularGrid {
-        RegularGrid::from_fn(
-            8,
-            6,
-            Rect::new(Vec2::ZERO, Vec2::new(1.0, 1.0)),
-            |_| Vec2::new(value, -value),
-        )
+        RegularGrid::from_fn(8, 6, Rect::new(Vec2::ZERO, Vec2::new(1.0, 1.0)), |_| {
+            Vec2::new(value, -value)
+        })
     }
 
     #[test]

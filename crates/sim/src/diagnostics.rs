@@ -186,10 +186,7 @@ mod tests {
         let (_, probe) = run_with_probe(40, 2);
         assert_eq!(probe.len(), 20);
         assert!(!probe.is_empty());
-        assert!(probe
-            .samples()
-            .windows(2)
-            .all(|w| w[1].time > w[0].time));
+        assert!(probe.samples().windows(2).all(|w| w[1].time > w[0].time));
     }
 
     #[test]

@@ -249,7 +249,8 @@ impl DnsSolver {
                     // Solid or boundary neighbours mirror the centre value
                     // (homogeneous Neumann).
                     let pick = |kk: usize| if self.mask[kk] { p_old[k] } else { p_old[kk] };
-                    p[k] = ((pick(k + 1) + pick(k - 1)) * hy2 + (pick(k + nx) + pick(k - nx)) * hx2
+                    p[k] = ((pick(k + 1) + pick(k - 1)) * hy2
+                        + (pick(k + nx) + pick(k - nx)) * hx2
                         - div[k] * hx2 * hy2 / dt)
                         / denom;
                 }
@@ -277,9 +278,7 @@ impl DnsSolver {
         let ny = self.cfg.ny;
         // Left: prescribed inflow with a small time-dependent transverse
         // perturbation that seeds the wake instability.
-        let perturb = self.cfg.perturbation
-            * self.cfg.inflow
-            * (self.time * 2.5).sin();
+        let perturb = self.cfg.perturbation * self.cfg.inflow * (self.time * 2.5).sin();
         for j in 0..ny {
             let k = self.idx(0, j);
             self.u[k] = self.cfg.inflow;
@@ -359,7 +358,9 @@ impl DnsSolver {
     /// Samples the current velocity field onto a regular grid (used for
     /// storing browser frames).
     pub fn velocity_grid(&self) -> RegularGrid {
-        RegularGrid::from_fn(self.cfg.nx, self.cfg.ny, self.cfg.domain, |p| self.sample(p))
+        RegularGrid::from_fn(self.cfg.nx, self.cfg.ny, self.cfg.domain, |p| {
+            self.sample(p)
+        })
     }
 
     /// Samples the current velocity onto the paper's rectilinear slice grid,
@@ -367,7 +368,8 @@ impl DnsSolver {
     /// original data set).
     pub fn rectilinear_slice(&self) -> RectilinearGrid {
         let focus = self.cfg.domain.to_unit(self.block.rect.center());
-        let mut grid = RectilinearGrid::stretched(self.cfg.nx, self.cfg.ny, self.cfg.domain, focus, 0.6);
+        let mut grid =
+            RectilinearGrid::stretched(self.cfg.nx, self.cfg.ny, self.cfg.domain, focus, 0.6);
         grid.fill_with(|p| self.sample(p));
         grid
     }
@@ -454,7 +456,10 @@ mod tests {
         // Immediately behind the block the streamwise velocity is much lower
         // than the free stream above it.
         let behind = s.sample(s.block().rect.center() + Vec2::new(0.5, 0.0));
-        let above = s.sample(Vec2::new(s.block().rect.center().x, s.cfg.domain.max.y * 0.9));
+        let above = s.sample(Vec2::new(
+            s.block().rect.center().x,
+            s.cfg.domain.max.y * 0.9,
+        ));
         assert!(behind.x < above.x, "behind {behind:?}, above {above:?}");
     }
 

@@ -31,7 +31,9 @@ pub use browser::{record_dns_run, DataBrowser, FrameInfo};
 pub use diagnostics::{energy_report, EnergyReport, WakeProbe};
 pub use dns::{DnsConfig, DnsSolver};
 pub use obstacle::Block;
-pub use skin_friction::{attachment_height, pattern_from_dns, skin_friction_field, SkinFrictionPattern};
+pub use skin_friction::{
+    attachment_height, pattern_from_dns, skin_friction_field, SkinFrictionPattern,
+};
 pub use smog::{EmissionSource, SmogModel};
 pub use steering::{SmogParameters, SteeringCommand, SteeringQueue};
 pub use wind::{PressureSystem, WindModel};

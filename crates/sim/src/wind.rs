@@ -73,7 +73,10 @@ impl WindModel {
                         rng.gen_range(domain.min.x..domain.max.x),
                         rng.gen_range(domain.min.y..domain.max.y),
                     ),
-                    drift: Vec2::new(rng.gen_range(0.02..0.08) * scale, rng.gen_range(-0.01..0.01) * scale),
+                    drift: Vec2::new(
+                        rng.gen_range(0.02..0.08) * scale,
+                        rng.gen_range(-0.01..0.01) * scale,
+                    ),
                     strength: sign * rng.gen_range(0.05..0.15) * scale * scale,
                     radius: rng.gen_range(0.12..0.3) * scale,
                 }

@@ -37,7 +37,10 @@ impl Default for ArrowPlotOptions {
 /// Returns the number of arrows actually drawn (stagnant samples are
 /// skipped).
 pub fn arrow_plot(fb: &mut Framebuffer, field: &dyn VectorField, opts: &ArrowPlotOptions) -> usize {
-    assert!(opts.nx >= 2 && opts.ny >= 2, "need at least a 2x2 arrow grid");
+    assert!(
+        opts.nx >= 2 && opts.ny >= 2,
+        "need at least a 2x2 arrow grid"
+    );
     let domain = field.domain();
     // Normalise by the maximum speed over the arrow lattice.
     let mut max_speed = 0.0f64;

@@ -78,7 +78,10 @@ mod tests {
     fn grayscale_endpoints() {
         assert_eq!(Colormap::Grayscale.map(0.0), Rgb::new(0, 0, 0));
         assert_eq!(Colormap::Grayscale.map(1.0), Rgb::new(255, 255, 255));
-        assert_eq!(Colormap::Grayscale.map(0.5).r, Colormap::Grayscale.map(0.5).g);
+        assert_eq!(
+            Colormap::Grayscale.map(0.5).r,
+            Colormap::Grayscale.map(0.5).g
+        );
     }
 
     #[test]

@@ -39,7 +39,13 @@ pub fn schematic_map() -> Vec<Outline> {
         (0.28, 0.38),
         (0.16, 0.28),
     ];
-    let island = vec![(0.10, 0.62), (0.20, 0.60), (0.24, 0.72), (0.14, 0.78), (0.08, 0.70)];
+    let island = vec![
+        (0.10, 0.62),
+        (0.20, 0.60),
+        (0.24, 0.72),
+        (0.14, 0.78),
+        (0.08, 0.70),
+    ];
     vec![
         Outline {
             name: "mainland",
@@ -56,7 +62,11 @@ pub fn schematic_map() -> Vec<Outline> {
 /// `domain` (which should be the same domain the flow field uses).
 pub fn draw_map(fb: &mut Framebuffer, domain: Rect, color: Rgb) {
     for outline in schematic_map() {
-        let points: Vec<Vec2> = outline.points.iter().map(|p| domain.from_unit(*p)).collect();
+        let points: Vec<Vec2> = outline
+            .points
+            .iter()
+            .map(|p| domain.from_unit(*p))
+            .collect();
         draw_polyline(fb, domain, &points, color, true);
     }
 }

@@ -35,7 +35,11 @@ impl Default for StreamPlotOptions {
 
 /// Draws stream lines seeded on a regular lattice. Returns the number of
 /// polyline segments drawn.
-pub fn stream_plot(fb: &mut Framebuffer, field: &dyn VectorField, opts: &StreamPlotOptions) -> usize {
+pub fn stream_plot(
+    fb: &mut Framebuffer,
+    field: &dyn VectorField,
+    opts: &StreamPlotOptions,
+) -> usize {
     assert!(opts.seeds_x >= 1 && opts.seeds_y >= 1);
     let domain = field.domain();
     let length = domain.width() * opts.length_fraction;

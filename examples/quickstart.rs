@@ -57,7 +57,12 @@ fn main() {
 
     // 4. Post-process for display and save.
     let display = standard_postprocess(&out.texture, cfg.spot_radius_pixels());
-    let fb = texture_to_framebuffer(&display, cfg.texture_size, cfg.texture_size, Colormap::Grayscale);
+    let fb = texture_to_framebuffer(
+        &display,
+        cfg.texture_size,
+        cfg.texture_size,
+        Colormap::Grayscale,
+    );
     let path = std::env::temp_dir().join("spotnoise_quickstart.ppm");
     fb.save_ppm(&path).expect("failed to write image");
     println!("wrote {}", path.display());

@@ -34,7 +34,11 @@ fn main() {
         ..SynthesisConfig::atmospheric_paper()
     };
     let machine = MachineConfig::onyx2_full();
-    let mut pipeline = Pipeline::new(cfg, ExecutionMode::DivideAndConquer(machine), model.domain());
+    let mut pipeline = Pipeline::new(
+        cfg,
+        ExecutionMode::DivideAndConquer(machine),
+        model.domain(),
+    );
 
     let mut last_frame = None;
     for frame_idx in 0..frames {
@@ -66,7 +70,13 @@ fn main() {
     let size = pipeline.config().texture_size;
     let mut fb = texture_to_framebuffer(&frame.display, size, size, Colormap::Grayscale);
     let range = model.concentration().range();
-    overlay_scalar_field(&mut fb, model.concentration(), range, Colormap::Rainbow, 0.55);
+    overlay_scalar_field(
+        &mut fb,
+        model.concentration(),
+        range,
+        Colormap::Rainbow,
+        0.55,
+    );
     draw_map(&mut fb, model.domain(), Rgb::new(240, 240, 240));
     let path = std::env::temp_dir().join("spotnoise_smog_steering.ppm");
     fb.save_ppm(&path).expect("failed to write image");

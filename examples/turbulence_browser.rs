@@ -50,7 +50,12 @@ fn main() {
     let frame_count = browser.len();
     for _ in 0..frame_count {
         let (info, grid) = browser.next_frame().expect("playback failed");
-        let spots = generate_spots(cfg.spot_count, grid.domain(), cfg.intensity_amplitude, cfg.seed);
+        let spots = generate_spots(
+            cfg.spot_count,
+            grid.domain(),
+            cfg.intensity_amplitude,
+            cfg.seed,
+        );
         let out = synthesize_dnc(&grid, &spots, &cfg, &machine);
         println!(
             "frame {:>2} (t = {:>5.2}): {:>6.2} textures/s measured, {:>5.2} simulated Onyx2",
@@ -59,7 +64,10 @@ fn main() {
             out.measured_textures_per_second(),
             out.predicted.textures_per_second,
         );
-        last_display = Some((standard_postprocess(&out.texture, cfg.spot_radius_pixels()), grid));
+        last_display = Some((
+            standard_postprocess(&out.texture, cfg.spot_radius_pixels()),
+            grid,
+        ));
     }
     let elapsed = playback.elapsed().as_secs_f64();
     println!(

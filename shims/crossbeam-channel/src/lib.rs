@@ -1,0 +1,156 @@
+//! Offline stand-in for `crossbeam-channel`, backed by `std::sync::mpsc`.
+//!
+//! Covers the subset the workspace uses: `unbounded`, `bounded`, cloneable
+//! senders, `recv`/`try_recv`/`iter` on the receiver, and crossbeam's error
+//! types. Bounded channels block the sender when full, exactly like the
+//! crossbeam semantics the pipe FIFO relies on.
+
+use std::fmt;
+use std::sync::mpsc;
+
+/// Sending half of a channel.
+pub enum Sender<T> {
+    /// Unbounded (never blocks on send).
+    Unbounded(mpsc::Sender<T>),
+    /// Bounded (blocks when the queue is full).
+    Bounded(mpsc::SyncSender<T>),
+}
+
+impl<T> Clone for Sender<T> {
+    fn clone(&self) -> Self {
+        match self {
+            Sender::Unbounded(s) => Sender::Unbounded(s.clone()),
+            Sender::Bounded(s) => Sender::Bounded(s.clone()),
+        }
+    }
+}
+
+impl<T> Sender<T> {
+    /// Sends a message, blocking if the channel is bounded and full.
+    pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+        match self {
+            Sender::Unbounded(s) => s.send(value).map_err(|e| SendError(e.0)),
+            Sender::Bounded(s) => s.send(value).map_err(|e| SendError(e.0)),
+        }
+    }
+}
+
+/// Receiving half of a channel.
+pub struct Receiver<T> {
+    inner: mpsc::Receiver<T>,
+}
+
+impl<T> Receiver<T> {
+    /// Blocks until a message arrives or all senders disconnect.
+    pub fn recv(&self) -> Result<T, RecvError> {
+        self.inner.recv().map_err(|_| RecvError)
+    }
+
+    /// Non-blocking receive.
+    pub fn try_recv(&self) -> Result<T, TryRecvError> {
+        self.inner.try_recv().map_err(|e| match e {
+            mpsc::TryRecvError::Empty => TryRecvError::Empty,
+            mpsc::TryRecvError::Disconnected => TryRecvError::Disconnected,
+        })
+    }
+
+    /// Blocking iterator that ends when the channel is closed and drained.
+    pub fn iter(&self) -> impl Iterator<Item = T> + '_ {
+        self.inner.iter()
+    }
+}
+
+/// Creates a channel with unlimited capacity.
+pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+    let (tx, rx) = mpsc::channel();
+    (Sender::Unbounded(tx), Receiver { inner: rx })
+}
+
+/// Creates a channel that holds at most `cap` in-flight messages.
+pub fn bounded<T>(cap: usize) -> (Sender<T>, Receiver<T>) {
+    let (tx, rx) = mpsc::sync_channel(cap);
+    (Sender::Bounded(tx), Receiver { inner: rx })
+}
+
+/// Error returned when sending into a channel with no receivers; carries the
+/// unsent message back.
+pub struct SendError<T>(pub T);
+
+impl<T> fmt::Debug for SendError<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("SendError(..)")
+    }
+}
+
+impl<T> fmt::Display for SendError<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("sending on a disconnected channel")
+    }
+}
+
+/// Error returned by [`Receiver::recv`] on a closed, drained channel.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RecvError;
+
+/// Error returned by [`Receiver::try_recv`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TryRecvError {
+    /// No message available right now.
+    Empty,
+    /// Channel closed and drained.
+    Disconnected,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unbounded_roundtrip_and_iter() {
+        let (tx, rx) = unbounded();
+        for i in 0..5 {
+            tx.send(i).unwrap();
+        }
+        drop(tx);
+        let got: Vec<i32> = rx.iter().collect();
+        assert_eq!(got, vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn bounded_blocks_until_drained() {
+        let (tx, rx) = bounded(1);
+        tx.send(1u32).unwrap();
+        let handle = std::thread::spawn(move || tx.send(2).unwrap());
+        assert_eq!(rx.recv(), Ok(1));
+        assert_eq!(rx.recv(), Ok(2));
+        handle.join().unwrap();
+    }
+
+    #[test]
+    fn try_recv_reports_empty_then_disconnected() {
+        let (tx, rx) = unbounded::<u8>();
+        assert_eq!(rx.try_recv(), Err(TryRecvError::Empty));
+        drop(tx);
+        assert_eq!(rx.try_recv(), Err(TryRecvError::Disconnected));
+    }
+
+    #[test]
+    fn send_to_dropped_receiver_errors() {
+        let (tx, rx) = unbounded::<u8>();
+        drop(rx);
+        assert!(tx.send(1).is_err());
+    }
+
+    #[test]
+    fn cloned_senders_feed_one_receiver() {
+        let (tx, rx) = bounded(16);
+        let t2 = tx.clone();
+        std::thread::scope(|s| {
+            s.spawn(move || tx.send(1u8).unwrap());
+            s.spawn(move || t2.send(2u8).unwrap());
+            let mut got = vec![rx.recv().unwrap(), rx.recv().unwrap()];
+            got.sort_unstable();
+            assert_eq!(got, vec![1, 2]);
+        });
+    }
+}

@@ -1,0 +1,163 @@
+//! Offline stand-in for the `rand` crate (0.8-era API subset).
+//!
+//! Provides `RngCore`, `Rng::gen_range` over half-open and inclusive numeric
+//! ranges, and `SeedableRng::seed_from_u64`. Mirroring the real crate's
+//! trait shape matters for type inference: `SampleRange<T>` is implemented
+//! generically for `Range<T>`/`RangeInclusive<T>` with `T: SampleUniform`,
+//! so a literal like `-1.0..=1.0` ties `T` to the literal's (defaulted)
+//! type. The sampling maps 53 (f64) or 24 (f32) high bits of the generator
+//! output onto the unit interval and reduces integers modulo the span; the
+//! streams differ from the real crate, which is fine because every consumer
+//! in this workspace regenerates its data from seeds rather than comparing
+//! against externally recorded values.
+
+use core::ops::{Range, RangeInclusive};
+
+/// Core generator interface: a source of 64 random bits.
+pub trait RngCore {
+    /// Returns the next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// Returns the next 32 random bits (high half of `next_u64` by default).
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+}
+
+/// Deterministic construction from a 64-bit seed.
+pub trait SeedableRng: Sized {
+    /// Builds a generator whose stream is a pure function of `seed`.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Types that can be sampled uniformly from a bounded range.
+pub trait SampleUniform: Sized + PartialOrd {
+    /// Uniform sample from `[lo, hi)` (`inclusive = false`) or `[lo, hi]`
+    /// (`inclusive = true`). Emptiness has already been checked.
+    fn sample_uniform<R: RngCore + ?Sized>(
+        lo: Self,
+        hi: Self,
+        inclusive: bool,
+        rng: &mut R,
+    ) -> Self;
+}
+
+/// Range types that can produce a uniform sample from a generator.
+pub trait SampleRange<T> {
+    /// Draws one value from the range.
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+impl<T: SampleUniform> SampleRange<T> for Range<T> {
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        assert!(self.start < self.end, "cannot sample empty range");
+        T::sample_uniform(self.start, self.end, false, rng)
+    }
+}
+
+impl<T: SampleUniform + Copy> SampleRange<T> for RangeInclusive<T> {
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        let (lo, hi) = (*self.start(), *self.end());
+        assert!(lo <= hi, "cannot sample empty range");
+        T::sample_uniform(lo, hi, true, rng)
+    }
+}
+
+/// Convenience methods over any [`RngCore`].
+pub trait Rng: RngCore {
+    /// Uniform sample from a half-open or inclusive range.
+    fn gen_range<T, S: SampleRange<T>>(&mut self, range: S) -> T {
+        range.sample_single(self)
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+impl SampleUniform for f64 {
+    fn sample_uniform<R: RngCore + ?Sized>(lo: f64, hi: f64, _inclusive: bool, rng: &mut R) -> f64 {
+        // 53 random bits -> [0, 1).
+        let unit = (rng.next_u64() >> 11) as f64 * (1.0 / 9007199254740992.0);
+        lo + (hi - lo) * unit
+    }
+}
+
+impl SampleUniform for f32 {
+    fn sample_uniform<R: RngCore + ?Sized>(lo: f32, hi: f32, _inclusive: bool, rng: &mut R) -> f32 {
+        // 24 random bits -> [0, 1).
+        let unit = (rng.next_u64() >> 40) as f32 * (1.0 / 16777216.0);
+        lo + (hi - lo) * unit
+    }
+}
+
+macro_rules! int_sample_uniform {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_uniform<R: RngCore + ?Sized>(
+                lo: $t,
+                hi: $t,
+                inclusive: bool,
+                rng: &mut R,
+            ) -> $t {
+                let span = (hi as i128 - lo as i128) as u128 + u128::from(inclusive);
+                let offset = (rng.next_u64() as u128) % span;
+                (lo as i128 + offset as i128) as $t
+            }
+        }
+    )*};
+}
+
+int_sample_uniform!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Counter(u64);
+    impl RngCore for Counter {
+        fn next_u64(&mut self) -> u64 {
+            self.0 = self.0.wrapping_mul(6364136223846793005).wrapping_add(1);
+            self.0
+        }
+    }
+
+    #[test]
+    fn float_ranges_stay_in_bounds() {
+        let mut rng = Counter(42);
+        for _ in 0..1000 {
+            let x = rng.gen_range(-2.0f64..3.0);
+            assert!((-2.0..3.0).contains(&x));
+            let y = rng.gen_range(0.5f32..=1.5);
+            assert!((0.5..=1.5).contains(&y));
+        }
+    }
+
+    #[test]
+    fn float_literal_defaults_to_f64() {
+        // The inference pattern the workspace relies on:
+        // `f64_value * rng.gen_range(-1.0..=1.0)` must type-check.
+        let mut rng = Counter(3);
+        let jitter: f64 = 0.25 * rng.gen_range(-1.0..=1.0);
+        assert!(jitter.abs() <= 0.25);
+    }
+
+    #[test]
+    fn int_ranges_stay_in_bounds_and_hit_ends() {
+        let mut rng = Counter(7);
+        let mut seen_lo = false;
+        let mut seen_hi = false;
+        for _ in 0..2000 {
+            let v = rng.gen_range(0usize..=3);
+            assert!(v <= 3);
+            seen_lo |= v == 0;
+            seen_hi |= v == 3;
+        }
+        assert!(seen_lo && seen_hi);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty range")]
+    fn empty_range_panics() {
+        let mut rng = Counter(1);
+        let _ = rng.gen_range(5u32..5);
+    }
+}

@@ -1,0 +1,262 @@
+//! Offline stand-in for `rayon`: the parallel-iterator subset this workspace
+//! uses (`par_iter().map().collect()` and `par_chunks_mut().enumerate()
+//! .for_each()`), executed on `std::thread::scope` with one chunk of work per
+//! hardware thread. Unlike a stub, this shim really runs in parallel; unlike
+//! rayon, there is no work stealing — work is split into contiguous chunks
+//! up front, which is the right shape for the regular, uniform workloads
+//! here (texture rows, spot chunks).
+
+use std::num::NonZeroUsize;
+use std::sync::OnceLock;
+
+/// Commonly imported traits, mirroring `rayon::prelude`.
+pub mod prelude {
+    pub use crate::{IntoParallelRefIterator, ParallelSliceMut};
+}
+
+/// Number of worker threads used for parallel execution. Cached: the std
+/// query re-reads cgroup limits from the filesystem on every call, which is
+/// far too slow for a value consulted on hot paths.
+pub fn current_num_threads() -> usize {
+    static THREADS: OnceLock<usize> = OnceLock::new();
+    *THREADS.get_or_init(|| {
+        std::thread::available_parallelism()
+            .map(NonZeroUsize::get)
+            .unwrap_or(1)
+    })
+}
+
+/// Runs `f` over every element of `items` in parallel, preserving order.
+fn parallel_map<'e, T, R, F>(items: &'e [T], f: &F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&'e T) -> R + Sync,
+{
+    let n = items.len();
+    let threads = current_num_threads().min(n.max(1));
+    if threads <= 1 || n <= 1 {
+        return items.iter().map(f).collect();
+    }
+    let chunk = n.div_ceil(threads);
+    let mut out: Vec<Option<R>> = Vec::new();
+    out.resize_with(n, || None);
+    std::thread::scope(|scope| {
+        for (in_chunk, out_chunk) in items.chunks(chunk).zip(out.chunks_mut(chunk)) {
+            scope.spawn(move || {
+                for (item, slot) in in_chunk.iter().zip(out_chunk.iter_mut()) {
+                    *slot = Some(f(item));
+                }
+            });
+        }
+    });
+    out.into_iter()
+        .map(|slot| slot.expect("parallel worker panicked"))
+        .collect()
+}
+
+/// Borrowing parallel iteration over slices and slice-like containers.
+pub trait IntoParallelRefIterator<'a> {
+    /// Element type yielded by reference.
+    type Item: Sync + 'a;
+
+    /// Returns a parallel iterator over `&Self::Item`.
+    fn par_iter(&'a self) -> ParIter<'a, Self::Item>;
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for [T] {
+    type Item = T;
+    fn par_iter(&'a self) -> ParIter<'a, T> {
+        ParIter { items: self }
+    }
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for Vec<T> {
+    type Item = T;
+    fn par_iter(&'a self) -> ParIter<'a, T> {
+        ParIter { items: self }
+    }
+}
+
+/// Parallel iterator over `&T`.
+pub struct ParIter<'a, T> {
+    items: &'a [T],
+}
+
+impl<'a, T: Sync> ParIter<'a, T> {
+    /// Maps each element through `f` (executed when consumed).
+    pub fn map<R, F>(self, f: F) -> ParMap<'a, T, F>
+    where
+        R: Send,
+        F: Fn(&'a T) -> R + Sync,
+    {
+        ParMap {
+            items: self.items,
+            f,
+        }
+    }
+
+    /// Runs `f` on every element in parallel.
+    pub fn for_each<F>(self, f: F)
+    where
+        F: Fn(&'a T) + Sync,
+    {
+        parallel_map(self.items, &|item| f(item));
+    }
+}
+
+/// Lazily mapped parallel iterator.
+pub struct ParMap<'a, T, F> {
+    items: &'a [T],
+    f: F,
+}
+
+impl<'a, T, R, F> ParMap<'a, T, F>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&'a T) -> R + Sync,
+{
+    /// Executes the map in parallel and collects in input order.
+    pub fn collect<C: FromIterator<R>>(self) -> C {
+        parallel_map(self.items, &self.f).into_iter().collect()
+    }
+}
+
+/// Parallel operations on mutable slices.
+pub trait ParallelSliceMut<T: Send> {
+    /// Splits the slice into chunks of at most `chunk_size` elements that can
+    /// be processed in parallel.
+    fn par_chunks_mut(&mut self, chunk_size: usize) -> ParChunksMut<'_, T>;
+}
+
+impl<T: Send> ParallelSliceMut<T> for [T] {
+    fn par_chunks_mut(&mut self, chunk_size: usize) -> ParChunksMut<'_, T> {
+        assert!(chunk_size > 0, "chunk size must be positive");
+        ParChunksMut {
+            chunks: self.chunks_mut(chunk_size).collect(),
+        }
+    }
+}
+
+/// Parallel iterator over disjoint mutable chunks.
+pub struct ParChunksMut<'a, T> {
+    chunks: Vec<&'a mut [T]>,
+}
+
+fn distribute<'a, T, F>(chunks: Vec<&'a mut [T]>, f: &F)
+where
+    T: Send,
+    F: Fn(usize, &'a mut [T]) + Sync,
+{
+    let n = chunks.len();
+    let threads = current_num_threads().min(n.max(1));
+    if threads <= 1 || n <= 1 {
+        for (i, c) in chunks.into_iter().enumerate() {
+            f(i, c);
+        }
+        return;
+    }
+    let per = n.div_ceil(threads);
+    let mut batches: Vec<Vec<(usize, &'a mut [T])>> = Vec::new();
+    let mut current = Vec::with_capacity(per);
+    for (i, c) in chunks.into_iter().enumerate() {
+        current.push((i, c));
+        if current.len() == per {
+            batches.push(std::mem::take(&mut current));
+        }
+    }
+    if !current.is_empty() {
+        batches.push(current);
+    }
+    std::thread::scope(|scope| {
+        for batch in batches {
+            scope.spawn(move || {
+                for (i, c) in batch {
+                    f(i, c);
+                }
+            });
+        }
+    });
+}
+
+impl<'a, T: Send> ParChunksMut<'a, T> {
+    /// Pairs each chunk with its index.
+    pub fn enumerate(self) -> EnumerateChunksMut<'a, T> {
+        EnumerateChunksMut {
+            chunks: self.chunks,
+        }
+    }
+
+    /// Runs `f` on every chunk in parallel.
+    pub fn for_each<F>(self, f: F)
+    where
+        F: Fn(&'a mut [T]) + Sync,
+    {
+        distribute(self.chunks, &|_, c| f(c));
+    }
+}
+
+/// Enumerated variant of [`ParChunksMut`].
+pub struct EnumerateChunksMut<'a, T> {
+    chunks: Vec<&'a mut [T]>,
+}
+
+impl<'a, T: Send> EnumerateChunksMut<'a, T> {
+    /// Runs `f` on every `(index, chunk)` pair in parallel.
+    pub fn for_each<F>(self, f: F)
+    where
+        F: Fn((usize, &'a mut [T])) + Sync,
+    {
+        distribute(self.chunks, &|i, c| f((i, c)));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn par_map_preserves_order() {
+        let input: Vec<u64> = (0..1000).collect();
+        let doubled: Vec<u64> = input.par_iter().map(|x| x * 2).collect();
+        assert_eq!(doubled, (0..1000).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn par_map_runs_closures_once_each() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let calls = AtomicUsize::new(0);
+        let input: Vec<u32> = (0..257).collect();
+        let out: Vec<u32> = input
+            .par_iter()
+            .map(|x| {
+                calls.fetch_add(1, Ordering::Relaxed);
+                *x
+            })
+            .collect();
+        assert_eq!(out.len(), 257);
+        assert_eq!(calls.load(Ordering::Relaxed), 257);
+    }
+
+    #[test]
+    fn par_chunks_mut_enumerate_touches_every_element() {
+        let mut data = vec![0usize; 100];
+        data.par_chunks_mut(7).enumerate().for_each(|(i, chunk)| {
+            for (j, v) in chunk.iter_mut().enumerate() {
+                *v = i * 7 + j;
+            }
+        });
+        assert_eq!(data, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn empty_and_single_inputs() {
+        let empty: Vec<u8> = vec![];
+        let out: Vec<u8> = empty.par_iter().map(|x| *x).collect();
+        assert!(out.is_empty());
+        let one = [5u8];
+        let out: Vec<u8> = one[..].par_iter().map(|x| x + 1).collect();
+        assert_eq!(out, vec![6]);
+    }
+}

@@ -1,0 +1,15 @@
+//! Offline stand-in for the `serde` crate.
+//!
+//! The workspace derives `Serialize`/`Deserialize` on its data types so the
+//! real serde can be dropped in when a registry is available, but nothing in
+//! the repository calls a serializer (JSON emission is hand-rolled in
+//! `spotnoise-bench`). The traits are therefore pure markers and the derive
+//! macros emit empty impls.
+
+/// Marker trait mirroring `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker trait mirroring `serde::Deserialize`.
+pub trait Deserialize<'de>: Sized {}
+
+pub use serde_derive::{Deserialize, Serialize};

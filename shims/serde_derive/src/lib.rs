@@ -1,0 +1,61 @@
+//! Derive macros for the offline `serde` shim.
+//!
+//! The derives parse just enough of the item to find its name and emit an
+//! empty marker impl. Generic types are rejected with a clear error because
+//! the workspace does not contain any; supporting them would require a real
+//! parser (`syn`), which is unavailable offline.
+
+use proc_macro::{TokenStream, TokenTree};
+
+fn type_name(input: TokenStream) -> String {
+    let mut iter = input.into_iter().peekable();
+    while let Some(tt) = iter.next() {
+        match tt {
+            // Skip attributes: `#` followed by a bracketed group.
+            TokenTree::Punct(p) if p.as_char() == '#' => {
+                let _ = iter.next();
+            }
+            TokenTree::Ident(id) => {
+                let kw = id.to_string();
+                if kw == "struct" || kw == "enum" || kw == "union" {
+                    match iter.next() {
+                        Some(TokenTree::Ident(name)) => {
+                            if let Some(TokenTree::Punct(p)) = iter.peek() {
+                                if p.as_char() == '<' {
+                                    panic!(
+                                        "serde shim derive does not support generic types \
+                                         (found on `{name}`)"
+                                    );
+                                }
+                            }
+                            return name.to_string();
+                        }
+                        _ => panic!("serde shim derive: missing type name after `{kw}`"),
+                    }
+                }
+                // `pub`, `crate`, etc.: keep scanning.
+            }
+            _ => {}
+        }
+    }
+    panic!("serde shim derive: no struct/enum/union found in input");
+}
+
+/// Emits `impl serde::Serialize for T {}`.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    format!("impl ::serde::Serialize for {} {{}}", type_name(input))
+        .parse()
+        .expect("serde shim derive: generated impl failed to parse")
+}
+
+/// Emits `impl<'de> serde::Deserialize<'de> for T {}`.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    format!(
+        "impl<'de> ::serde::Deserialize<'de> for {} {{}}",
+        type_name(input)
+    )
+    .parse()
+    .expect("serde shim derive: generated impl failed to parse")
+}

@@ -59,7 +59,12 @@ fn dns_browser_playback_feeds_spot_noise() {
     let mut variances = Vec::new();
     for _ in 0..browser.len() {
         let (_, grid) = browser.next_frame().unwrap();
-        let spots = generate_spots(cfg.spot_count, grid.domain(), cfg.intensity_amplitude, cfg.seed);
+        let spots = generate_spots(
+            cfg.spot_count,
+            grid.domain(),
+            cfg.intensity_amplitude,
+            cfg.seed,
+        );
         let out = synthesize_dnc(&grid, &spots, &cfg, &machine);
         assert!(out.texture.variance() > 0.0);
         variances.push(out.texture.variance());

@@ -31,7 +31,11 @@ fn dnc_matches_sequential_on_smog_wind_field() {
     let ctx = SynthesisContext::new(field, &cfg);
     let seq = synthesize_sequential_with_context(field, &spots, &cfg, &ctx);
 
-    for machine in [MachineConfig::new(2, 1), MachineConfig::new(4, 2), MachineConfig::new(8, 4)] {
+    for machine in [
+        MachineConfig::new(2, 1),
+        MachineConfig::new(4, 2),
+        MachineConfig::new(8, 4),
+    ] {
         let dnc = synthesize_dnc_with_context(field, &spots, &cfg, &machine, &ctx);
         let d = mean_diff(&seq.texture, &dnc.texture);
         assert!(d < 1e-4, "machine {machine:?}: mean texel difference {d}");

@@ -23,7 +23,11 @@ fn small_cfg() -> SynthesisConfig {
 fn smog_pipeline_produces_animated_frames_with_reports() {
     let mut model = SmogModel::new(27, 28, 5);
     let machine = MachineConfig::new(4, 2);
-    let mut pipeline = Pipeline::new(small_cfg(), ExecutionMode::DivideAndConquer(machine), model.domain());
+    let mut pipeline = Pipeline::new(
+        small_cfg(),
+        ExecutionMode::DivideAndConquer(machine),
+        model.domain(),
+    );
 
     let mut previous_texture = None;
     for _ in 0..3 {
@@ -46,7 +50,13 @@ fn smog_pipeline_produces_animated_frames_with_reports() {
         // The display texture composes into a valid Figure-6-style image.
         let mut fb = texture_to_framebuffer(&frame.display, 128, 128, Colormap::Grayscale);
         let range = model.concentration().range();
-        overlay_scalar_field(&mut fb, model.concentration(), range, Colormap::Rainbow, 0.5);
+        overlay_scalar_field(
+            &mut fb,
+            model.concentration(),
+            range,
+            Colormap::Rainbow,
+            0.5,
+        );
         flowviz::draw_map(&mut fb, model.domain(), Rgb::new(255, 255, 255));
         assert_eq!(fb.width(), 128);
     }

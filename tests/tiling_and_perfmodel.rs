@@ -31,9 +31,17 @@ fn work_totals(cfg: &SynthesisConfig, fragments_per_spot: u64) -> (CpuWork, Pipe
 
 /// Correlation between the published table and the model's prediction of the
 /// same cells (on speedups relative to the (1,1) cell).
-fn shape_agreement(published: &[(usize, usize, f64)], cfg: &SynthesisConfig, fragments: u64) -> f64 {
+fn shape_agreement(
+    published: &[(usize, usize, f64)],
+    cfg: &SynthesisConfig,
+    fragments: u64,
+) -> f64 {
     let (cpu, pipe) = work_totals(cfg, fragments);
-    let base_pub = published.iter().find(|(p, g, _)| *p == 1 && *g == 1).unwrap().2;
+    let base_pub = published
+        .iter()
+        .find(|(p, g, _)| *p == 1 && *g == 1)
+        .unwrap()
+        .2;
     let base_sim = predict_even_split(&MachineConfig::new(1, 1), &cpu, &pipe, cfg.texture_size)
         .textures_per_second;
     let mut xs = Vec::new();
@@ -77,13 +85,20 @@ fn saturation_point_is_roughly_four_processors_per_pipe() {
     let cfg = SynthesisConfig::atmospheric_paper();
     let (cpu, pipe) = work_totals(&cfg, 600);
     let rate = |p: usize| {
-        predict_even_split(&MachineConfig::new(p, 1), &cpu, &pipe, cfg.texture_size).textures_per_second
+        predict_even_split(&MachineConfig::new(p, 1), &cpu, &pipe, cfg.texture_size)
+            .textures_per_second
     };
     let r2 = rate(2);
     let r4 = rate(4);
     let r8 = rate(8);
-    assert!(r4 > 1.2 * r2, "4 procs should clearly beat 2 ({r4} vs {r2})");
-    assert!(r8 < 1.15 * r4, "8 procs should not beat 4 by much ({r8} vs {r4})");
+    assert!(
+        r4 > 1.2 * r2,
+        "4 procs should clearly beat 2 ({r4} vs {r2})"
+    );
+    assert!(
+        r8 < 1.15 * r4,
+        "8 procs should not beat 4 by much ({r8} vs {r4})"
+    );
 }
 
 #[test]
@@ -99,7 +114,10 @@ fn tiling_duplicates_work_but_preserves_the_texture() {
     // Same texture either way (up to float reassociation).
     let mean_diff = round_robin.texture.absolute_difference(&tiled.texture)
         / (w.config.texture_size * w.config.texture_size) as f64;
-    assert!(mean_diff < 1e-4, "partitioning changed the texture: {mean_diff}");
+    assert!(
+        mean_diff < 1e-4,
+        "partitioning changed the texture: {mean_diff}"
+    );
 
     // The tiled run did strictly more CPU work (duplicated boundary spots)
     // but strictly less composition work per texel than full additive
@@ -120,5 +138,8 @@ fn bus_utilisation_stays_below_the_papers_bound() {
     let bytes_per_second = bytes_per_texture * pred.textures_per_second;
     let utilisation = bytes_per_second / machine.cost.bus_bytes_per_second;
     assert!(utilisation < 0.5, "bus utilisation {utilisation} too high");
-    assert!(utilisation > 0.01, "bus utilisation {utilisation} suspiciously low");
+    assert!(
+        utilisation > 0.01,
+        "bus utilisation {utilisation} suspiciously low"
+    );
 }
