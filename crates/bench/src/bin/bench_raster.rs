@@ -1,15 +1,65 @@
 //! Rasterizer before/after benchmark: times the naive per-pixel reference
 //! path against the span-walking fast path on representative spot workloads
+//! (plus the spot-batch-size sweep of the full divide-and-conquer synthesis)
 //! and writes the results to `BENCH_raster.json`.
 //!
 //! ```text
-//! cargo run --release -p spotnoise-bench --bin bench_raster -- [--out BENCH_raster.json]
+//! cargo run --release -p spotnoise-bench --bin bench_raster -- [--out BENCH_raster.json] [--check]
 //! ```
+//!
+//! `--check` re-reads the written artifact, parses it and asserts the
+//! schema plus `speedup > 0` for every case — the CI smoke step. A failed
+//! check exits non-zero.
 
+use spotnoise_bench::json::Json;
 use std::path::PathBuf;
+use std::process::ExitCode;
 
-fn main() {
+/// Validates the written artifact: it must parse, carry the expected
+/// schema, and every case must report a positive speedup.
+fn check_artifact(path: &PathBuf) -> Result<usize, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("read {path:?}: {e}"))?;
+    let doc = Json::parse(&text)?;
+    let schema = doc
+        .get("schema")
+        .and_then(Json::as_str)
+        .ok_or("missing schema field")?;
+    if schema != "bench_raster/v1" {
+        return Err(format!("unexpected schema {schema:?}"));
+    }
+    let threads = doc
+        .get("threads")
+        .and_then(Json::as_f64)
+        .ok_or("missing threads field")?;
+    if threads < 1.0 {
+        return Err(format!("implausible thread count {threads}"));
+    }
+    let cases = doc
+        .get("cases")
+        .and_then(Json::as_array)
+        .ok_or("missing cases array")?;
+    if cases.is_empty() {
+        return Err("no benchmark cases recorded".to_string());
+    }
+    for case in cases {
+        let name = case
+            .get("name")
+            .and_then(Json::as_str)
+            .ok_or("case without a name")?;
+        let speedup = case
+            .get("speedup")
+            .and_then(Json::as_f64)
+            .ok_or_else(|| format!("case {name}: missing speedup"))?;
+        if speedup.partial_cmp(&0.0) != Some(std::cmp::Ordering::Greater) {
+            return Err(format!("case {name}: speedup {speedup} is not positive"));
+        }
+    }
+    Ok(cases.len())
+}
+
+fn main() -> ExitCode {
     let mut out = PathBuf::from("BENCH_raster.json");
+    let mut check = false;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -18,6 +68,7 @@ fn main() {
                     out = PathBuf::from(path);
                 }
             }
+            "--check" => check = true,
             other => eprintln!("unknown argument: {other}"),
         }
     }
@@ -30,4 +81,16 @@ fn main() {
     std::fs::write(&out, spotnoise_bench::raster_bench::report_to_json(&report))
         .expect("write BENCH_raster.json");
     println!("wrote {}", out.display());
+    if check {
+        match check_artifact(&out) {
+            Ok(cases) => {
+                println!("check OK: {cases} cases, schema valid, every speedup > 0");
+            }
+            Err(e) => {
+                eprintln!("check FAILED: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    ExitCode::SUCCESS
 }

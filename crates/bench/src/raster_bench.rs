@@ -293,6 +293,84 @@ fn gather_case() -> BenchCase {
     }
 }
 
+/// Measures the end-to-end divide-and-conquer synthesis at each swept
+/// [`SynthesisConfig::spot_batch`] size against unbatched (one pipe message
+/// per spot) submission — the batch-size trade-off the ROADMAP flags: big
+/// batches amortize the channel round-trip, tiny batches keep the pipe
+/// overlapping with shape computation. The unbatched reference and the
+/// fragment count are independent of the sweep point, so both are measured
+/// once and shared by all three cases.
+fn spot_batch_cases() -> Vec<BenchCase> {
+    use softpipe::machine::MachineConfig;
+    use spotnoise::config::SynthesisConfig;
+    use spotnoise::dnc::synthesize_dnc;
+    use spotnoise::spot::generate_spots;
+
+    let domain = flowfield::Rect::new(Vec2::ZERO, Vec2::new(1.0, 1.0));
+    let field = flowfield::analytic::Vortex {
+        omega: 1.0,
+        center: domain.center(),
+        domain,
+    };
+    let base = SynthesisConfig {
+        spot_count: 1500,
+        ..SynthesisConfig::small_test()
+    };
+    let spots = generate_spots(base.spot_count, domain, base.intensity_amplitude, 7);
+    let machine = MachineConfig::new(1, 1);
+    let fragments = synthesize_dnc(&field, &spots, &base, &machine)
+        .total_pipe_work()
+        .fragments;
+    let unbatched = SynthesisConfig {
+        spot_batch: 1,
+        ..base
+    };
+    let time_best = |cfg: &SynthesisConfig| {
+        let mut best = f64::MAX;
+        // One warm-up plus best-of-samples, mirroring time_pair_best.
+        for _ in 0..6 {
+            let start = Instant::now();
+            std::hint::black_box(synthesize_dnc(&field, &spots, cfg, &machine));
+            best = best.min(start.elapsed().as_nanos() as f64);
+        }
+        best
+    };
+    let reference_ns = time_best(&unbatched);
+    let sweep: [(usize, &'static str, &'static str); 3] = [
+        (
+            16,
+            "dnc_spot_batch_16",
+            "full dnc synthesis, 16-spot pipe batches vs per-spot submission",
+        ),
+        (
+            64,
+            "dnc_spot_batch_64",
+            "full dnc synthesis, 64-spot pipe batches vs per-spot submission",
+        ),
+        (
+            256,
+            "dnc_spot_batch_256",
+            "full dnc synthesis, 256-spot pipe batches vs per-spot submission",
+        ),
+    ];
+    sweep
+        .into_iter()
+        .map(|(batch, name, description)| {
+            let cfg = SynthesisConfig {
+                spot_batch: batch,
+                ..base
+            };
+            BenchCase {
+                name,
+                description,
+                fragments_per_op: fragments,
+                reference_ns_per_op: reference_ns,
+                optimized_ns_per_op: time_best(&cfg),
+            }
+        })
+        .collect()
+}
+
 /// Runs every case and assembles the report.
 pub fn run_raster_bench() -> RasterBenchReport {
     let disc = disc_spot_texture(32, 0.5);
@@ -333,6 +411,8 @@ pub fn run_raster_bench() -> RasterBenchReport {
         ),
         gather_case(),
     ];
+    let mut cases = cases;
+    cases.extend(spot_batch_cases());
     RasterBenchReport {
         threads: std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get),
         cases,

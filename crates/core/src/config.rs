@@ -84,6 +84,14 @@ pub struct SynthesisConfig {
     /// that trade-off (the `ablation_transform` bench). Ignored for bent
     /// spots, whose meshes must be computed in software anyway.
     pub transform_on_pipe: bool,
+    /// Number of spots a master accumulates before streaming one
+    /// [`RenderCommand::Batch`](softpipe::RenderCommand::Batch) to its pipe.
+    /// Batching turns the per-spot channel round-trip (the dominant
+    /// submission overhead at hundreds of thousands of spots per second)
+    /// into one message per `spot_batch` spots, while staying small enough
+    /// that the pipe keeps overlapping with shape computation. The
+    /// `bench_raster` harness sweeps this knob ({16, 64, 256}).
+    pub spot_batch: usize,
 }
 
 impl SynthesisConfig {
@@ -102,6 +110,7 @@ impl SynthesisConfig {
             seed: 42,
             use_tiling: false,
             transform_on_pipe: false,
+            spot_batch: 64,
         }
     }
 
@@ -121,6 +130,7 @@ impl SynthesisConfig {
             seed: 1997,
             use_tiling: false,
             transform_on_pipe: false,
+            spot_batch: 64,
         }
     }
 
@@ -140,6 +150,7 @@ impl SynthesisConfig {
             seed: 1997,
             use_tiling: false,
             transform_on_pipe: false,
+            spot_batch: 64,
         }
     }
 
@@ -181,6 +192,9 @@ impl SynthesisConfig {
             if rows < 2 || cols < 2 {
                 return Err(format!("bent spot mesh {rows}x{cols} must be at least 2x2"));
             }
+        }
+        if self.spot_batch == 0 {
+            return Err("spot_batch must be at least 1".to_string());
         }
         Ok(())
     }
@@ -273,6 +287,12 @@ mod tests {
         .is_err());
         assert!(SynthesisConfig {
             spot_kind: SpotKind::Bent { rows: 1, cols: 3 },
+            ..ok
+        }
+        .validate()
+        .is_err());
+        assert!(SynthesisConfig {
+            spot_batch: 0,
             ..ok
         }
         .validate()

@@ -18,8 +18,11 @@
 //! * [`spot`] — spot instances and standard (stretched-ellipse) spots,
 //! * [`bent`] — bent spots: stream-line-advected textured meshes,
 //! * [`synth`] — sequential synthesis (the eq. 2.1 baseline),
-//! * [`dnc`] — the divide-and-conquer executor, texture tiling and the
-//!   CPU-only (rayon) variant,
+//! * [`scheduler`] — the generic execution engine: [`ExecBackend`]s
+//!   (softpipe pipes, CPU-only), [`WorkSource`]s (static split, dynamic
+//!   spot/tile queues) and the streaming gather,
+//! * [`dnc`] — the divide-and-conquer executors as thin engine
+//!   configurations (round-robin, texture tiling, CPU-only),
 //! * [`partition`] — spot partitioning strategies,
 //! * [`advect`] — spot/particle animation with life cycles,
 //! * [`filter`] — spot filtering and display post-processing,
@@ -57,6 +60,7 @@ pub mod partition;
 pub mod perfmodel;
 pub mod pipeline;
 pub mod quality;
+pub mod scheduler;
 pub mod spot;
 pub mod synth;
 
@@ -65,6 +69,10 @@ pub use config::{SpotKind, SynthesisConfig};
 pub use dnc::{synthesize_cpu_only, synthesize_dnc, DncOutput, GroupReport};
 pub use perfmodel::{eq_2_1, eq_3_2, PerfPrediction};
 pub use pipeline::{ExecutionMode, FrameOutput, Pipeline};
+pub use scheduler::{
+    CpuBackend, DynamicSpotQueue, EngineOutput, ExecBackend, ExecSession, ScheduleMode, Scheduler,
+    SchedulerOptions, SoftpipeBackend, StaticSpotSource, TileWorkQueue, WorkSource, WorkUnit,
+};
 pub use spot::{generate_spots, Spot};
 pub use synth::{synthesize_sequential, SequentialOutput, SynthesisContext};
 

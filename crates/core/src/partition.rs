@@ -49,6 +49,16 @@ pub fn partition_round_robin(spots: &[Spot], groups: usize) -> Vec<Vec<Spot>> {
 /// Splits `spots` into `groups` contiguous chunks (preserving order). Used
 /// inside a process group to distribute work over the master and its slaves.
 pub fn partition_chunks(spots: &[Spot], groups: usize) -> Vec<Vec<Spot>> {
+    chunk_slices(spots, groups)
+        .into_iter()
+        .map(<[Spot]>::to_vec)
+        .collect()
+}
+
+/// Borrowing variant of [`partition_chunks`]: the same contiguous chunk
+/// boundaries as sub-slices, without copying. The scheduler engine uses
+/// this to split a leased tile's spot run over a group's processors.
+pub fn chunk_slices(spots: &[Spot], groups: usize) -> Vec<&[Spot]> {
     assert!(groups > 0, "need at least one group");
     let mut out = Vec::with_capacity(groups);
     let base = spots.len() / groups;
@@ -56,7 +66,7 @@ pub fn partition_chunks(spots: &[Spot], groups: usize) -> Vec<Vec<Spot>> {
     let mut start = 0;
     for g in 0..groups {
         let len = base + usize::from(g < extra);
-        out.push(spots[start..start + len].to_vec());
+        out.push(&spots[start..start + len]);
         start += len;
     }
     out
@@ -210,6 +220,22 @@ mod tests {
     }
 
     #[test]
+    fn chunk_slices_match_owned_chunk_boundaries() {
+        let s = spots(23);
+        for groups in 1..6 {
+            let owned = partition_chunks(&s, groups);
+            let borrowed = chunk_slices(&s, groups);
+            assert_eq!(owned.len(), borrowed.len());
+            for (o, b) in owned.iter().zip(&borrowed) {
+                assert_eq!(o.as_slice().len(), b.len());
+                for (x, y) in o.iter().zip(*b) {
+                    assert_eq!(x.position, y.position);
+                }
+            }
+        }
+    }
+
+    #[test]
     fn single_group_partition_is_identity() {
         let s = spots(20);
         let rr = partition_round_robin(&s, 1);
@@ -314,6 +340,106 @@ mod tests {
         assert_eq!(owners.len(), 1);
         let p = mapper.to_pixel(spot.position);
         assert!(part.tiles[owners[0]].contains(p.x as usize, p.y as usize));
+    }
+
+    #[test]
+    fn four_corner_junction_spot_is_duplicated_into_all_four_tiles() {
+        // A spot centred exactly on the meeting point of a 2x2 tile grid
+        // must be handed to every one of the four tiles its margin touches.
+        let cfg = SynthesisConfig::small_test();
+        let mapper = FieldToPixel::new(domain(), cfg.texture_size); // 128 px
+        let spot = Spot {
+            position: Vec2::new(0.5, 0.5), // pixel (64, 64): the 2x2 junction
+            intensity: 1.0,
+        };
+        let part = partition_tiled(
+            &[spot],
+            &mapper,
+            4,
+            &TilingOptions {
+                overlap_margin_pixels: 3.0,
+            },
+        );
+        assert_eq!(part.duplicated, 3, "expected 4 owners (3 duplicates)");
+        assert!(
+            part.groups.iter().all(|g| g.len() == 1),
+            "every tile must receive the junction spot: {:?}",
+            part.groups.iter().map(Vec::len).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn straddling_spots_land_in_exactly_the_tiles_they_overlap() {
+        // Each spot's expected owner set is recomputed here from its margin
+        // box; the partition must reproduce it exactly — no owner missing,
+        // no spurious owner.
+        let cfg = SynthesisConfig::small_test();
+        let size = cfg.texture_size; // 128
+        let mapper = FieldToPixel::new(domain(), size);
+        let margin = 5.0;
+        // Interior, vertical-boundary straddler, horizontal-boundary
+        // straddler, junction, and a corner-of-texture spot.
+        let cases = [
+            Vec2::new(0.25, 0.25),
+            Vec2::new(0.5, 0.2),
+            Vec2::new(0.8, 0.5),
+            Vec2::new(0.5, 0.5),
+            Vec2::new(0.001, 0.001),
+        ];
+        for position in cases {
+            let spot = Spot {
+                position,
+                intensity: 1.0,
+            };
+            let part = partition_tiled(
+                &[spot],
+                &mapper,
+                4,
+                &TilingOptions {
+                    overlap_margin_pixels: margin,
+                },
+            );
+            let owners: Vec<usize> = part
+                .groups
+                .iter()
+                .enumerate()
+                .filter(|(_, g)| !g.is_empty())
+                .map(|(i, _)| i)
+                .collect();
+            let p = mapper.to_pixel(position);
+            let expected: Vec<usize> = part
+                .tiles
+                .iter()
+                .enumerate()
+                .filter(|(_, t)| {
+                    p.x + margin >= t.x0 as f64
+                        && p.x - margin < t.x1 as f64
+                        && p.y + margin >= t.y0 as f64
+                        && p.y - margin < t.y1 as f64
+                })
+                .map(|(i, _)| i)
+                .collect();
+            assert_eq!(
+                owners, expected,
+                "spot at {position:?} (pixel {p:?}) assigned to the wrong tiles"
+            );
+            assert_eq!(part.duplicated, owners.len() - 1);
+        }
+    }
+
+    #[test]
+    fn oversubscribed_tile_partition_keeps_per_tile_consistency() {
+        // More tiles than process groups (the dynamic tile queue's food):
+        // the per-tile accounting must stay exact.
+        let cfg = SynthesisConfig::small_test();
+        let mapper = FieldToPixel::new(domain(), cfg.texture_size);
+        let s = spots(300);
+        let opts = TilingOptions::from_config(&cfg);
+        let part = partition_tiled(&s, &mapper, 8, &opts);
+        assert_eq!(part.tiles.len(), 8);
+        assert_eq!(part.groups.len(), 8);
+        let total: usize = part.groups.iter().map(Vec::len).sum();
+        assert_eq!(total, 300 + part.duplicated);
     }
 
     #[test]

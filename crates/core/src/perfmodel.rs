@@ -115,6 +115,25 @@ pub fn predict(
     }
 }
 
+/// Predicts a machine's throughput straight from the per-group reports the
+/// scheduler engine produces — the glue between the engine's uniform
+/// accounting and the cost model, used by every pipe-backed executor.
+pub fn predict_from_reports(
+    machine: &MachineConfig,
+    reports: &[crate::scheduler::GroupReport],
+    compose_texels: u64,
+) -> PerfPrediction {
+    let group_work: Vec<GroupWork> = reports
+        .iter()
+        .map(|r| GroupWork {
+            cpu: r.cpu_work,
+            pipe: r.pipe_work,
+            processors: r.processors,
+        })
+        .collect();
+    predict(machine, &group_work, compose_texels)
+}
+
 /// Convenience wrapper: predicts a configuration's throughput assuming the
 /// total work is split perfectly evenly over the groups (the idealised
 /// eq. 3.2 rather than the measured partition). Used by the model-vs-measured

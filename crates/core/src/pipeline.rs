@@ -16,10 +16,11 @@
 
 use crate::advect::{PositionMode, SpotAnimator};
 use crate::config::SynthesisConfig;
-use crate::dnc::{synthesize_dnc, DncOutput};
+use crate::dnc::{synthesize_dnc_with_options, DncOutput};
 use crate::filter::standard_postprocess;
 use crate::metrics::{timed, FrameMetrics, StageTimings};
-use crate::synth::synthesize_sequential;
+use crate::scheduler::SchedulerOptions;
+use crate::synth::{synthesize_sequential, SynthesisContext};
 use flowfield::particles::ParticleOptions;
 use flowfield::{Rect, VectorField};
 use softpipe::machine::MachineConfig;
@@ -52,6 +53,7 @@ pub struct FrameOutput {
 pub struct Pipeline {
     cfg: SynthesisConfig,
     mode: ExecutionMode,
+    sched: SchedulerOptions,
     animator: SpotAnimator,
     postprocess: bool,
     frames: u64,
@@ -66,6 +68,7 @@ impl Pipeline {
         Pipeline {
             cfg,
             mode,
+            sched: SchedulerOptions::default(),
             animator,
             postprocess: true,
             frames: 0,
@@ -88,6 +91,7 @@ impl Pipeline {
         Pipeline {
             cfg,
             mode,
+            sched: SchedulerOptions::default(),
             animator,
             postprocess: true,
             frames: 0,
@@ -98,6 +102,18 @@ impl Pipeline {
     /// contrast stretch) of step 4.
     pub fn set_postprocess(&mut self, enabled: bool) {
         self.postprocess = enabled;
+    }
+
+    /// Selects how the divide-and-conquer executor schedules work over its
+    /// process groups (static split vs dynamic spot queue, tile
+    /// oversubscription). Ignored in sequential mode.
+    pub fn set_scheduler_options(&mut self, options: SchedulerOptions) {
+        self.sched = options;
+    }
+
+    /// The scheduling options used by the divide-and-conquer executor.
+    pub fn scheduler_options(&self) -> SchedulerOptions {
+        self.sched
     }
 
     /// The synthesis configuration.
@@ -135,13 +151,15 @@ impl Pipeline {
         // Step 3: texture synthesis.
         let mode = self.mode;
         let cfg = self.cfg;
+        let sched = self.sched;
         let ((texture, dnc), synthesize_us) = timed(|| match mode {
             ExecutionMode::Sequential => {
                 let out = synthesize_sequential(field, &spots, &cfg);
                 (out.texture, None)
             }
             ExecutionMode::DivideAndConquer(machine) => {
-                let out = synthesize_dnc(field, &spots, &cfg, &machine);
+                let ctx = SynthesisContext::new(field, &cfg);
+                let out = synthesize_dnc_with_options(field, &spots, &cfg, &machine, &ctx, &sched);
                 (out.texture.clone(), Some(out))
             }
         });
@@ -246,6 +264,25 @@ mod tests {
         // texture, which still lies in [0, 1].
         let (lo, hi) = frame.display.range();
         assert!(lo >= 0.0 && hi <= 1.0);
+    }
+
+    #[test]
+    fn dynamic_scheduling_produces_equivalent_frames() {
+        use crate::scheduler::SchedulerOptions;
+        let cfg = SynthesisConfig::small_test();
+        let machine = MachineConfig::new(4, 2);
+        let mut static_p = Pipeline::new(cfg, ExecutionMode::DivideAndConquer(machine), domain());
+        let mut dynamic_p = Pipeline::new(cfg, ExecutionMode::DivideAndConquer(machine), domain());
+        dynamic_p.set_scheduler_options(SchedulerOptions::dynamic());
+        assert_eq!(dynamic_p.scheduler_options(), SchedulerOptions::dynamic());
+        let f = field();
+        let a = static_p.advance(&f, 0.05, 0);
+        let b = dynamic_p.advance(&f, 0.05, 0);
+        let mean_diff = a.texture.absolute_difference(&b.texture)
+            / (cfg.texture_size * cfg.texture_size) as f64;
+        assert!(mean_diff < 1e-4, "mean texel difference {mean_diff}");
+        let dnc = b.dnc.expect("dnc report");
+        assert!(dnc.groups.iter().all(|g| g.queue_exhausted));
     }
 
     #[test]

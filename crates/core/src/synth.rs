@@ -58,6 +58,18 @@ impl SynthesisContext {
     }
 }
 
+/// The frame-preamble commands every executor issues before drawing spots:
+/// upload and bind the spot-function texture `h(x)` and select additive
+/// blending (the spot-noise sum). Shared by the sequential baseline and the
+/// scheduler engine so all paths configure their pipes identically.
+pub fn preamble_commands(ctx: &SynthesisContext) -> Vec<RenderCommand> {
+    vec![
+        RenderCommand::UploadTexture(0, ctx.spot_texture.clone()),
+        RenderCommand::BindTexture(0),
+        RenderCommand::SetBlend(BlendMode::Additive),
+    ]
+}
+
 /// Converts a spot geometry into the render command submitted to a pipe.
 pub fn geometry_command(geometry: SpotGeometry, intensity: f32) -> RenderCommand {
     match geometry {
@@ -113,9 +125,9 @@ pub fn synthesize_sequential_with_context(
 ) -> SequentialOutput {
     let mut core = PipeCore::new(cfg.texture_size, cfg.texture_size);
     core.execute(RenderCommand::Clear);
-    core.execute(RenderCommand::UploadTexture(0, ctx.spot_texture.clone()));
-    core.execute(RenderCommand::BindTexture(0));
-    core.execute(RenderCommand::SetBlend(BlendMode::Additive));
+    for cmd in preamble_commands(ctx) {
+        core.execute(cmd);
+    }
 
     let mut cpu_work = CpuWork::default();
     for spot in spots {

@@ -4,7 +4,10 @@
 //! *not* the bottleneck: at 5.6 textures/second the vertex traffic is about
 //! 116 MByte/s against an 800 MByte/s bus. This module tracks the bytes that
 //! cross the bus (vertex streams toward the pipes, partial textures back for
-//! the gather step) so the harness can reproduce that observation.
+//! the gather step) so the harness can reproduce that observation. One
+//! tracker is shared by all process groups of a scheduler-engine run;
+//! backends that bypass the graphics subsystem (the CPU-only executor)
+//! record nothing, so their uniform reports show zero bus traffic.
 
 use parking_lot::Mutex;
 use serde::{Deserialize, Serialize};

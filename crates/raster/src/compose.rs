@@ -7,28 +7,52 @@
 //! in the paper's tables. Two composition strategies are provided, matching
 //! the two partitioning strategies of the implementation section:
 //!
-//! * [`gather_additive`] — partial textures cover the whole target and are
+//! * additive gathering — partial textures cover the whole target and are
 //!   summed texel by texel (pure spot-set partitioning), and
-//! * [`compose_tiles`] — each partial texture only owns a pixel region of the
+//! * tile composition — each partial texture only owns a pixel region of the
 //!   target (texture tiling) and regions are copied into place.
+//!
+//! Both are implemented on [`StreamingGather`], which accepts partials one at
+//! a time: the scheduler engine feeds it through a channel as process groups
+//! finish, so blending overlaps with the straggling groups instead of
+//! waiting for a barrier. Additive folding is performed *in slot order* (a
+//! partial that arrives early is parked until its predecessors have been
+//! folded), which keeps the result bit-identical to the classic sequential
+//! `p0 + p1 + ... + pn` accumulation no matter the arrival order; tile
+//! regions are disjoint, so tiles are copied the moment they arrive.
 //!
 //! Although the `c` term stays *sequential in the performance model* (the
 //! simulated Onyx2 charges it at full blend cost, exactly as eq. 3.2
 //! prescribes), the host implementation parallelizes the texel work over row
 //! chunks with rayon: every output row is owned by exactly one task, and the
 //! per-texel accumulation order over the partials is unchanged, so the
-//! result is bit-identical to the sequential loop.
+//! result is bit-identical to the sequential loop. Small textures collapse
+//! to a single chunk, which the rayon shim runs inline on the calling
+//! thread — there is no separate sequential code path.
 
 use crate::texture::Texture;
 use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
 
 /// Rows per parallel task when composing textures.
 const COMPOSE_ROW_CHUNK: usize = 32;
 
-/// Below this texel count the textures are composed on the calling thread;
-/// spawning workers costs more than the memory traffic saves.
+/// Below this texel count the whole texture becomes one chunk (processed on
+/// the calling thread); spawning workers costs more than the memory traffic
+/// saves.
 const PARALLEL_COMPOSE_MIN_TEXELS: usize = 64 * 1024;
+
+/// Chunk length (in texels) used when splitting compose work over threads.
+/// A sub-threshold texture yields a single chunk, which runs inline.
+fn compose_chunk_len(width: usize, height: usize) -> usize {
+    let texels = width * height;
+    if texels < PARALLEL_COMPOSE_MIN_TEXELS {
+        texels.max(1)
+    } else {
+        width * COMPOSE_ROW_CHUNK
+    }
+}
 
 /// A pixel-space tile: the half-open region `[x0, x1) x [y0, y1)` of the
 /// final texture owned by one process group.
@@ -85,6 +109,241 @@ pub struct ComposeResult {
     pub blend_texels: u64,
 }
 
+/// How the partial textures map onto the final texture.
+#[derive(Debug, Clone)]
+enum GatherMode {
+    /// Every partial covers the whole target; partials are folded additively
+    /// in slot order.
+    Additive,
+    /// Partial `i` owns the pixel region `tiles[i]` of the target.
+    Tiles(Vec<PixelTile>),
+}
+
+/// Incremental gather/compose of partial textures.
+///
+/// Create one with [`StreamingGather::additive`] or
+/// [`StreamingGather::tiles`], [`push`](StreamingGather::push) each partial
+/// as it becomes available (in any order), and [`finish`]
+/// (StreamingGather::finish) once every slot has arrived. The scheduler
+/// engine drives this from a channel so composition overlaps with
+/// still-running process groups; [`gather_additive`] and [`compose_tiles`]
+/// are the all-at-once convenience wrappers.
+#[derive(Debug)]
+pub struct StreamingGather {
+    mode: GatherMode,
+    texture: Texture,
+    blend_texels: u64,
+    /// Number of slots that must arrive before `finish`.
+    expected: usize,
+    /// Per-tile arrival flags (tiles mode only; empty for additive).
+    tile_seen: Vec<bool>,
+    /// Next slot index the additive fold is waiting for.
+    next: usize,
+    /// Additive partials that arrived ahead of their fold turn.
+    parked: BTreeMap<usize, Texture>,
+    /// Total slots pushed so far.
+    received: usize,
+}
+
+impl StreamingGather {
+    /// Starts an additive gather over `slots` full-coverage partials of the
+    /// given size. Slot indices passed to `push` determine the fold order;
+    /// `finish` verifies all `slots` arrived.
+    pub fn additive(width: usize, height: usize, slots: usize) -> Self {
+        StreamingGather {
+            mode: GatherMode::Additive,
+            texture: Texture::new(width, height),
+            blend_texels: 0,
+            expected: slots,
+            tile_seen: Vec::new(),
+            next: 0,
+            parked: BTreeMap::new(),
+            received: 0,
+        }
+    }
+
+    /// Starts a tile composition: slot `i` owns the pixel region `tiles[i]`.
+    /// Tiles must not overlap; texels not covered by any tile remain zero.
+    /// `finish` verifies one partial arrived per tile.
+    pub fn tiles(width: usize, height: usize, tiles: Vec<PixelTile>) -> Self {
+        let expected = tiles.len();
+        StreamingGather {
+            mode: GatherMode::Tiles(tiles),
+            texture: Texture::new(width, height),
+            blend_texels: 0,
+            expected,
+            tile_seen: vec![false; expected],
+            next: 0,
+            parked: BTreeMap::new(),
+            received: 0,
+        }
+    }
+
+    /// Feeds the partial texture for `slot`. Tile partials are copied into
+    /// place immediately; additive partials are folded as soon as every
+    /// lower slot has been folded (early arrivals are parked).
+    ///
+    /// # Panics
+    /// Panics when the partial's size disagrees with the target, the slot is
+    /// out of range (tiles) or pushed twice (additive).
+    pub fn push(&mut self, slot: usize, partial: &Texture) {
+        if self.needs_parking(slot) {
+            self.park(slot, partial.clone());
+        } else {
+            self.push_ready(slot, partial);
+        }
+    }
+
+    /// Like [`push`](StreamingGather::push), but taking ownership of the
+    /// partial — an out-of-order additive arrival is parked without cloning
+    /// it. This is what the scheduler engine calls with the textures it
+    /// receives over the gather channel.
+    pub fn push_owned(&mut self, slot: usize, partial: Texture) {
+        if self.needs_parking(slot) {
+            self.park(slot, partial);
+        } else {
+            self.push_ready(slot, &partial);
+        }
+    }
+
+    /// True when this is an additive slot whose predecessors have not all
+    /// been folded yet.
+    fn needs_parking(&self, slot: usize) -> bool {
+        matches!(self.mode, GatherMode::Additive) && slot != self.next
+    }
+
+    fn validate_size(&self, partial: &Texture) {
+        assert_eq!(
+            partial.width(),
+            self.texture.width(),
+            "texture widths differ"
+        );
+        assert_eq!(
+            partial.height(),
+            self.texture.height(),
+            "texture heights differ"
+        );
+    }
+
+    fn park(&mut self, slot: usize, partial: Texture) {
+        self.validate_size(&partial);
+        assert!(
+            slot > self.next && !self.parked.contains_key(&slot),
+            "additive slot {slot} already folded or duplicated"
+        );
+        self.received += 1;
+        self.parked.insert(slot, partial);
+    }
+
+    fn push_ready(&mut self, slot: usize, partial: &Texture) {
+        self.validate_size(partial);
+        self.received += 1;
+        match &self.mode {
+            GatherMode::Additive => {
+                self.fold_additive_in_order(partial);
+                while let Some(parked) = self.parked.remove(&self.next) {
+                    self.fold_additive_in_order(&parked);
+                }
+            }
+            GatherMode::Tiles(tiles) => {
+                let tile = *tiles.get(slot).expect("tile slot out of range");
+                assert!(!self.tile_seen[slot], "tile slot {slot} pushed twice");
+                self.tile_seen[slot] = true;
+                self.blend_texels += tile.area() as u64;
+                blit_tile(&mut self.texture, partial, tile);
+            }
+        }
+    }
+
+    /// Folds the partial for slot `self.next`: the first slot is copied
+    /// wholesale, later slots are accumulated texel-wise — exactly the
+    /// classic `p0.clone(); acc += p1; acc += p2; ...` fold, so the result
+    /// is bit-identical to the sequential gather regardless of how slots
+    /// arrived.
+    fn fold_additive_in_order(&mut self, partial: &Texture) {
+        if self.next == 0 {
+            self.texture.data_mut().copy_from_slice(partial.data());
+        } else {
+            self.blend_texels += self.texture.data().len() as u64;
+            accumulate(&mut self.texture, partial);
+        }
+        self.next += 1;
+    }
+
+    /// Number of partials pushed so far.
+    pub fn received(&self) -> usize {
+        self.received
+    }
+
+    /// Completes the composition.
+    ///
+    /// # Panics
+    /// Panics when fewer partials arrived than the gather was constructed
+    /// for (a missing trailing slot, an unpushed tile, or a parked
+    /// out-of-order slot whose predecessor never came).
+    pub fn finish(self) -> ComposeResult {
+        assert!(
+            self.parked.is_empty(),
+            "gather finished with missing slots before {:?}",
+            self.parked.keys().next()
+        );
+        assert_eq!(
+            self.received, self.expected,
+            "gather finished with {}/{} partials",
+            self.received, self.expected
+        );
+        ComposeResult {
+            texture: self.texture,
+            blend_texels: self.blend_texels,
+        }
+    }
+}
+
+/// Adds `src` texel-wise into `dst`, parallelized over row chunks. Chunk
+/// boundaries never change per-texel arithmetic, so the result is
+/// bit-identical to a sequential loop.
+fn accumulate(dst: &mut Texture, src: &Texture) {
+    let chunk_len = compose_chunk_len(dst.width(), dst.height());
+    dst.data_mut()
+        .par_chunks_mut(chunk_len)
+        .enumerate()
+        .for_each(|(chunk_index, chunk)| {
+            let start = chunk_index * chunk_len;
+            let src = &src.data()[start..start + chunk.len()];
+            for (d, s) in chunk.iter_mut().zip(src) {
+                *d += *s;
+            }
+        });
+}
+
+/// Copies `tile`'s pixel region of `partial` into `dst`, parallelized over
+/// row chunks of the destination.
+fn blit_tile(dst: &mut Texture, partial: &Texture, tile: PixelTile) {
+    let width = dst.width();
+    let height = dst.height();
+    let x1 = tile.x1.min(width);
+    if tile.x0 >= x1 {
+        return;
+    }
+    let chunk_len = compose_chunk_len(width, height);
+    let chunk_rows = chunk_len / width;
+    dst.data_mut()
+        .par_chunks_mut(chunk_len)
+        .enumerate()
+        .for_each(|(chunk_index, chunk)| {
+            let y_start = chunk_index * chunk_rows;
+            let rows = chunk.len() / width;
+            let y_lo = tile.y0.max(y_start);
+            let y_hi = tile.y1.min(height).min(y_start + rows);
+            for y in y_lo..y_hi {
+                let local = (y - y_start) * width;
+                let row_start = y * width;
+                chunk[local + tile.x0..local + x1]
+                    .copy_from_slice(&partial.data()[row_start + tile.x0..row_start + x1]);
+            }
+        });
+}
+
 /// Blends partial textures (all covering the full target) by texel-wise
 /// addition. The additive blend is order independent, so the result does not
 /// depend on the order of `partials` — the property the divide-and-conquer
@@ -94,48 +353,12 @@ pub struct ComposeResult {
 /// Panics when `partials` is empty or the sizes disagree.
 pub fn gather_additive(partials: &[Texture]) -> ComposeResult {
     assert!(!partials.is_empty(), "nothing to gather");
-    let mut texture = partials[0].clone();
-    let rest = &partials[1..];
-    for partial in rest {
-        assert_eq!(texture.width(), partial.width(), "texture widths differ");
-        assert_eq!(texture.height(), partial.height(), "texture heights differ");
+    let mut gather =
+        StreamingGather::additive(partials[0].width(), partials[0].height(), partials.len());
+    for (slot, partial) in partials.iter().enumerate() {
+        gather.push(slot, partial);
     }
-    let width = texture.width();
-    let texels = texture.data().len();
-    let blend_texels = (rest.len() * texels) as u64;
-    if rest.is_empty() {
-        return ComposeResult {
-            texture,
-            blend_texels,
-        };
-    }
-    if texels < PARALLEL_COMPOSE_MIN_TEXELS || rayon::current_num_threads() == 1 {
-        for partial in rest {
-            texture.accumulate(partial);
-        }
-        return ComposeResult {
-            texture,
-            blend_texels,
-        };
-    }
-    let chunk_len = width * COMPOSE_ROW_CHUNK;
-    texture
-        .data_mut()
-        .par_chunks_mut(chunk_len)
-        .enumerate()
-        .for_each(|(chunk_index, chunk)| {
-            let start = chunk_index * chunk_len;
-            for partial in rest {
-                let src = &partial.data()[start..start + chunk.len()];
-                for (dst, s) in chunk.iter_mut().zip(src) {
-                    *dst += *s;
-                }
-            }
-        });
-    ComposeResult {
-        texture,
-        blend_texels,
-    }
+    gather.finish()
 }
 
 /// Composes per-tile partial textures by copying each tile's pixel region
@@ -147,50 +370,12 @@ pub fn gather_additive(partials: &[Texture]) -> ComposeResult {
 pub fn compose_tiles(partials: &[Texture], tiles: &[PixelTile]) -> ComposeResult {
     assert!(!partials.is_empty(), "nothing to compose");
     assert_eq!(partials.len(), tiles.len(), "one tile per partial texture");
-    let width = partials[0].width();
-    let height = partials[0].height();
-    for partial in partials {
-        assert_eq!(partial.width(), width, "texture widths differ");
-        assert_eq!(partial.height(), height, "texture heights differ");
+    let mut gather =
+        StreamingGather::tiles(partials[0].width(), partials[0].height(), tiles.to_vec());
+    for (slot, partial) in partials.iter().enumerate() {
+        gather.push(slot, partial);
     }
-    let mut texture = Texture::new(width, height);
-    let blend_texels = tiles.iter().map(|t| t.area() as u64).sum();
-    if width * height < PARALLEL_COMPOSE_MIN_TEXELS || rayon::current_num_threads() == 1 {
-        for (partial, tile) in partials.iter().zip(tiles) {
-            texture.blit_region(partial, tile.x0, tile.y0, tile.x1, tile.y1);
-        }
-        return ComposeResult {
-            texture,
-            blend_texels,
-        };
-    }
-    let chunk_len = width * COMPOSE_ROW_CHUNK;
-    texture
-        .data_mut()
-        .par_chunks_mut(chunk_len)
-        .enumerate()
-        .for_each(|(chunk_index, chunk)| {
-            let y_start = chunk_index * COMPOSE_ROW_CHUNK;
-            let rows = chunk.len() / width;
-            for (partial, tile) in partials.iter().zip(tiles) {
-                let x1 = tile.x1.min(width);
-                if tile.x0 >= x1 {
-                    continue;
-                }
-                let y_lo = tile.y0.max(y_start);
-                let y_hi = tile.y1.min(height).min(y_start + rows);
-                for y in y_lo..y_hi {
-                    let local = (y - y_start) * width;
-                    let row_start = y * width;
-                    chunk[local + tile.x0..local + x1]
-                        .copy_from_slice(&partial.data()[row_start + tile.x0..row_start + x1]);
-                }
-            }
-        });
-    ComposeResult {
-        texture,
-        blend_texels,
-    }
+    gather.finish()
 }
 
 #[cfg(test)]
@@ -229,6 +414,89 @@ mod tests {
     #[should_panic(expected = "nothing to gather")]
     fn gather_rejects_empty_input() {
         let _ = gather_additive(&[]);
+    }
+
+    #[test]
+    fn streaming_gather_is_arrival_order_invariant_bitwise() {
+        // Feed the same partials in forward and scrambled slot order: the
+        // in-order fold must make the results bit-identical.
+        let partials: Vec<Texture> = (0..5)
+            .map(|i| {
+                let mut t = Texture::new(16, 16);
+                for (k, v) in t.data_mut().iter_mut().enumerate() {
+                    *v = ((i * 131 + k) as f32).sin();
+                }
+                t
+            })
+            .collect();
+        let forward = gather_additive(&partials);
+        let mut scrambled = StreamingGather::additive(16, 16, 5);
+        for &slot in &[3usize, 0, 4, 1, 2] {
+            if slot % 2 == 0 {
+                scrambled.push(slot, &partials[slot]);
+            } else {
+                scrambled.push_owned(slot, partials[slot].clone());
+            }
+        }
+        assert_eq!(scrambled.received(), 5);
+        let scrambled = scrambled.finish();
+        assert_eq!(forward.texture.absolute_difference(&scrambled.texture), 0.0);
+        assert_eq!(forward.blend_texels, scrambled.blend_texels);
+    }
+
+    #[test]
+    #[should_panic(expected = "missing slots")]
+    fn streaming_gather_rejects_missing_additive_slot() {
+        let mut g = StreamingGather::additive(4, 4, 2);
+        g.push(1, &constant(4, 4, 1.0));
+        let _ = g.finish();
+    }
+
+    #[test]
+    #[should_panic(expected = "2/3 partials")]
+    fn streaming_gather_rejects_missing_trailing_slot() {
+        let mut g = StreamingGather::additive(4, 4, 3);
+        g.push(0, &constant(4, 4, 1.0));
+        g.push_owned(1, constant(4, 4, 2.0));
+        let _ = g.finish();
+    }
+
+    #[test]
+    #[should_panic(expected = "pushed twice")]
+    fn streaming_gather_rejects_duplicate_tile() {
+        let tiles = PixelTile::grid(8, 8, 2, 1);
+        let mut g = StreamingGather::tiles(8, 8, tiles);
+        g.push(0, &constant(8, 8, 1.0));
+        g.push(0, &constant(8, 8, 2.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "3/4 partials")]
+    fn streaming_gather_rejects_missing_tile() {
+        let tiles = PixelTile::grid(8, 8, 2, 2);
+        let mut g = StreamingGather::tiles(8, 8, tiles);
+        for slot in 0..3 {
+            g.push(slot, &constant(8, 8, 1.0));
+        }
+        let _ = g.finish();
+    }
+
+    #[test]
+    fn streaming_tiles_accept_any_arrival_order() {
+        let tiles = PixelTile::grid(8, 8, 2, 2);
+        let mut g = StreamingGather::tiles(8, 8, tiles.clone());
+        for &slot in &[2usize, 0, 3, 1] {
+            let mut p = Texture::new(8, 8);
+            p.fill(slot as f32 + 1.0);
+            g.push(slot, &p);
+        }
+        let r = g.finish();
+        assert_eq!(r.blend_texels, 64);
+        // Each quadrant carries its own tile's value.
+        assert_eq!(r.texture.texel(0, 0), 1.0);
+        assert_eq!(r.texture.texel(7, 0), 2.0);
+        assert_eq!(r.texture.texel(0, 7), 3.0);
+        assert_eq!(r.texture.texel(7, 7), 4.0);
     }
 
     #[test]
@@ -292,5 +560,25 @@ mod tests {
     fn compose_tiles_rejects_count_mismatch() {
         let tiles = PixelTile::grid(8, 8, 2, 2);
         let _ = compose_tiles(&[constant(8, 8, 1.0)], &tiles);
+    }
+
+    #[test]
+    fn large_textures_take_the_chunked_path_with_identical_results() {
+        // 512² is above the parallel threshold; verify against a hand
+        // sequential fold.
+        let partials: Vec<Texture> = (0..3)
+            .map(|i| {
+                let mut t = Texture::new(512, 512);
+                for (k, v) in t.data_mut().iter_mut().enumerate() {
+                    *v = ((k % 97) as f32) * 0.01 + i as f32;
+                }
+                t
+            })
+            .collect();
+        let mut expected = partials[0].clone();
+        expected.accumulate(&partials[1]);
+        expected.accumulate(&partials[2]);
+        let got = gather_additive(&partials);
+        assert_eq!(expected.absolute_difference(&got.texture), 0.0);
     }
 }

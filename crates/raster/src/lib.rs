@@ -38,7 +38,7 @@ pub mod texture;
 
 pub use blend::BlendMode;
 pub use bus::{BusStats, BusTracker, Traffic};
-pub use compose::{compose_tiles, gather_additive, ComposeResult, PixelTile};
+pub use compose::{compose_tiles, gather_additive, ComposeResult, PixelTile, StreamingGather};
 pub use cost::{CostModel, CpuWork, PipeWork};
 pub use framebuffer::{Framebuffer, Rgb};
 pub use machine::MachineConfig;

@@ -97,7 +97,13 @@ fn cpu_only_rayon_matches_sequential_on_dns_slice() {
     let spots = generate_spots(cfg.spot_count, grid.domain(), cfg.intensity_amplitude, 5);
     let ctx = SynthesisContext::new(&grid, &cfg);
     let seq = synthesize_sequential_with_context(&grid, &spots, &cfg, &ctx);
-    let (tex, _) = synthesize_cpu_only(&grid, &spots, &cfg, 8);
-    let d = mean_diff(&seq.texture, &tex);
+    let out = synthesize_cpu_only(&grid, &spots, &cfg, 8);
+    let d = mean_diff(&seq.texture, &out.texture);
     assert!(d < 1e-4, "mean texel difference {d}");
+    // The CPU path reports through the same engine accounting as the
+    // pipe-backed executors: per-group work, lease counts, no bus traffic.
+    assert_eq!(out.groups.len(), 8);
+    assert_eq!(out.total_cpu_work().spots, cfg.spot_count as u64);
+    assert!(out.groups.iter().all(|g| g.queue_exhausted));
+    assert_eq!(out.bus.total_bytes(), 0);
 }
