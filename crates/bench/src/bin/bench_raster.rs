@@ -4,12 +4,17 @@
 //! and writes the results to `BENCH_raster.json`.
 //!
 //! ```text
-//! cargo run --release -p spotnoise-bench --bin bench_raster -- [--out BENCH_raster.json] [--check]
+//! cargo run --release -p spotnoise-bench --bin bench_raster -- \
+//!     [--out BENCH_raster.json] [--check] [--filter <substring>]
 //! ```
 //!
 //! `--check` re-reads the written artifact, parses it and asserts the
 //! schema plus `speedup > 0` for every case — the CI smoke step. A failed
-//! check exits non-zero.
+//! check exits non-zero. `--filter` measures only the cases whose name
+//! contains one of the comma-separated substrings (excluded cases are
+//! skipped entirely, not just omitted from the output), which is how CI
+//! keeps the smoke run clear of the slow full-synthesis `dnc_spot_batch_*`
+//! cases while still covering quads, meshes and the gather.
 
 use spotnoise_bench::json::Json;
 use std::path::PathBuf;
@@ -60,6 +65,7 @@ fn check_artifact(path: &PathBuf) -> Result<usize, String> {
 fn main() -> ExitCode {
     let mut out = PathBuf::from("BENCH_raster.json");
     let mut check = false;
+    let mut filter: Option<String> = None;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -69,6 +75,13 @@ fn main() -> ExitCode {
                 }
             }
             "--check" => check = true,
+            "--filter" => match args.next() {
+                Some(substring) => filter = Some(substring),
+                None => {
+                    eprintln!("--filter needs a substring");
+                    return ExitCode::FAILURE;
+                }
+            },
             other => eprintln!("unknown argument: {other}"),
         }
     }
@@ -76,7 +89,14 @@ fn main() -> ExitCode {
     if let Some(parent) = out.parent().filter(|p| !p.as_os_str().is_empty()) {
         std::fs::create_dir_all(parent).expect("cannot create output directory");
     }
-    let report = spotnoise_bench::raster_bench::run_raster_bench();
+    if let Some(f) = &filter {
+        println!("measuring only cases containing {f:?}");
+    }
+    let report = spotnoise_bench::raster_bench::run_raster_bench_filtered(filter.as_deref());
+    if report.cases.is_empty() {
+        eprintln!("filter matched no benchmark case");
+        return ExitCode::FAILURE;
+    }
     println!("{}", spotnoise_bench::raster_bench::format_report(&report));
     std::fs::write(&out, spotnoise_bench::raster_bench::report_to_json(&report))
         .expect("write BENCH_raster.json");

@@ -1,0 +1,168 @@
+//! Loopback load bench of the synthesis service: sweeps concurrent clients
+//! {1, 4, 16} × cache-hot/cache-cold against a real server on an ephemeral
+//! port, runs an overload phase against a tiny one-worker server, and
+//! writes `BENCH_service.json` (schema `bench_service/v1`).
+//!
+//! ```text
+//! cargo run --release -p spotnoise-bench --bin bench_service -- \
+//!     [--out BENCH_service.json] [--check] [--quick]
+//! ```
+//!
+//! `--quick` shrinks the workload for CI smoke runs. `--check` re-reads the
+//! written artifact and asserts the service-level SLOs hold: six sweep
+//! cases, cache-hot p50 at least 5× below cache-cold at every concurrency,
+//! and overload shed with `Busy` while the queue never grew past its
+//! watermark. A failed check exits non-zero.
+
+use spotnoise_bench::json::Json;
+use spotnoise_bench::service_bench;
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+/// Validates the written artifact against the acceptance criteria.
+fn check_artifact(path: &PathBuf) -> Result<String, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("read {path:?}: {e}"))?;
+    let doc = Json::parse(&text)?;
+    let schema = doc
+        .get("schema")
+        .and_then(Json::as_str)
+        .ok_or("missing schema field")?;
+    if schema != "bench_service/v1" {
+        return Err(format!("unexpected schema {schema:?}"));
+    }
+    let cases = doc
+        .get("cases")
+        .and_then(Json::as_array)
+        .ok_or("missing cases array")?;
+    if cases.len() < 6 {
+        return Err(format!("{} cases recorded, need at least 6", cases.len()));
+    }
+    let field = |case: &Json, key: &str| -> Result<f64, String> {
+        case.get(key)
+            .and_then(Json::as_f64)
+            .ok_or_else(|| format!("case missing numeric {key}"))
+    };
+    // Index p50 by (mode, concurrency) and sanity-check each case.
+    let mut p50 = std::collections::HashMap::new();
+    for case in cases {
+        let name = case
+            .get("name")
+            .and_then(Json::as_str)
+            .ok_or("case without a name")?
+            .to_string();
+        let mode = case
+            .get("mode")
+            .and_then(Json::as_str)
+            .ok_or("case without a mode")?
+            .to_string();
+        let concurrency = field(case, "concurrency")? as usize;
+        let p50_us = field(case, "p50_us")?;
+        let p99_us = field(case, "p99_us")?;
+        let fps = field(case, "frames_per_second")?;
+        let hit_rate = field(case, "cache_hit_rate")?;
+        if p50_us <= 0.0 || p99_us < p50_us {
+            return Err(format!(
+                "case {name}: implausible latencies p50={p50_us} p99={p99_us}"
+            ));
+        }
+        if fps <= 0.0 {
+            return Err(format!("case {name}: frames_per_second {fps} not positive"));
+        }
+        match mode.as_str() {
+            "hot" if hit_rate < 0.999 => {
+                return Err(format!("case {name}: hot hit rate {hit_rate} below 1"));
+            }
+            "cold" if hit_rate > 0.001 => {
+                return Err(format!("case {name}: cold hit rate {hit_rate} above 0"));
+            }
+            _ => {}
+        }
+        p50.insert((mode, concurrency), p50_us);
+    }
+    let mut speedups = Vec::new();
+    for (&(ref mode, concurrency), &cold_p50) in &p50 {
+        if mode != "cold" {
+            continue;
+        }
+        let hot_p50 = *p50
+            .get(&("hot".to_string(), concurrency))
+            .ok_or_else(|| format!("no hot case at concurrency {concurrency}"))?;
+        let ratio = cold_p50 / hot_p50;
+        if ratio < 5.0 {
+            return Err(format!(
+                "at concurrency {concurrency}: cold p50 {cold_p50:.1}us is only {ratio:.2}x hot \
+                 p50 {hot_p50:.1}us (need >= 5x)"
+            ));
+        }
+        speedups.push(format!("c{concurrency}: {ratio:.0}x"));
+    }
+    let overload = doc.get("overload").ok_or("missing overload object")?;
+    let o_field = |key: &str| -> Result<f64, String> {
+        overload
+            .get(key)
+            .and_then(Json::as_f64)
+            .ok_or_else(|| format!("overload missing numeric {key}"))
+    };
+    let watermark = o_field("watermark")?;
+    let busy = o_field("busy")?;
+    let completed = o_field("completed")?;
+    let peak_depth = o_field("peak_depth")?;
+    if busy <= 0.0 {
+        return Err("overload shed no request with Busy".to_string());
+    }
+    if completed <= 0.0 {
+        return Err("overload served no request at all".to_string());
+    }
+    if peak_depth > watermark {
+        return Err(format!(
+            "queue grew to depth {peak_depth}, past its watermark {watermark}"
+        ));
+    }
+    Ok(format!(
+        "{} cases, hot/cold p50 gaps [{}], overload shed {busy} of {} with queue depth <= {watermark}",
+        cases.len(),
+        speedups.join(", "),
+        busy + completed,
+    ))
+}
+
+fn main() -> ExitCode {
+    let mut out = PathBuf::from("BENCH_service.json");
+    let mut check = false;
+    let mut quick = false;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--out" => {
+                if let Some(path) = args.next() {
+                    out = PathBuf::from(path);
+                }
+            }
+            "--check" => check = true,
+            "--quick" => quick = true,
+            other => eprintln!("unknown argument: {other}"),
+        }
+    }
+    if let Some(parent) = out.parent().filter(|p| !p.as_os_str().is_empty()) {
+        std::fs::create_dir_all(parent).expect("cannot create output directory");
+    }
+    let options = if quick {
+        service_bench::ServiceBenchOptions::quick()
+    } else {
+        service_bench::ServiceBenchOptions::standard()
+    };
+    let report = service_bench::run_service_bench(options);
+    println!("{}", service_bench::format_report(&report));
+    std::fs::write(&out, service_bench::report_to_json(&report)).expect("write BENCH_service.json");
+    println!("wrote {}", out.display());
+    if check {
+        match check_artifact(&out) {
+            Ok(summary) => println!("check OK: {summary}"),
+            Err(e) => {
+                eprintln!("check FAILED: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    ExitCode::SUCCESS
+}

@@ -20,6 +20,7 @@
 
 pub mod json;
 pub mod raster_bench;
+pub mod service_bench;
 
 use flowfield::{Rect, RegularGrid, Vec2, VectorField};
 use flowsim::{DnsConfig, DnsSolver, SmogModel};

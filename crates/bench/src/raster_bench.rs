@@ -373,46 +373,103 @@ fn spot_batch_cases() -> Vec<BenchCase> {
 
 /// Runs every case and assembles the report.
 pub fn run_raster_bench() -> RasterBenchReport {
+    run_raster_bench_filtered(None)
+}
+
+/// Like [`run_raster_bench`], but measuring only the cases whose name
+/// contains one of the comma-separated substrings in `filter` (all cases
+/// when `None`). Each case's measurement is built lazily, so a filtered run
+/// really skips the excluded work — this is what lets CI's `--check` smoke
+/// run (`--filter quad,mesh,gather`) keep every fast case while leaving out
+/// the slow full-synthesis `dnc_spot_batch_*` sweep.
+pub fn run_raster_bench_filtered(filter: Option<&str>) -> RasterBenchReport {
+    let matches = |name: &str| {
+        filter.is_none_or(|f| {
+            f.split(',')
+                .any(|part| !part.is_empty() && name.contains(part))
+        })
+    };
     let disc = disc_spot_texture(32, 0.5);
     let mut flat = Texture::new(32, 32);
     flat.fill(1.0);
 
-    let cases = vec![
-        quad_case(
+    type LazyCase<'a> = (&'static str, Box<dyn FnOnce() -> BenchCase + 'a>);
+    let singles: Vec<LazyCase> = vec![
+        (
             "quad_512_disc_r12",
-            "axis-aligned disc-spot quad, radius 12 px, 512x512 target (microbench shape)",
-            &disc,
-            axis_aligned_spot_quad(Vec2::new(256.0, 256.0), 12.0),
-            0.5,
+            Box::new(|| {
+                quad_case(
+                    "quad_512_disc_r12",
+                    "axis-aligned disc-spot quad, radius 12 px, 512x512 target (microbench shape)",
+                    &disc,
+                    axis_aligned_spot_quad(Vec2::new(256.0, 256.0), 12.0),
+                    0.5,
+                )
+            }),
         ),
-        quad_case(
+        (
             "quad_512_disc_r48",
-            "axis-aligned disc-spot quad, radius 48 px (large spots)",
-            &disc,
-            axis_aligned_spot_quad(Vec2::new(256.0, 256.0), 48.0),
-            0.5,
+            Box::new(|| {
+                quad_case(
+                    "quad_512_disc_r48",
+                    "axis-aligned disc-spot quad, radius 48 px (large spots)",
+                    &disc,
+                    axis_aligned_spot_quad(Vec2::new(256.0, 256.0), 48.0),
+                    0.5,
+                )
+            }),
         ),
-        quad_case(
+        (
             "quad_512_flat_r12",
-            "flat spot texture: uniform-row nearest-sample fast path",
-            &flat,
-            axis_aligned_spot_quad(Vec2::new(256.0, 256.0), 12.0),
-            0.5,
+            Box::new(|| {
+                quad_case(
+                    "quad_512_flat_r12",
+                    "flat spot texture: uniform-row nearest-sample fast path",
+                    &flat,
+                    axis_aligned_spot_quad(Vec2::new(256.0, 256.0), 12.0),
+                    0.5,
+                )
+            }),
         ),
-        mesh_case(
+        (
             "mesh_16x3_rotated",
-            "bent 16x3 turbulence-style mesh, rotated 30 degrees",
-            &rotated_mesh(16, 3, Vec2::new(256.0, 256.0), 60.0, 12.0, 0.52),
+            Box::new(|| {
+                mesh_case(
+                    "mesh_16x3_rotated",
+                    "bent 16x3 turbulence-style mesh, rotated 30 degrees",
+                    &rotated_mesh(16, 3, Vec2::new(256.0, 256.0), 60.0, 12.0, 0.52),
+                )
+            }),
         ),
-        mesh_case(
+        (
             "mesh_32x17_rotated",
-            "bent 32x17 atmospheric-style mesh, rotated 30 degrees",
-            &rotated_mesh(32, 17, Vec2::new(256.0, 256.0), 80.0, 40.0, 0.52),
+            Box::new(|| {
+                mesh_case(
+                    "mesh_32x17_rotated",
+                    "bent 32x17 atmospheric-style mesh, rotated 30 degrees",
+                    &rotated_mesh(32, 17, Vec2::new(256.0, 256.0), 80.0, 40.0, 0.52),
+                )
+            }),
         ),
-        gather_case(),
+        ("gather_additive_512x4", Box::new(gather_case)),
     ];
-    let mut cases = cases;
-    cases.extend(spot_batch_cases());
+
+    let mut cases = Vec::new();
+    for (name, build) in singles {
+        if matches(name) {
+            cases.push(build());
+        }
+    }
+    // The spot-batch sweep shares one reference measurement across its three
+    // cases, so it runs as a unit when any of its names match.
+    let batch_names = [
+        "dnc_spot_batch_16",
+        "dnc_spot_batch_64",
+        "dnc_spot_batch_256",
+    ];
+    if batch_names.iter().any(|n| matches(n)) {
+        cases.extend(spot_batch_cases().into_iter().filter(|c| matches(c.name)));
+    }
     RasterBenchReport {
         threads: std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get),
         cases,
@@ -484,6 +541,18 @@ mod tests {
         };
         assert!((case.speedup() - 2.0).abs() < 1e-12);
         assert!((case.optimized_fragments_per_second() - 1.0e9).abs() < 1.0);
+    }
+
+    #[test]
+    fn filter_that_matches_nothing_runs_nothing() {
+        // Lazily built cases: a non-matching filter must return instantly
+        // with an empty report instead of measuring and discarding.
+        let report = run_raster_bench_filtered(Some("no_such_case"));
+        assert!(report.cases.is_empty());
+        assert!(report.threads >= 1);
+        // Comma-separated alternatives that all miss also run nothing.
+        let report = run_raster_bench_filtered(Some("nope,also_nope,"));
+        assert!(report.cases.is_empty());
     }
 
     #[test]

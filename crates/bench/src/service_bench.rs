@@ -1,0 +1,500 @@
+//! Loopback load generator for the synthesis service.
+//!
+//! Boots a real [`spotnoise_service`] server on an ephemeral loopback port
+//! and drives it over HTTP with keep-alive clients, sweeping concurrency
+//! {1, 4, 16} × {cache-cold, cache-hot}:
+//!
+//! * **cold** — every client owns a session with a unique seed and walks its
+//!   frames sequentially, so every request misses the cache and pays one
+//!   full synthesis through the admission queue;
+//! * **hot** — all clients replay the frames of one pre-warmed shared
+//!   session, so every request is served straight from the LRU frame cache.
+//!
+//! A final overload phase floods a deliberately tiny server (one worker,
+//! watermark 3) far past its watermark and records how many requests were
+//! shed with `Busy` versus queued — the queue must shed, not grow. Results
+//! feed `BENCH_service.json` (schema `bench_service/v1`).
+
+use crate::json::Json;
+use spotnoise_service::{serve, AdmissionConfig, ServiceClient, ServiceOptions};
+use std::net::SocketAddr;
+use std::sync::{Arc, Barrier};
+use std::time::Instant;
+
+/// Workload knobs of one bench run.
+#[derive(Debug, Clone, Copy)]
+pub struct ServiceBenchOptions {
+    /// Texture side length of the bench sessions.
+    pub texture_size: usize,
+    /// Spots per frame of the bench sessions.
+    pub spot_count: usize,
+    /// Frame requests each client issues per case.
+    pub requests_per_client: usize,
+    /// Concurrency levels to sweep.
+    pub concurrency: [usize; 3],
+}
+
+impl ServiceBenchOptions {
+    /// The default measurement run.
+    pub fn standard() -> Self {
+        ServiceBenchOptions {
+            texture_size: 128,
+            spot_count: 800,
+            requests_per_client: 24,
+            concurrency: [1, 4, 16],
+        }
+    }
+
+    /// A reduced run for CI smoke (`--quick`).
+    pub fn quick() -> Self {
+        ServiceBenchOptions {
+            texture_size: 64,
+            spot_count: 200,
+            requests_per_client: 8,
+            concurrency: [1, 4, 16],
+        }
+    }
+
+    fn session_body(&self, seed: u64) -> String {
+        format!(
+            concat!(
+                "{{\"field\": {{\"kind\": \"vortex\", \"omega\": 1.0}}, ",
+                "\"config\": {{\"texture_size\": {}, \"spot_count\": {}, ",
+                "\"spot_texture_size\": 16, \"seed\": {}}}}}"
+            ),
+            self.texture_size, self.spot_count, seed
+        )
+    }
+}
+
+/// One measured (concurrency, cache mode) case.
+#[derive(Debug, Clone)]
+pub struct ServiceCase {
+    /// Case identifier, e.g. `cold_c16`.
+    pub name: String,
+    /// `"cold"` or `"hot"`.
+    pub mode: &'static str,
+    /// Concurrent clients.
+    pub concurrency: usize,
+    /// Total requests completed.
+    pub requests: usize,
+    /// Median request latency in microseconds.
+    pub p50_us: f64,
+    /// 99th-percentile request latency in microseconds.
+    pub p99_us: f64,
+    /// Mean request latency in microseconds.
+    pub mean_us: f64,
+    /// Aggregate served frames per second over the case's wall time.
+    pub frames_per_second: f64,
+    /// Fraction of requests served from the frame cache.
+    pub cache_hit_rate: f64,
+    /// Requests shed with `503 Busy` (retried until served).
+    pub busy_retries: u64,
+}
+
+/// Outcome of the overload phase.
+#[derive(Debug, Clone, Copy)]
+pub struct OverloadResult {
+    /// The tiny server's queue watermark.
+    pub watermark: usize,
+    /// Concurrent one-shot requests fired at it.
+    pub submitted: usize,
+    /// Requests shed with `503 Busy`.
+    pub busy: usize,
+    /// Requests that rendered successfully.
+    pub completed: usize,
+    /// Highest queue depth the server ever recorded.
+    pub peak_depth: usize,
+}
+
+/// The full report.
+#[derive(Debug, Clone)]
+pub struct ServiceBenchReport {
+    /// Host threads available to the server.
+    pub threads: usize,
+    /// The workload knobs used.
+    pub options: ServiceBenchOptions,
+    /// Bytes of one frame on the wire.
+    pub frame_bytes: usize,
+    /// The sweep cases.
+    pub cases: Vec<ServiceCase>,
+    /// The overload phase outcome.
+    pub overload: OverloadResult,
+}
+
+/// Nearest-rank percentile of an unsorted latency sample.
+fn percentile_us(latencies: &mut [f64], q: f64) -> f64 {
+    if latencies.is_empty() {
+        return 0.0;
+    }
+    latencies.sort_by(|a, b| a.partial_cmp(b).expect("finite latencies"));
+    let rank = ((q / 100.0) * latencies.len() as f64).ceil() as usize;
+    latencies[rank.clamp(1, latencies.len()) - 1]
+}
+
+struct ClientOutcome {
+    latencies_us: Vec<f64>,
+    hits: u64,
+    busy_retries: u64,
+}
+
+/// One client's request loop: fetch `frames` in order on `session`,
+/// retrying shed requests until served.
+fn run_client(
+    addr: SocketAddr,
+    session: String,
+    frames: Vec<u64>,
+    barrier: Arc<Barrier>,
+) -> ClientOutcome {
+    let mut client = ServiceClient::connect(addr).expect("connect bench client");
+    let mut outcome = ClientOutcome {
+        latencies_us: Vec::with_capacity(frames.len()),
+        hits: 0,
+        busy_retries: 0,
+    };
+    barrier.wait();
+    for frame in frames {
+        let start = Instant::now();
+        loop {
+            match client.fetch_frame(&session, frame) {
+                Ok(fetched) => {
+                    outcome
+                        .latencies_us
+                        .push(start.elapsed().as_secs_f64() * 1e6);
+                    if fetched.cache_hit {
+                        outcome.hits += 1;
+                    }
+                    break;
+                }
+                Err(spotnoise_service::ClientError::Busy) => {
+                    outcome.busy_retries += 1;
+                    std::thread::sleep(std::time::Duration::from_millis(2));
+                }
+                Err(e) => panic!("bench client failed on frame {frame}: {e}"),
+            }
+        }
+    }
+    outcome
+}
+
+/// Runs one (concurrency, mode) case against the shared server.
+fn run_case(
+    addr: SocketAddr,
+    opts: &ServiceBenchOptions,
+    concurrency: usize,
+    mode: &'static str,
+    seed_base: u64,
+) -> ServiceCase {
+    let requests = opts.requests_per_client;
+    // Session setup happens before the clock starts.
+    let sessions: Vec<String> = if mode == "hot" {
+        // One shared session, pre-warmed so every measured request hits.
+        let mut warmup = ServiceClient::connect(addr).expect("connect warmup client");
+        let session = warmup
+            .create_session(&opts.session_body(seed_base))
+            .expect("create hot session");
+        for frame in 0..requests as u64 {
+            warmup
+                .fetch_frame(&session, frame)
+                .expect("warm up hot session");
+        }
+        vec![session; concurrency]
+    } else {
+        (0..concurrency)
+            .map(|i| {
+                let mut c = ServiceClient::connect(addr).expect("connect setup client");
+                c.create_session(&opts.session_body(seed_base + 1 + i as u64))
+                    .expect("create cold session")
+            })
+            .collect()
+    };
+
+    let barrier = Arc::new(Barrier::new(concurrency + 1));
+    let workers: Vec<_> = sessions
+        .iter()
+        .map(|session| {
+            let barrier = Arc::clone(&barrier);
+            let session = session.clone();
+            let frames: Vec<u64> = (0..requests as u64).collect();
+            std::thread::spawn(move || run_client(addr, session, frames, barrier))
+        })
+        .collect();
+    barrier.wait();
+    let started = Instant::now();
+    let outcomes: Vec<ClientOutcome> = workers
+        .into_iter()
+        .map(|w| w.join().expect("bench client panicked"))
+        .collect();
+    let wall = started.elapsed().as_secs_f64();
+
+    let mut latencies: Vec<f64> = outcomes
+        .iter()
+        .flat_map(|o| o.latencies_us.iter().copied())
+        .collect();
+    let total = latencies.len();
+    let hits: u64 = outcomes.iter().map(|o| o.hits).sum();
+    let busy_retries: u64 = outcomes.iter().map(|o| o.busy_retries).sum();
+    let mean_us = latencies.iter().sum::<f64>() / total.max(1) as f64;
+    let p50_us = percentile_us(&mut latencies, 50.0);
+    let p99_us = percentile_us(&mut latencies, 99.0);
+    ServiceCase {
+        name: format!("{mode}_c{concurrency}"),
+        mode,
+        concurrency,
+        requests: total,
+        p50_us,
+        p99_us,
+        mean_us,
+        frames_per_second: if wall > 0.0 { total as f64 / wall } else { 0.0 },
+        cache_hit_rate: if total > 0 {
+            hits as f64 / total as f64
+        } else {
+            0.0
+        },
+        busy_retries,
+    }
+}
+
+/// Floods a one-worker, watermark-3 server with simultaneous cold requests
+/// and records shed-vs-served counts. The queue must shed with `Busy`, never
+/// grow past its watermark.
+fn run_overload(opts: &ServiceBenchOptions) -> OverloadResult {
+    let watermark = 3;
+    let submitted = 12;
+    let server_options = ServiceOptions {
+        workers: 1,
+        cache_bytes: 0, // force every request through synthesis
+        admission: AdmissionConfig {
+            watermark,
+            per_session: 2,
+        },
+        ..ServiceOptions::default()
+    };
+    let handle = serve("127.0.0.1:0", server_options).expect("bind overload server");
+    let addr = handle.addr();
+    // Heavier frames than the sweep, so the flood overlaps the worker.
+    let body = format!(
+        "{{\"config\": {{\"texture_size\": 192, \"spot_count\": {}, \"seed\": 9}}}}",
+        opts.spot_count.max(1500)
+    );
+    let sessions: Vec<String> = (0..submitted)
+        .map(|i| {
+            let mut c = ServiceClient::connect(addr).expect("connect overload setup");
+            c.create_session(&body.replace("\"seed\": 9", &format!("\"seed\": {}", 100 + i)))
+                .expect("create overload session")
+        })
+        .collect();
+    let barrier = Arc::new(Barrier::new(submitted + 1));
+    let workers: Vec<_> = sessions
+        .into_iter()
+        .map(|session| {
+            let barrier = Arc::clone(&barrier);
+            std::thread::spawn(move || {
+                let mut client = ServiceClient::connect(addr).expect("connect overload client");
+                barrier.wait();
+                match client.fetch_frame(&session, 0) {
+                    Ok(_) => Ok(()),
+                    Err(spotnoise_service::ClientError::Busy) => Err(()),
+                    Err(e) => panic!("overload client failed: {e}"),
+                }
+            })
+        })
+        .collect();
+    barrier.wait();
+    let mut busy = 0;
+    let mut completed = 0;
+    for w in workers {
+        match w.join().expect("overload client panicked") {
+            Ok(()) => completed += 1,
+            Err(()) => busy += 1,
+        }
+    }
+    let mut stats_client = ServiceClient::connect(addr).expect("connect stats client");
+    let stats = stats_client.stats().expect("overload stats");
+    let peak_depth = stats
+        .get("queue")
+        .and_then(|q| q.get("peak_depth"))
+        .and_then(Json::as_f64)
+        .unwrap_or(f64::NAN) as usize;
+    handle.shutdown();
+    OverloadResult {
+        watermark,
+        submitted,
+        busy,
+        completed,
+        peak_depth,
+    }
+}
+
+/// Runs the full sweep and the overload phase.
+pub fn run_service_bench(opts: ServiceBenchOptions) -> ServiceBenchReport {
+    let server_options = ServiceOptions {
+        cache_bytes: 64 << 20,
+        ..ServiceOptions::default()
+    };
+    let handle = serve("127.0.0.1:0", server_options).expect("bind bench server");
+    let addr = handle.addr();
+    let mut cases = Vec::new();
+    let mut seed_base = 1_000;
+    for &concurrency in &opts.concurrency {
+        for mode in ["cold", "hot"] {
+            cases.push(run_case(addr, &opts, concurrency, mode, seed_base));
+            // Seeds never repeat across cases, so "cold" stays cold.
+            seed_base += 1_000;
+        }
+    }
+    handle.shutdown();
+    let overload = run_overload(&opts);
+    ServiceBenchReport {
+        threads: std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get),
+        options: opts,
+        frame_bytes: opts.texture_size * opts.texture_size * 4,
+        cases,
+        overload,
+    }
+}
+
+/// Human-readable table for stdout.
+pub fn format_report(report: &ServiceBenchReport) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "service loopback bench ({} threads, {}x{} texture, {} spots, {} req/client)\n",
+        report.threads,
+        report.options.texture_size,
+        report.options.texture_size,
+        report.options.spot_count,
+        report.options.requests_per_client,
+    ));
+    out.push_str(&format!(
+        "{:<10} {:>5} {:>9} {:>12} {:>12} {:>12} {:>10} {:>6}\n",
+        "case", "conc", "requests", "p50", "p99", "frames/s", "hit rate", "busy"
+    ));
+    for case in &report.cases {
+        out.push_str(&format!(
+            "{:<10} {:>5} {:>9} {:>9.1} us {:>9.1} us {:>12.1} {:>9.0}% {:>6}\n",
+            case.name,
+            case.concurrency,
+            case.requests,
+            case.p50_us,
+            case.p99_us,
+            case.frames_per_second,
+            case.cache_hit_rate * 100.0,
+            case.busy_retries,
+        ));
+    }
+    let o = &report.overload;
+    out.push_str(&format!(
+        "overload: {} simultaneous requests vs watermark {}: {} busy, {} served, peak depth {}\n",
+        o.submitted, o.watermark, o.busy, o.completed, o.peak_depth,
+    ));
+    out
+}
+
+/// Serializes the report in the `BENCH_service.json` schema.
+pub fn report_to_json(report: &ServiceBenchReport) -> String {
+    let o = &report.overload;
+    Json::object([
+        ("schema", Json::str("bench_service/v1")),
+        ("threads", Json::num(report.threads as f64)),
+        (
+            "workload",
+            Json::object([
+                (
+                    "texture_size",
+                    Json::num(report.options.texture_size as f64),
+                ),
+                ("spot_count", Json::num(report.options.spot_count as f64)),
+                (
+                    "requests_per_client",
+                    Json::num(report.options.requests_per_client as f64),
+                ),
+                ("frame_bytes", Json::num(report.frame_bytes as f64)),
+            ]),
+        ),
+        (
+            "cases",
+            Json::array(report.cases.iter().map(|c| {
+                Json::object([
+                    ("name", Json::str(c.name.clone())),
+                    ("mode", Json::str(c.mode)),
+                    ("concurrency", Json::num(c.concurrency as f64)),
+                    ("requests", Json::num(c.requests as f64)),
+                    ("p50_us", Json::num(c.p50_us)),
+                    ("p99_us", Json::num(c.p99_us)),
+                    ("mean_us", Json::num(c.mean_us)),
+                    ("frames_per_second", Json::num(c.frames_per_second)),
+                    ("cache_hit_rate", Json::num(c.cache_hit_rate)),
+                    ("busy_retries", Json::num(c.busy_retries as f64)),
+                ])
+            })),
+        ),
+        (
+            "overload",
+            Json::object([
+                ("watermark", Json::num(o.watermark as f64)),
+                ("submitted", Json::num(o.submitted as f64)),
+                ("busy", Json::num(o.busy as f64)),
+                ("completed", Json::num(o.completed as f64)),
+                ("peak_depth", Json::num(o.peak_depth as f64)),
+            ]),
+        ),
+    ])
+    .to_string_pretty()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn percentile_nearest_rank() {
+        let mut l = vec![5.0, 1.0, 3.0, 2.0, 4.0];
+        assert_eq!(percentile_us(&mut l, 50.0), 3.0);
+        assert_eq!(percentile_us(&mut l, 99.0), 5.0);
+        assert_eq!(percentile_us(&mut l, 100.0), 5.0);
+        assert_eq!(percentile_us(&mut [][..].to_vec(), 50.0), 0.0);
+        let mut one = vec![7.0];
+        assert_eq!(percentile_us(&mut one, 50.0), 7.0);
+    }
+
+    #[test]
+    fn report_json_has_schema_cases_and_overload() {
+        let report = ServiceBenchReport {
+            threads: 1,
+            options: ServiceBenchOptions::quick(),
+            frame_bytes: 64 * 64 * 4,
+            cases: vec![ServiceCase {
+                name: "cold_c1".to_string(),
+                mode: "cold",
+                concurrency: 1,
+                requests: 8,
+                p50_us: 1000.0,
+                p99_us: 2000.0,
+                mean_us: 1100.0,
+                frames_per_second: 900.0,
+                cache_hit_rate: 0.0,
+                busy_retries: 0,
+            }],
+            overload: OverloadResult {
+                watermark: 3,
+                submitted: 12,
+                busy: 8,
+                completed: 4,
+                peak_depth: 3,
+            },
+        };
+        let text = report_to_json(&report);
+        let doc = Json::parse(&text).expect("report parses");
+        assert_eq!(
+            doc.get("schema").and_then(Json::as_str),
+            Some("bench_service/v1")
+        );
+        assert_eq!(doc.get("cases").and_then(Json::as_array).unwrap().len(), 1);
+        assert_eq!(
+            doc.get("overload")
+                .and_then(|o| o.get("busy"))
+                .and_then(Json::as_f64),
+            Some(8.0)
+        );
+    }
+}

@@ -126,6 +126,84 @@ impl SpotAnimator {
 }
 
 #[cfg(test)]
+mod proptests {
+    use super::*;
+    use flowfield::analytic::Vortex;
+    use flowfield::particles::ParticleOptions;
+    use flowfield::Vec2;
+    use proptest::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(24))]
+
+        /// The service's frame-advance path leans on the spot life cycle:
+        /// whatever the field, step size or lifetime, after any number of
+        /// steps every live spot must still be inside the domain, no
+        /// particle may outlive its lifetime, and a respawned particle must
+        /// carry a freshly drawn phase (position and random intensity), not
+        /// its predecessor's.
+        #[test]
+        fn life_cycle_keeps_spots_in_domain_and_respawns_fresh(
+            seed in 0u64..200,
+            steps in 1usize..25,
+            mean_lifetime in 2u32..12,
+            dt in 0.01f64..0.4,
+            omega in -6.0f64..6.0,
+        ) {
+            let domain = Rect::new(Vec2::ZERO, Vec2::new(1.0, 1.0));
+            let field = Vortex { omega, center: Vec2::new(0.8, 0.8), domain };
+            let options = ParticleOptions { count: 120, mean_lifetime, ..Default::default() };
+            let mut animator =
+                SpotAnimator::with_options(domain, options, PositionMode::Advected, seed);
+            let mut respawns_seen = 0usize;
+            for step in 0..steps {
+                let before = animator.ensemble.particles().to_vec();
+                animator.advance(&field, dt);
+                let after = animator.ensemble.particles();
+                prop_assert_eq!(after.len(), before.len());
+                for (slot, (prev, p)) in before.iter().zip(after).enumerate() {
+                    prop_assert!(
+                        domain.contains(p.position),
+                        "step {} slot {}: position {:?} escaped the domain",
+                        step, slot, p.position
+                    );
+                    prop_assert!(
+                        p.age < p.lifetime,
+                        "step {} slot {}: age {} not below lifetime {}",
+                        step, slot, p.age, p.lifetime
+                    );
+                    // Survivors aged by exactly one frame; a particle whose
+                    // age reset to 0 was respawned this step and must have a
+                    // fresh phase — a newly drawn position *and* intensity,
+                    // not the dead particle's values carried over.
+                    if p.age == 0 {
+                        respawns_seen += 1;
+                        prop_assert!(
+                            p.position != prev.position && p.intensity != prev.intensity,
+                            "step {} slot {}: respawn kept stale phase",
+                            step, slot
+                        );
+                    } else {
+                        prop_assert_eq!(p.age, prev.age + 1);
+                        prop_assert_eq!(p.intensity, prev.intensity);
+                        prop_assert_eq!(p.lifetime, prev.lifetime);
+                    }
+                }
+                // The spots handed to synthesis mirror the ensemble.
+                let spots = animator.spots();
+                prop_assert!(spots.iter().all(|s| domain.contains(s.position)));
+            }
+            // With lifetimes far below the step count the cycle must have
+            // actually recycled particles, otherwise the property above
+            // never exercised the respawn arm.
+            if steps as u32 > 2 * mean_lifetime {
+                prop_assert!(respawns_seen > 0, "no particle was ever recycled");
+            }
+        }
+    }
+}
+
+#[cfg(test)]
 mod tests {
     use super::*;
     use flowfield::analytic::Uniform;

@@ -170,6 +170,44 @@ impl SynthesisConfig {
         self.spot_count * self.spot_kind.quads_per_spot()
     }
 
+    /// A stable content hash of the configuration, usable as (part of) a
+    /// frame-cache key: two configs with identical parameters produce the
+    /// same key in any process on any run, and any parameter change produces
+    /// a different key. Every field is folded in — including knobs like
+    /// [`spot_batch`](Self::spot_batch) that affect throughput but not the
+    /// rendered texels — so the key is conservative: it never aliases two
+    /// different configurations, at worst it declines to share cache entries
+    /// between configs that happen to render identically.
+    pub fn cache_key(&self) -> u64 {
+        let mut h = crate::hash::StableHasher::new();
+        h.write_str("SynthesisConfig/v1");
+        h.write_usize(self.texture_size);
+        h.write_usize(self.spot_count);
+        h.write_f64(self.spot_radius);
+        match self.spot_kind {
+            SpotKind::Disc => h.write_u8(0),
+            SpotKind::Bent { rows, cols } => {
+                h.write_u8(1);
+                h.write_usize(rows);
+                h.write_usize(cols);
+            }
+        }
+        h.write_usize(self.spot_texture_size);
+        h.write_f32(self.spot_softness);
+        h.write_f64(self.max_stretch);
+        h.write_f64(self.intensity_amplitude);
+        h.write_u8(match self.integrator {
+            Integrator::Euler => 0,
+            Integrator::Midpoint => 1,
+            Integrator::RungeKutta4 => 2,
+        });
+        h.write_u64(self.seed);
+        h.write_bool(self.use_tiling);
+        h.write_bool(self.transform_on_pipe);
+        h.write_usize(self.spot_batch);
+        h.finish()
+    }
+
     /// Validates parameter sanity, returning a description of the first
     /// problem found.
     pub fn validate(&self) -> Result<(), String> {
@@ -297,6 +335,93 @@ mod tests {
         }
         .validate()
         .is_err());
+    }
+
+    #[test]
+    fn cache_key_is_stable_and_discriminating() {
+        // Re-building an identical config hashes identically.
+        assert_eq!(
+            SynthesisConfig::small_test().cache_key(),
+            SynthesisConfig::small_test().cache_key()
+        );
+        assert_eq!(
+            SynthesisConfig::atmospheric_paper().cache_key(),
+            SynthesisConfig::atmospheric_paper().cache_key()
+        );
+
+        // Every single-field perturbation produces a distinct key.
+        let base = SynthesisConfig::small_test();
+        let variants = [
+            SynthesisConfig {
+                texture_size: 256,
+                ..base
+            },
+            SynthesisConfig {
+                spot_count: 301,
+                ..base
+            },
+            SynthesisConfig {
+                spot_radius: 0.031,
+                ..base
+            },
+            SynthesisConfig {
+                spot_kind: SpotKind::Bent { rows: 8, cols: 3 },
+                ..base
+            },
+            SynthesisConfig {
+                spot_texture_size: 32,
+                ..base
+            },
+            SynthesisConfig {
+                spot_softness: 0.25,
+                ..base
+            },
+            SynthesisConfig {
+                max_stretch: 2.0,
+                ..base
+            },
+            SynthesisConfig {
+                intensity_amplitude: 0.5,
+                ..base
+            },
+            SynthesisConfig {
+                integrator: Integrator::Euler,
+                ..base
+            },
+            SynthesisConfig { seed: 43, ..base },
+            SynthesisConfig {
+                use_tiling: true,
+                ..base
+            },
+            SynthesisConfig {
+                transform_on_pipe: true,
+                ..base
+            },
+            SynthesisConfig {
+                spot_batch: 65,
+                ..base
+            },
+        ];
+        let mut keys = vec![base.cache_key()];
+        for v in variants {
+            keys.push(v.cache_key());
+        }
+        for i in 0..keys.len() {
+            for j in i + 1..keys.len() {
+                assert_ne!(keys[i], keys[j], "variants {i} and {j} collided");
+            }
+        }
+
+        // Bent meshes with swapped dimensions are different configs.
+        let a = SynthesisConfig {
+            spot_kind: SpotKind::Bent { rows: 8, cols: 3 },
+            ..base
+        };
+        let b = SynthesisConfig {
+            spot_kind: SpotKind::Bent { rows: 3, cols: 8 },
+            ..base
+        };
+        assert_ne!(a.cache_key(), b.cache_key());
     }
 
     #[test]

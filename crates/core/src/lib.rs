@@ -28,7 +28,10 @@
 //! * [`filter`] — spot filtering and display post-processing,
 //! * [`pipeline`] — the interactive four-step pipeline,
 //! * [`perfmodel`] — equations 2.1 / 3.2 and the simulated-Onyx2 predictions,
-//! * [`metrics`] — throughput and stage-timing instrumentation.
+//! * [`metrics`] — throughput, stage-timing and cache instrumentation,
+//! * [`hash`] — stable content hashing for frame-cache keys,
+//! * [`json`] — the registry-free JSON value type used by the benchmark
+//!   artifacts and the synthesis service.
 //!
 //! ## Quick example
 //!
@@ -55,6 +58,8 @@ pub mod bent;
 pub mod config;
 pub mod dnc;
 pub mod filter;
+pub mod hash;
+pub mod json;
 pub mod metrics;
 pub mod partition;
 pub mod perfmodel;

@@ -105,6 +105,45 @@ impl ThroughputMeter {
     }
 }
 
+/// Hit/miss/eviction counters of a frame cache, as exposed by the synthesis
+/// service's `/stats` endpoint. Lookup outcomes are counted per *requested*
+/// frame: a `hit` served the frame without synthesis, a `miss` admitted a
+/// synthesis job. `insertions`/`evictions` track the entry population
+/// (look-ahead frames rendered on the way to a requested index are inserted
+/// without a counted lookup, so `insertions` can exceed `misses`).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CacheStats {
+    /// Frame requests served straight from the cache.
+    pub hits: u64,
+    /// Frame requests that required synthesis.
+    pub misses: u64,
+    /// Entries stored.
+    pub insertions: u64,
+    /// Entries expelled by the LRU policy to respect the capacity.
+    pub evictions: u64,
+}
+
+impl CacheStats {
+    /// Fraction of counted lookups that hit, in `[0, 1]` (0 when no lookup
+    /// has happened yet).
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+
+    /// Folds another counter snapshot into this one.
+    pub fn merge(&mut self, other: &CacheStats) {
+        self.hits += other.hits;
+        self.misses += other.misses;
+        self.insertions += other.insertions;
+        self.evictions += other.evictions;
+    }
+}
+
 /// A frame's complete measurement record: wall-clock stage times plus (when
 /// the divide-and-conquer executor ran) the simulated-machine prediction.
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -169,6 +208,32 @@ mod tests {
         // Five immediate ticks give a very high (but finite or zero) rate;
         // the meter must not panic or return NaN.
         assert!(m.textures_per_second().is_finite());
+    }
+
+    #[test]
+    fn cache_stats_rate_and_merge() {
+        let mut s = CacheStats::default();
+        assert_eq!(s.hit_rate(), 0.0);
+        s.hits = 3;
+        s.misses = 1;
+        s.insertions = 1;
+        assert!((s.hit_rate() - 0.75).abs() < 1e-12);
+        s.merge(&CacheStats {
+            hits: 1,
+            misses: 3,
+            insertions: 3,
+            evictions: 2,
+        });
+        assert_eq!(
+            s,
+            CacheStats {
+                hits: 4,
+                misses: 4,
+                insertions: 4,
+                evictions: 2,
+            }
+        );
+        assert!((s.hit_rate() - 0.5).abs() < 1e-12);
     }
 
     #[test]

@@ -1,0 +1,82 @@
+//! The `spotnoise-service` server binary.
+//!
+//! ```text
+//! spotnoise-service [--addr 127.0.0.1] [--port 7997] [--cache-bytes 67108864]
+//!                   [--watermark 64] [--per-session 16] [--workers 0]
+//!                   [--max-sessions 64] [--idle-timeout-secs 300]
+//! ```
+//!
+//! Prints `listening on http://<addr>` once bound (port 0 picks an
+//! ephemeral port and prints the real one) and runs until `POST /shutdown`.
+
+use spotnoise_service::{serve, AdmissionConfig, ServiceOptions};
+use std::process::ExitCode;
+use std::time::Duration;
+
+fn parse<T: std::str::FromStr>(args: &mut impl Iterator<Item = String>, flag: &str) -> Option<T> {
+    match args.next().map(|v| v.parse::<T>()) {
+        Some(Ok(v)) => Some(v),
+        _ => {
+            eprintln!("{flag} needs a value");
+            None
+        }
+    }
+}
+
+fn main() -> ExitCode {
+    let mut addr = "127.0.0.1".to_string();
+    let mut port: u16 = 7997;
+    let mut options = ServiceOptions::default();
+    let mut admission = AdmissionConfig::default();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let ok = match arg.as_str() {
+            "--addr" => parse::<String>(&mut args, "--addr")
+                .map(|v| addr = v)
+                .is_some(),
+            "--port" => parse::<u16>(&mut args, "--port")
+                .map(|v| port = v)
+                .is_some(),
+            "--cache-bytes" => parse::<usize>(&mut args, "--cache-bytes")
+                .map(|v| options.cache_bytes = v)
+                .is_some(),
+            "--watermark" => parse::<usize>(&mut args, "--watermark")
+                .map(|v| admission.watermark = v)
+                .is_some(),
+            "--per-session" => parse::<usize>(&mut args, "--per-session")
+                .map(|v| admission.per_session = v)
+                .is_some(),
+            "--workers" => parse::<usize>(&mut args, "--workers")
+                .map(|v| options.workers = v)
+                .is_some(),
+            "--max-sessions" => parse::<usize>(&mut args, "--max-sessions")
+                .map(|v| options.max_sessions = v)
+                .is_some(),
+            "--idle-timeout-secs" => parse::<u64>(&mut args, "--idle-timeout-secs")
+                .map(|v| options.idle_timeout = Duration::from_secs(v))
+                .is_some(),
+            other => {
+                eprintln!("unknown argument: {other}");
+                false
+            }
+        };
+        if !ok {
+            return ExitCode::FAILURE;
+        }
+    }
+    options.admission = admission;
+    let handle = match serve((addr.as_str(), port), options) {
+        Ok(handle) => handle,
+        Err(e) => {
+            eprintln!("bind {addr}:{port}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    println!("listening on http://{}", handle.addr());
+    // Line-buffer stdout so scripts polling for the banner see it promptly.
+    use std::io::Write as _;
+    let _ = std::io::stdout().flush();
+    handle.join();
+    println!("shut down cleanly");
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,240 @@
+//! A small blocking HTTP client for the service.
+//!
+//! Used by the loopback load bench (`bench_service`), the integration tests
+//! and in-process tooling. One [`ServiceClient`] holds one keep-alive
+//! connection, so repeated frame fetches measure server latency rather than
+//! TCP handshakes.
+
+use spotnoise::json::Json;
+use std::io::{self, BufRead, BufReader, Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::time::Duration;
+
+/// A parsed HTTP response.
+#[derive(Debug, Clone)]
+pub struct HttpReply {
+    /// Status code.
+    pub status: u16,
+    /// Response headers, lower-cased names.
+    pub headers: Vec<(String, String)>,
+    /// Body bytes.
+    pub body: Vec<u8>,
+}
+
+impl HttpReply {
+    /// The value of a header (name matched case-insensitively).
+    pub fn header(&self, name: &str) -> Option<&str> {
+        let name = name.to_ascii_lowercase();
+        self.headers
+            .iter()
+            .find(|(k, _)| *k == name)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// Parses the body as JSON.
+    pub fn json(&self) -> Result<Json, String> {
+        Json::parse(std::str::from_utf8(&self.body).map_err(|e| e.to_string())?)
+    }
+}
+
+/// Client-side failure modes.
+#[derive(Debug)]
+pub enum ClientError {
+    /// Transport failure.
+    Io(io::Error),
+    /// The server shed the request (`503` with a `busy` error).
+    Busy,
+    /// The server does not know the session (`404`).
+    NotFound,
+    /// Any other non-success status.
+    Http(u16, String),
+}
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClientError::Io(e) => write!(f, "io: {e}"),
+            ClientError::Busy => write!(f, "server busy"),
+            ClientError::NotFound => write!(f, "not found"),
+            ClientError::Http(status, body) => write!(f, "http {status}: {body}"),
+        }
+    }
+}
+
+impl From<io::Error> for ClientError {
+    fn from(e: io::Error) -> Self {
+        ClientError::Io(e)
+    }
+}
+
+/// A fetched frame.
+#[derive(Debug, Clone)]
+pub struct FetchedFrame {
+    /// Little-endian `f32` texels.
+    pub bytes: Vec<u8>,
+    /// The frame index the server rendered (from `X-Frame-Index`).
+    pub frame: u64,
+    /// Whether the server served it from its cache (`X-Frame-Cache`).
+    pub cache_hit: bool,
+}
+
+/// One keep-alive connection to a running service.
+pub struct ServiceClient {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+}
+
+impl ServiceClient {
+    /// Connects to the server.
+    pub fn connect(addr: SocketAddr) -> io::Result<Self> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        stream.set_read_timeout(Some(Duration::from_secs(120)))?;
+        let reader = BufReader::new(stream.try_clone()?);
+        Ok(ServiceClient {
+            reader,
+            writer: stream,
+        })
+    }
+
+    /// Sends one request and reads the full response.
+    pub fn request(&mut self, method: &str, path: &str, body: &[u8]) -> io::Result<HttpReply> {
+        let head = format!(
+            "{method} {path} HTTP/1.1\r\nHost: spotnoise\r\nContent-Length: {}\r\n\r\n",
+            body.len()
+        );
+        self.writer.write_all(head.as_bytes())?;
+        self.writer.write_all(body)?;
+        self.writer.flush()?;
+
+        let mut status_line = String::new();
+        if self.reader.read_line(&mut status_line)? == 0 {
+            return Err(io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                "server closed the connection",
+            ));
+        }
+        let status: u16 = status_line
+            .split_whitespace()
+            .nth(1)
+            .and_then(|s| s.parse().ok())
+            .ok_or_else(|| {
+                io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    format!("bad status line {status_line:?}"),
+                )
+            })?;
+        let mut headers = Vec::new();
+        let mut content_length = 0usize;
+        loop {
+            let mut line = String::new();
+            if self.reader.read_line(&mut line)? == 0 {
+                return Err(io::Error::new(
+                    io::ErrorKind::UnexpectedEof,
+                    "connection closed mid-headers",
+                ));
+            }
+            let line = line.trim_end();
+            if line.is_empty() {
+                break;
+            }
+            if let Some((name, value)) = line.split_once(':') {
+                let name = name.to_ascii_lowercase();
+                let value = value.trim().to_string();
+                if name == "content-length" {
+                    content_length = value.parse().map_err(|_| {
+                        io::Error::new(io::ErrorKind::InvalidData, "bad content-length")
+                    })?;
+                }
+                headers.push((name, value));
+            }
+        }
+        let mut body = vec![0u8; content_length];
+        self.reader.read_exact(&mut body)?;
+        Ok(HttpReply {
+            status,
+            headers,
+            body,
+        })
+    }
+
+    fn expect_success(reply: HttpReply) -> Result<HttpReply, ClientError> {
+        match reply.status {
+            200 | 201 | 204 => Ok(reply),
+            404 => Err(ClientError::NotFound),
+            503 => Err(ClientError::Busy),
+            status => Err(ClientError::Http(
+                status,
+                String::from_utf8_lossy(&reply.body).into_owned(),
+            )),
+        }
+    }
+
+    /// Creates a session from a JSON spec body (empty for the default
+    /// session) and returns its id.
+    pub fn create_session(&mut self, spec_body: &str) -> Result<String, ClientError> {
+        let reply =
+            Self::expect_success(self.request("POST", "/sessions", spec_body.as_bytes())?)?;
+        let doc = reply
+            .json()
+            .map_err(|e| ClientError::Http(reply.status, e))?;
+        doc.get("session")
+            .and_then(Json::as_str)
+            .map(str::to_string)
+            .ok_or_else(|| ClientError::Http(reply.status, "no session id in reply".to_string()))
+    }
+
+    fn frame_from_reply(reply: HttpReply) -> Result<FetchedFrame, ClientError> {
+        let cache_hit = reply.header("x-frame-cache") == Some("hit");
+        let frame = reply
+            .header("x-frame-index")
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(0);
+        Ok(FetchedFrame {
+            bytes: reply.body,
+            frame,
+            cache_hit,
+        })
+    }
+
+    /// Fetches frame `index` of a session.
+    pub fn fetch_frame(&mut self, session: &str, index: u64) -> Result<FetchedFrame, ClientError> {
+        let path = format!("/sessions/{session}/frame/{index}");
+        let reply = Self::expect_success(self.request("GET", &path, b"")?)?;
+        Self::frame_from_reply(reply)
+    }
+
+    /// Renders and returns the session's next natural frame.
+    pub fn advance(&mut self, session: &str) -> Result<FetchedFrame, ClientError> {
+        let path = format!("/sessions/{session}/advance");
+        let reply = Self::expect_success(self.request("POST", &path, b"")?)?;
+        Self::frame_from_reply(reply)
+    }
+
+    /// Steers a session to a new field; `field_body` is the field JSON
+    /// object (e.g. `{"kind": "shear", "rate": 2.0}`).
+    pub fn steer(&mut self, session: &str, field_body: &str) -> Result<(), ClientError> {
+        let path = format!("/sessions/{session}/steer");
+        Self::expect_success(self.request("POST", &path, field_body.as_bytes())?)?;
+        Ok(())
+    }
+
+    /// Closes a session.
+    pub fn close_session(&mut self, session: &str) -> Result<(), ClientError> {
+        let path = format!("/sessions/{session}");
+        Self::expect_success(self.request("DELETE", &path, b"")?)?;
+        Ok(())
+    }
+
+    /// Fetches and parses `/stats`.
+    pub fn stats(&mut self) -> Result<Json, ClientError> {
+        let reply = Self::expect_success(self.request("GET", "/stats", b"")?)?;
+        reply.json().map_err(|e| ClientError::Http(200, e))
+    }
+
+    /// Asks the server to shut down.
+    pub fn shutdown(&mut self) -> Result<(), ClientError> {
+        Self::expect_success(self.request("POST", "/shutdown", b"")?)?;
+        Ok(())
+    }
+}

@@ -1,0 +1,304 @@
+//! A minimal HTTP/1.1 layer over `std::net`.
+//!
+//! The container this workspace builds in has no registry access, so there
+//! is no hyper/axum to lean on; the service speaks just enough HTTP/1.1 for
+//! its API: request-line + headers + `Content-Length` bodies in,
+//! fixed-length responses with keep-alive out. Request size is capped so a
+//! misbehaving client cannot balloon memory.
+
+use spotnoise::json::Json;
+use std::io::{self, BufRead, Read, Write};
+use std::sync::Arc;
+
+/// Upper bound on the request head (request line + headers).
+const MAX_HEAD_BYTES: usize = 16 * 1024;
+/// Upper bound on a request body.
+const MAX_BODY_BYTES: usize = 256 * 1024;
+
+/// A parsed request.
+#[derive(Debug, Clone)]
+pub struct Request {
+    /// Upper-cased method (`GET`, `POST`, ...).
+    pub method: String,
+    /// Path component of the request target (query strings are not used by
+    /// this API and are kept attached).
+    pub path: String,
+    /// Raw body bytes (empty when absent).
+    pub body: Vec<u8>,
+    /// Whether the client asked to keep the connection open.
+    pub keep_alive: bool,
+}
+
+/// Reads one `\n`-terminated line, refusing to buffer more than `cap`
+/// bytes. A plain `read_line` would grow its buffer without bound on a
+/// stream that never sends a newline — the cap turns that into an error
+/// *while reading*, before the bytes accumulate, so the head-size limit
+/// cannot be sidestepped by one enormous line.
+fn read_line_capped(reader: &mut impl BufRead, cap: usize, line: &mut String) -> io::Result<usize> {
+    let n = reader.by_ref().take(cap as u64 + 1).read_line(line)?;
+    if n > cap || (n == cap && !line.ends_with('\n')) {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            "request head too large",
+        ));
+    }
+    Ok(n)
+}
+
+/// Reads one request from a buffered stream. `Ok(None)` is a clean
+/// end-of-stream before a request line (the client hung up between
+/// keep-alive requests).
+pub fn read_request(reader: &mut impl BufRead) -> io::Result<Option<Request>> {
+    let mut line = String::new();
+    if read_line_capped(reader, MAX_HEAD_BYTES, &mut line)? == 0 {
+        return Ok(None);
+    }
+    let mut parts = line.split_whitespace();
+    let (method, path, version) = match (parts.next(), parts.next(), parts.next()) {
+        (Some(m), Some(p), Some(v)) => (m.to_ascii_uppercase(), p.to_string(), v.to_string()),
+        _ => {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("malformed request line {line:?}"),
+            ))
+        }
+    };
+
+    let mut content_length = 0usize;
+    // HTTP/1.1 defaults to keep-alive; HTTP/1.0 to close.
+    let mut keep_alive = version != "HTTP/1.0";
+    let mut head_bytes = line.len();
+    loop {
+        let mut header = String::new();
+        let budget = MAX_HEAD_BYTES.saturating_sub(head_bytes);
+        if budget == 0 {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                "request head too large",
+            ));
+        }
+        if read_line_capped(reader, budget, &mut header)? == 0 {
+            return Err(io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                "connection closed mid-headers",
+            ));
+        }
+        head_bytes += header.len();
+        let header = header.trim_end();
+        if header.is_empty() {
+            break;
+        }
+        if let Some((name, value)) = header.split_once(':') {
+            let value = value.trim();
+            if name.eq_ignore_ascii_case("content-length") {
+                content_length = value.parse().map_err(|_| {
+                    io::Error::new(
+                        io::ErrorKind::InvalidData,
+                        format!("bad content-length {value:?}"),
+                    )
+                })?;
+            } else if name.eq_ignore_ascii_case("connection") {
+                keep_alive = !value.eq_ignore_ascii_case("close");
+            }
+        }
+    }
+    if content_length > MAX_BODY_BYTES {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            "request body too large",
+        ));
+    }
+    let mut body = vec![0u8; content_length];
+    reader.read_exact(&mut body)?;
+    Ok(Some(Request {
+        method,
+        path,
+        body,
+        keep_alive,
+    }))
+}
+
+/// A response under construction.
+#[derive(Debug, Clone)]
+pub struct Response {
+    /// HTTP status code.
+    pub status: u16,
+    /// `Content-Type` value.
+    pub content_type: &'static str,
+    /// Extra headers (name, value).
+    pub headers: Vec<(String, String)>,
+    /// Body bytes, shared so a cached frame buffer is written straight from
+    /// the cache's `Arc` instead of being deep-copied per response (frame
+    /// bodies run to megabytes on the hot path).
+    pub body: Arc<Vec<u8>>,
+}
+
+/// Canonical reason phrases for the codes this API uses.
+pub fn status_text(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        201 => "Created",
+        204 => "No Content",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        413 => "Payload Too Large",
+        500 => "Internal Server Error",
+        503 => "Service Unavailable",
+        _ => "Unknown",
+    }
+}
+
+impl Response {
+    /// A JSON response.
+    pub fn json(status: u16, value: Json) -> Self {
+        Response {
+            status,
+            content_type: "application/json",
+            headers: Vec::new(),
+            body: Arc::new(value.to_string_pretty().into_bytes()),
+        }
+    }
+
+    /// A raw binary response.
+    pub fn bytes(status: u16, body: Vec<u8>) -> Self {
+        Response::shared(status, Arc::new(body))
+    }
+
+    /// A raw binary response over an existing shared buffer (no copy).
+    pub fn shared(status: u16, body: Arc<Vec<u8>>) -> Self {
+        Response {
+            status,
+            content_type: "application/octet-stream",
+            headers: Vec::new(),
+            body,
+        }
+    }
+
+    /// An empty response (e.g. `204`).
+    pub fn empty(status: u16) -> Self {
+        Response {
+            status,
+            content_type: "application/json",
+            headers: Vec::new(),
+            body: Arc::new(Vec::new()),
+        }
+    }
+
+    /// A JSON error envelope `{"error": ..., "detail": ...}`.
+    pub fn error(status: u16, error: &str, detail: &str) -> Self {
+        Response::json(
+            status,
+            Json::object([("error", Json::str(error)), ("detail", Json::str(detail))]),
+        )
+    }
+
+    /// Adds a header.
+    pub fn with_header(mut self, name: &str, value: impl Into<String>) -> Self {
+        self.headers.push((name.to_string(), value.into()));
+        self
+    }
+
+    /// Serializes the response onto a stream.
+    pub fn write_to(&self, out: &mut impl Write, keep_alive: bool) -> io::Result<()> {
+        let mut head = format!(
+            "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: {}\r\n",
+            self.status,
+            status_text(self.status),
+            self.content_type,
+            self.body.len(),
+            if keep_alive { "keep-alive" } else { "close" },
+        );
+        for (name, value) in &self.headers {
+            head.push_str(name);
+            head.push_str(": ");
+            head.push_str(value);
+            head.push_str("\r\n");
+        }
+        head.push_str("\r\n");
+        out.write_all(head.as_bytes())?;
+        out.write_all(&self.body)?;
+        out.flush()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::BufReader;
+
+    #[test]
+    fn parses_request_with_body() {
+        let raw = b"POST /sessions HTTP/1.1\r\nHost: x\r\nContent-Length: 4\r\n\r\nabcd";
+        let req = read_request(&mut BufReader::new(&raw[..]))
+            .unwrap()
+            .unwrap();
+        assert_eq!(req.method, "POST");
+        assert_eq!(req.path, "/sessions");
+        assert_eq!(req.body, b"abcd");
+        assert!(req.keep_alive);
+    }
+
+    #[test]
+    fn connection_close_and_http10_disable_keep_alive() {
+        let raw = b"GET /stats HTTP/1.1\r\nConnection: close\r\n\r\n";
+        let req = read_request(&mut BufReader::new(&raw[..]))
+            .unwrap()
+            .unwrap();
+        assert!(!req.keep_alive);
+        let raw = b"GET /stats HTTP/1.0\r\n\r\n";
+        let req = read_request(&mut BufReader::new(&raw[..]))
+            .unwrap()
+            .unwrap();
+        assert!(!req.keep_alive);
+    }
+
+    #[test]
+    fn clean_eof_is_none_and_garbage_is_error() {
+        assert!(read_request(&mut BufReader::new(&b""[..]))
+            .unwrap()
+            .is_none());
+        assert!(read_request(&mut BufReader::new(&b"nonsense\r\n\r\n"[..])).is_err());
+        let huge = format!("GET / HTTP/1.1\r\nContent-Length: {}\r\n\r\n", 1 << 30);
+        assert!(read_request(&mut BufReader::new(huge.as_bytes())).is_err());
+    }
+
+    #[test]
+    fn oversized_head_lines_error_instead_of_buffering() {
+        // A request line with no newline at all must fail at the cap, not
+        // buffer indefinitely.
+        let endless = vec![b'a'; 64 * 1024];
+        assert!(read_request(&mut BufReader::new(&endless[..])).is_err());
+        // Same for one enormous header line.
+        let mut raw = b"GET / HTTP/1.1\r\nX-Big: ".to_vec();
+        raw.extend(vec![b'b'; 64 * 1024]);
+        assert!(read_request(&mut BufReader::new(&raw[..])).is_err());
+        // Many medium headers overflowing the total budget also error.
+        let mut raw = b"GET / HTTP/1.1\r\n".to_vec();
+        for i in 0..64 {
+            raw.extend(format!("X-{i}: {}\r\n", "c".repeat(512)).into_bytes());
+        }
+        raw.extend(b"\r\n");
+        assert!(read_request(&mut BufReader::new(&raw[..])).is_err());
+    }
+
+    #[test]
+    fn response_serializes_with_length_and_headers() {
+        let resp = Response::bytes(200, vec![1, 2, 3]).with_header("X-Frame-Cache", "hit");
+        let mut out = Vec::new();
+        resp.write_to(&mut out, true).unwrap();
+        let text = String::from_utf8_lossy(&out);
+        assert!(text.starts_with("HTTP/1.1 200 OK\r\n"));
+        assert!(text.contains("Content-Length: 3\r\n"));
+        assert!(text.contains("X-Frame-Cache: hit\r\n"));
+        assert!(text.contains("Connection: keep-alive\r\n"));
+        assert!(out.ends_with(&[1, 2, 3]));
+    }
+
+    #[test]
+    fn error_envelope_is_json() {
+        let resp = Response::error(503, "busy", "queue at watermark");
+        let parsed = Json::parse(std::str::from_utf8(&resp.body).unwrap()).unwrap();
+        assert_eq!(parsed.get("error").and_then(Json::as_str), Some("busy"));
+    }
+}

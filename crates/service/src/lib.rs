@@ -1,0 +1,61 @@
+//! # spotnoise-service — the multi-session synthesis server
+//!
+//! The paper's whole point is *interactive* spot noise: users steer a
+//! running simulation and receive freshly synthesized textures every frame.
+//! This crate is the layer that serves that workload to many concurrent
+//! clients — the master/slave service topology the paper runs on the Onyx2,
+//! lifted into a long-lived server process over the
+//! [`Scheduler`](spotnoise::scheduler::Scheduler) engine:
+//!
+//! * [`session`] — the session registry: one
+//!   [`Pipeline`](spotnoise::pipeline::Pipeline) per session, keyed ids,
+//!   create/advance/steer/close, idle eviction;
+//! * [`cache`] — an LRU frame cache keyed by
+//!   `(field hash, config hash, seed, frame index)`, so repeated or
+//!   steered-back requests skip synthesis entirely;
+//! * [`queue`] — admission control: bounded depth, per-session fairness,
+//!   shed-with-`503 Busy` beyond a watermark so overload degrades instead
+//!   of OOMing;
+//! * [`http`] + [`server`] — a std-only HTTP/1.1 front end over
+//!   [`std::net::TcpListener`] with endpoints for session CRUD, frame fetch
+//!   (raw little-endian `f32` texture bytes) and `/stats` (JSON);
+//! * [`client`] — the blocking loopback client the load bench and the
+//!   integration tests drive the server with;
+//! * [`spec`] — field/session specifications and their stable content
+//!   hashes.
+//!
+//! ## Frame model
+//!
+//! Frames of a session are deterministic: frame `i` is the texture after
+//! `i + 1` fixed-`dt` advances from the seed, so a frame is a pure function
+//! of `(field, config, index)`. Rewinding replays from the seed; steering
+//! rebinds the field and restarts the clock. That purity is what makes the
+//! cache key sound — and makes steering *back* to a previous field a pure
+//! cache hit.
+//!
+//! ## Quick start
+//!
+//! ```no_run
+//! use spotnoise_service::{serve, ServiceOptions};
+//!
+//! let handle = serve("127.0.0.1:7997", ServiceOptions::default()).unwrap();
+//! println!("listening on http://{}", handle.addr());
+//! handle.join(); // runs until POST /shutdown
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod cache;
+pub mod client;
+pub mod http;
+pub mod queue;
+pub mod server;
+pub mod session;
+pub mod spec;
+
+pub use cache::{FrameCache, FrameKey};
+pub use client::{ClientError, FetchedFrame, ServiceClient};
+pub use queue::{AdmissionConfig, AdmissionError, FrameQueue, QueueStats};
+pub use server::{serve, FrameResult, Service, ServiceError, ServiceHandle, ServiceOptions};
+pub use session::{Session, SessionRegistry};
+pub use spec::{FieldSpec, SessionSpec};

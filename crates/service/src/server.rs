@@ -1,0 +1,862 @@
+//! The synthesis server: service state, synthesis workers, request routing
+//! and the TCP front end.
+//!
+//! One [`Service`] owns the session registry, the frame cache and the
+//! admission queue. Connection threads parse HTTP, serve cache hits
+//! directly, and enqueue cache misses as jobs; a fixed pool of synthesis
+//! workers drains the queue session-fairly, renders frames through each
+//! session's [`Pipeline`](spotnoise::pipeline::Pipeline), fills the cache
+//! and replies through a per-request channel. Overload never grows the
+//! queue past its watermark — excess requests are shed with `503 Busy`.
+
+use crate::cache::FrameCache;
+use crate::http::{read_request, Request, Response};
+use crate::queue::{AdmissionConfig, AdmissionError, FrameQueue};
+use crate::session::{
+    format_session_id, parse_session_id, RegistryError, RenderError, SessionRegistry,
+};
+use crate::spec::{FieldSpec, SessionSpec};
+use spotnoise::json::Json;
+use std::io::BufReader;
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{mpsc, Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Tunables of a service instance.
+#[derive(Debug, Clone, Copy)]
+pub struct ServiceOptions {
+    /// Frame-cache budget in bytes (0 disables caching). Bytes, not
+    /// frames: textures up to 2048² (16 MB/frame) are allowed, so an
+    /// entry-counted cache could silently hold gigabytes.
+    pub cache_bytes: usize,
+    /// Admission-control parameters of the frame queue.
+    pub admission: AdmissionConfig,
+    /// Synthesis worker threads (0 = one per available core).
+    pub workers: usize,
+    /// Maximum live sessions.
+    pub max_sessions: usize,
+    /// Sessions idle beyond this are evicted (checked on `/stats` and on
+    /// session creation).
+    pub idle_timeout: Duration,
+    /// Cap on synthesis steps a single frame request may trigger.
+    pub max_advances_per_request: u64,
+    /// How long a connection waits for its admitted job before giving up.
+    /// Tune together with [`max_advances_per_request`](Self::max_advances_per_request)
+    /// and the texture sizes you allow: a request near the advance cap on a
+    /// large texture can legitimately render longer than this, in which
+    /// case the client sees a 500 while the worker still finishes (and
+    /// caches) the job.
+    pub reply_timeout: Duration,
+}
+
+impl Default for ServiceOptions {
+    fn default() -> Self {
+        ServiceOptions {
+            cache_bytes: 64 << 20,
+            admission: AdmissionConfig::default(),
+            workers: 0,
+            max_sessions: 64,
+            idle_timeout: Duration::from_secs(300),
+            max_advances_per_request: 512,
+            reply_timeout: Duration::from_secs(60),
+        }
+    }
+}
+
+/// Service-level failure modes, mapped onto HTTP statuses by the front end.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ServiceError {
+    /// The server (or one session's fair share) is saturated; retry later.
+    Busy(&'static str),
+    /// Unknown session.
+    NotFound,
+    /// The request itself is invalid.
+    BadRequest(String),
+    /// The server is shutting down.
+    ShuttingDown,
+    /// An admitted job was dropped (worker died or timed out).
+    Internal(&'static str),
+}
+
+/// A served frame.
+#[derive(Debug, Clone)]
+pub struct FrameResult {
+    /// Little-endian `f32` texels, row-major from the bottom row.
+    pub bytes: Arc<Vec<u8>>,
+    /// The frame index served.
+    pub frame: u64,
+    /// Whether the frame came out of the cache.
+    pub cached: bool,
+}
+
+struct FrameJob {
+    frame: u64,
+    reply: mpsc::Sender<Result<FrameResult, ServiceError>>,
+}
+
+/// Monotonic service-wide counters (lock-free; written by workers and
+/// connection threads).
+#[derive(Default)]
+struct ServiceCounters {
+    http_requests: AtomicU64,
+    frames_rendered: AtomicU64,
+    advect_us: AtomicU64,
+    synthesize_us: AtomicU64,
+    render_us: AtomicU64,
+}
+
+/// The shared state of a running synthesis server.
+pub struct Service {
+    options: ServiceOptions,
+    registry: Mutex<SessionRegistry>,
+    cache: Mutex<FrameCache>,
+    queue: FrameQueue<FrameJob>,
+    counters: ServiceCounters,
+    shutdown: AtomicBool,
+    started: Instant,
+    /// The bound address, filled in by [`serve`] (used by `/shutdown` to
+    /// wake the accept loop).
+    addr: Mutex<Option<SocketAddr>>,
+}
+
+impl Service {
+    /// Creates a service with no front end attached (the API used by unit
+    /// tests and in-process embedding; [`serve`] adds the TCP front end).
+    pub fn new(options: ServiceOptions) -> Arc<Service> {
+        Arc::new(Service {
+            registry: Mutex::new(SessionRegistry::new(
+                options.max_sessions,
+                options.idle_timeout,
+            )),
+            cache: Mutex::new(FrameCache::new(options.cache_bytes)),
+            queue: FrameQueue::new(options.admission),
+            counters: ServiceCounters::default(),
+            shutdown: AtomicBool::new(false),
+            started: Instant::now(),
+            addr: Mutex::new(None),
+            options,
+        })
+    }
+
+    /// The options the service was built with.
+    pub fn options(&self) -> &ServiceOptions {
+        &self.options
+    }
+
+    /// True once shutdown has been requested.
+    pub fn is_shutting_down(&self) -> bool {
+        self.shutdown.load(Ordering::SeqCst)
+    }
+
+    /// Creates a session and returns its id.
+    pub fn create_session(&self, spec: SessionSpec) -> Result<u64, ServiceError> {
+        if self.is_shutting_down() {
+            return Err(ServiceError::ShuttingDown);
+        }
+        let mut registry = self.registry.lock().expect("registry poisoned");
+        registry.evict_idle();
+        match registry.create(spec) {
+            Ok((id, _)) => Ok(id),
+            Err(RegistryError::TooManySessions) => Err(ServiceError::Busy("sessions")),
+        }
+    }
+
+    /// Steers a session to a new field (restarting its animation clock).
+    pub fn steer(&self, id: u64, field: FieldSpec) -> Result<(), ServiceError> {
+        let session = self
+            .registry
+            .lock()
+            .expect("registry poisoned")
+            .get(id)
+            .ok_or(ServiceError::NotFound)?;
+        session.lock().expect("session poisoned").steer(field);
+        Ok(())
+    }
+
+    /// Closes a session.
+    pub fn close_session(&self, id: u64) -> Result<(), ServiceError> {
+        if self.registry.lock().expect("registry poisoned").close(id) {
+            Ok(())
+        } else {
+            Err(ServiceError::NotFound)
+        }
+    }
+
+    /// Fetches frame `frame` of session `id`: straight from the cache when
+    /// possible, otherwise through the admission queue and a synthesis
+    /// worker. Blocks until the frame is ready, the request is shed, or the
+    /// reply timeout expires.
+    pub fn fetch_frame(&self, id: u64, frame: u64) -> Result<FrameResult, ServiceError> {
+        if self.is_shutting_down() {
+            return Err(ServiceError::ShuttingDown);
+        }
+        let session = self
+            .registry
+            .lock()
+            .expect("registry poisoned")
+            .get(id)
+            .ok_or(ServiceError::NotFound)?;
+        let key = {
+            let mut s = session.lock().expect("session poisoned");
+            s.touch();
+            s.key_for(frame)
+        };
+        if let Some(bytes) = self.cache.lock().expect("cache poisoned").lookup(key) {
+            session.lock().expect("session poisoned").note_served(frame);
+            return Ok(FrameResult {
+                bytes,
+                frame,
+                cached: true,
+            });
+        }
+        let (tx, rx) = mpsc::channel();
+        match self.queue.submit(id, FrameJob { frame, reply: tx }) {
+            Ok(()) => {}
+            Err(AdmissionError::Busy) => return Err(ServiceError::Busy("queue")),
+            Err(AdmissionError::SessionBusy) => return Err(ServiceError::Busy("session")),
+            Err(AdmissionError::Closed) => return Err(ServiceError::ShuttingDown),
+        }
+        let outcome = match rx.recv_timeout(self.options.reply_timeout) {
+            Ok(outcome) => outcome,
+            Err(mpsc::RecvTimeoutError::Timeout) => Err(ServiceError::Internal("reply timeout")),
+            Err(mpsc::RecvTimeoutError::Disconnected) => Err(ServiceError::Internal("job dropped")),
+        };
+        if outcome.is_ok() {
+            session.lock().expect("session poisoned").note_served(frame);
+        }
+        outcome
+    }
+
+    /// Renders and returns the session's next frame: the one after the most
+    /// recently served frame (rendered or cached), so repeated advances
+    /// always progress — even when a rewound index is still in the cache
+    /// and serving it never touches the pipeline.
+    pub fn advance(&self, id: u64) -> Result<FrameResult, ServiceError> {
+        let session = self
+            .registry
+            .lock()
+            .expect("registry poisoned")
+            .get(id)
+            .ok_or(ServiceError::NotFound)?;
+        let next = session.lock().expect("session poisoned").next_advance();
+        self.fetch_frame(id, next)
+    }
+
+    /// One synthesis worker: drains the queue until it closes.
+    fn worker_loop(&self) {
+        while let Some((session_id, job)) = self.queue.pop() {
+            let outcome = self.execute(session_id, &job);
+            // A hung-up client (timeout, disconnect) makes send fail; the
+            // work is already done and cached, so that is not an error.
+            let _ = job.reply.send(outcome);
+            self.queue.complete();
+        }
+    }
+
+    fn execute(&self, session_id: u64, job: &FrameJob) -> Result<FrameResult, ServiceError> {
+        let session = self
+            .registry
+            .lock()
+            .expect("registry poisoned")
+            .get(session_id)
+            .ok_or(ServiceError::NotFound)?;
+        let mut s = session.lock().expect("session poisoned");
+        // Re-check the cache: a racing request for the same frame may have
+        // rendered it while this job queued.
+        let key = s.key_for(job.frame);
+        if let Some(bytes) = self.cache.lock().expect("cache poisoned").peek(key) {
+            return Ok(FrameResult {
+                bytes,
+                frame: job.frame,
+                cached: true,
+            });
+        }
+        let rendered = s.render_frame(
+            job.frame,
+            self.options.max_advances_per_request,
+            |frame_key, bytes, timings| {
+                self.counters
+                    .frames_rendered
+                    .fetch_add(1, Ordering::Relaxed);
+                self.counters
+                    .advect_us
+                    .fetch_add(timings.advect_us, Ordering::Relaxed);
+                self.counters
+                    .synthesize_us
+                    .fetch_add(timings.synthesize_us, Ordering::Relaxed);
+                self.counters
+                    .render_us
+                    .fetch_add(timings.render_us, Ordering::Relaxed);
+                self.cache
+                    .lock()
+                    .expect("cache poisoned")
+                    .insert(frame_key, Arc::clone(bytes));
+            },
+        );
+        match rendered {
+            Ok(bytes) => Ok(FrameResult {
+                bytes,
+                frame: job.frame,
+                cached: false,
+            }),
+            Err(RenderError::TooFarAhead { needed, max }) => Err(ServiceError::BadRequest(
+                format!("frame needs {needed} synthesis steps, above the per-request cap of {max}"),
+            )),
+        }
+    }
+
+    /// The `/stats` document.
+    pub fn stats_json(&self) -> Json {
+        let registry = self.registry.lock().expect("registry poisoned");
+        let reg = registry.stats();
+        let session_ids = registry.ids();
+        drop(registry);
+        let cache = self.cache.lock().expect("cache poisoned");
+        let (cache_len, cache_bytes, cache_cap, cache_stats) = (
+            cache.len(),
+            cache.bytes(),
+            cache.capacity_bytes(),
+            cache.stats(),
+        );
+        drop(cache);
+        let q = self.queue.stats();
+        let frames = self.counters.frames_rendered.load(Ordering::Relaxed);
+        let synthesize_us = self.counters.synthesize_us.load(Ordering::Relaxed);
+        let mean_synthesize_us = if frames > 0 {
+            synthesize_us as f64 / frames as f64
+        } else {
+            0.0
+        };
+        Json::object([
+            ("schema", Json::str("spotnoise_service_stats/v1")),
+            (
+                "uptime_seconds",
+                Json::num(self.started.elapsed().as_secs_f64()),
+            ),
+            (
+                "sessions",
+                Json::object([
+                    ("live", Json::num(reg.live as f64)),
+                    ("created", Json::num(reg.created as f64)),
+                    ("evicted", Json::num(reg.evicted as f64)),
+                    ("closed", Json::num(reg.closed as f64)),
+                    ("capacity", Json::num(self.options.max_sessions as f64)),
+                    (
+                        "ids",
+                        Json::array(
+                            session_ids
+                                .iter()
+                                .map(|&id| Json::str(format_session_id(id))),
+                        ),
+                    ),
+                ]),
+            ),
+            (
+                "frames",
+                Json::object([
+                    ("rendered", Json::num(frames as f64)),
+                    (
+                        "advect_us_total",
+                        Json::num(self.counters.advect_us.load(Ordering::Relaxed) as f64),
+                    ),
+                    ("synthesize_us_total", Json::num(synthesize_us as f64)),
+                    (
+                        "render_us_total",
+                        Json::num(self.counters.render_us.load(Ordering::Relaxed) as f64),
+                    ),
+                    ("mean_synthesize_us", Json::num(mean_synthesize_us)),
+                ]),
+            ),
+            (
+                "cache",
+                Json::object([
+                    ("entries", Json::num(cache_len as f64)),
+                    ("bytes", Json::num(cache_bytes as f64)),
+                    ("capacity_bytes", Json::num(cache_cap as f64)),
+                    ("hits", Json::num(cache_stats.hits as f64)),
+                    ("misses", Json::num(cache_stats.misses as f64)),
+                    ("insertions", Json::num(cache_stats.insertions as f64)),
+                    ("evictions", Json::num(cache_stats.evictions as f64)),
+                    ("hit_rate", Json::num(cache_stats.hit_rate())),
+                ]),
+            ),
+            (
+                "queue",
+                Json::object([
+                    ("depth", Json::num(q.depth as f64)),
+                    ("peak_depth", Json::num(q.peak_depth as f64)),
+                    (
+                        "watermark",
+                        Json::num(self.options.admission.watermark as f64),
+                    ),
+                    (
+                        "per_session_cap",
+                        Json::num(self.options.admission.per_session as f64),
+                    ),
+                    ("accepted", Json::num(q.accepted as f64)),
+                    ("shed_busy", Json::num(q.shed_busy as f64)),
+                    ("shed_session", Json::num(q.shed_session as f64)),
+                    ("completed", Json::num(q.completed as f64)),
+                ]),
+            ),
+            (
+                "http",
+                Json::object([(
+                    "requests",
+                    Json::num(self.counters.http_requests.load(Ordering::Relaxed) as f64),
+                )]),
+            ),
+        ])
+    }
+
+    /// Initiates shutdown: closes the queue and pokes the accept loop.
+    pub fn request_shutdown(&self) {
+        if self.shutdown.swap(true, Ordering::SeqCst) {
+            return;
+        }
+        self.queue.close();
+        // Wake the accept loop with a no-op connection.
+        if let Some(addr) = *self.addr.lock().expect("addr poisoned") {
+            let _ = TcpStream::connect_timeout(&addr, Duration::from_millis(200));
+        }
+    }
+
+    fn error_response(err: &ServiceError) -> Response {
+        match err {
+            ServiceError::Busy(what) => {
+                Response::error(503, "busy", &format!("{what} at capacity, retry later"))
+                    .with_header("Retry-After", "1")
+            }
+            ServiceError::NotFound => Response::error(404, "not_found", "no such session"),
+            ServiceError::BadRequest(detail) => Response::error(400, "bad_request", detail),
+            ServiceError::ShuttingDown => {
+                Response::error(503, "shutting_down", "server is shutting down")
+            }
+            ServiceError::Internal(detail) => Response::error(500, "internal", detail),
+        }
+    }
+
+    fn frame_response(result: &FrameResult) -> Response {
+        Response::shared(200, Arc::clone(&result.bytes))
+            .with_header("X-Frame-Cache", if result.cached { "hit" } else { "miss" })
+            .with_header("X-Frame-Index", result.frame.to_string())
+    }
+
+    fn session_info_response(&self, status: u16, id: u64) -> Response {
+        let Some(session) = self.registry.lock().expect("registry poisoned").get(id) else {
+            return Self::error_response(&ServiceError::NotFound);
+        };
+        let s = session.lock().expect("session poisoned");
+        let spec = s.spec();
+        Response::json(
+            status,
+            Json::object([
+                ("session", Json::str(format_session_id(id))),
+                ("field", spec.field.to_json()),
+                (
+                    "config",
+                    Json::object([
+                        ("texture_size", Json::num(spec.config.texture_size as f64)),
+                        ("spot_count", Json::num(spec.config.spot_count as f64)),
+                        ("seed", Json::num(spec.config.seed as f64)),
+                        ("use_tiling", Json::Bool(spec.config.use_tiling)),
+                    ]),
+                ),
+                (
+                    "machine",
+                    Json::object([
+                        ("processors", Json::num(spec.processors as f64)),
+                        ("pipes", Json::num(spec.pipes as f64)),
+                    ]),
+                ),
+                ("dt", Json::num(spec.dt)),
+                ("frame_bytes", Json::num(spec.frame_bytes() as f64)),
+                ("head_frame", Json::num(s.head_frame() as f64)),
+                ("frames_rendered", Json::num(s.frames_rendered() as f64)),
+                ("rewinds", Json::num(s.rewinds() as f64)),
+                ("steers", Json::num(s.steers() as f64)),
+            ]),
+        )
+    }
+
+    /// Routes one parsed request to a response.
+    pub fn route(&self, request: &Request) -> Response {
+        self.counters.http_requests.fetch_add(1, Ordering::Relaxed);
+        let segments: Vec<&str> = request.path.split('/').filter(|s| !s.is_empty()).collect();
+        match (request.method.as_str(), segments.as_slice()) {
+            ("GET", ["healthz"]) => Response::json(
+                200,
+                Json::object([
+                    ("status", Json::str("ok")),
+                    ("shutting_down", Json::Bool(self.is_shutting_down())),
+                ]),
+            ),
+            ("GET", ["stats"]) => {
+                self.registry
+                    .lock()
+                    .expect("registry poisoned")
+                    .evict_idle();
+                Response::json(200, self.stats_json())
+            }
+            ("POST", ["shutdown"]) => {
+                self.request_shutdown();
+                Response::json(200, Json::object([("status", Json::str("shutting down"))]))
+            }
+            ("POST", ["sessions"]) => match SessionSpec::from_body(&request.body) {
+                Err(detail) => Response::error(400, "bad_request", &detail),
+                Ok(spec) => match self.create_session(spec) {
+                    Err(err) => Self::error_response(&err),
+                    Ok(id) => self.session_info_response(201, id),
+                },
+            },
+            ("GET", ["sessions", sid]) => match parse_session_id(sid) {
+                None => Self::error_response(&ServiceError::NotFound),
+                Some(id) => self.session_info_response(200, id),
+            },
+            ("DELETE", ["sessions", sid]) => {
+                match parse_session_id(sid).map(|id| self.close_session(id)) {
+                    Some(Ok(())) => Response::empty(204),
+                    _ => Self::error_response(&ServiceError::NotFound),
+                }
+            }
+            ("POST", ["sessions", sid, "steer"]) => {
+                let Some(id) = parse_session_id(sid) else {
+                    return Self::error_response(&ServiceError::NotFound);
+                };
+                let parsed = std::str::from_utf8(&request.body)
+                    .map_err(|_| "body is not UTF-8".to_string())
+                    .and_then(Json::parse)
+                    .and_then(|value| {
+                        // Accept either a bare field object or {"field": ...}.
+                        let field = value.get("field").unwrap_or(&value).clone();
+                        FieldSpec::from_json(&field)
+                    });
+                match parsed {
+                    Err(detail) => Response::error(400, "bad_request", &detail),
+                    Ok(field) => match self.steer(id, field) {
+                        Ok(()) => self.session_info_response(200, id),
+                        Err(err) => Self::error_response(&err),
+                    },
+                }
+            }
+            ("POST", ["sessions", sid, "advance"]) => {
+                let Some(id) = parse_session_id(sid) else {
+                    return Self::error_response(&ServiceError::NotFound);
+                };
+                match self.advance(id) {
+                    Ok(result) => Self::frame_response(&result),
+                    Err(err) => Self::error_response(&err),
+                }
+            }
+            ("GET", ["sessions", sid, "frame", index]) => {
+                let Some(id) = parse_session_id(sid) else {
+                    return Self::error_response(&ServiceError::NotFound);
+                };
+                let Ok(frame) = index.parse::<u64>() else {
+                    return Response::error(400, "bad_request", "frame index not a number");
+                };
+                match self.fetch_frame(id, frame) {
+                    Ok(result) => Self::frame_response(&result),
+                    Err(err) => Self::error_response(&err),
+                }
+            }
+            (_, ["sessions", ..]) | (_, ["stats"]) | (_, ["healthz"]) | (_, ["shutdown"]) => {
+                Response::error(405, "method_not_allowed", "wrong method for this path")
+            }
+            _ => Response::error(404, "not_found", "unknown path"),
+        }
+    }
+}
+
+/// A running server: the bound address plus the handles needed to stop it.
+pub struct ServiceHandle {
+    service: Arc<Service>,
+    addr: SocketAddr,
+    threads: Vec<JoinHandle<()>>,
+}
+
+impl ServiceHandle {
+    /// The address the server is listening on.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The shared service state (for in-process callers and tests).
+    pub fn service(&self) -> &Arc<Service> {
+        &self.service
+    }
+
+    /// Blocks until the server has shut down (e.g. via `POST /shutdown`).
+    pub fn join(mut self) {
+        for t in self.threads.drain(..) {
+            let _ = t.join();
+        }
+    }
+
+    /// Initiates shutdown and waits for workers and the accept loop.
+    pub fn shutdown(self) {
+        self.service.request_shutdown();
+        self.join();
+    }
+}
+
+impl Drop for ServiceHandle {
+    fn drop(&mut self) {
+        self.service.request_shutdown();
+        for t in self.threads.drain(..) {
+            let _ = t.join();
+        }
+    }
+}
+
+fn handle_connection(service: Arc<Service>, stream: TcpStream) {
+    let _ = stream.set_nodelay(true);
+    // An idle keep-alive connection eventually times out so connection
+    // threads cannot accumulate forever.
+    let _ = stream.set_read_timeout(Some(Duration::from_secs(60)));
+    let Ok(reader_stream) = stream.try_clone() else {
+        return;
+    };
+    let mut reader = BufReader::new(reader_stream);
+    let mut writer = stream;
+    loop {
+        let request = match read_request(&mut reader) {
+            Ok(Some(request)) => request,
+            Ok(None) => break,
+            // Only genuinely malformed input earns a 400. A read timeout or
+            // a mid-request hang-up must close silently — writing a response
+            // there would leave a stale 400 in the socket for the client to
+            // misread as the answer to its *next* request.
+            Err(e) if e.kind() == std::io::ErrorKind::InvalidData => {
+                let _ = Response::error(400, "bad_request", "malformed request")
+                    .write_to(&mut writer, false);
+                break;
+            }
+            Err(_) => break,
+        };
+        let keep_alive = request.keep_alive && !service.is_shutting_down();
+        let response = service.route(&request);
+        if response.write_to(&mut writer, keep_alive).is_err() || !keep_alive {
+            break;
+        }
+    }
+}
+
+/// Binds `addr` (e.g. `127.0.0.1:0` for an ephemeral port), spawns the
+/// accept loop and the synthesis worker pool, and returns the running
+/// server's handle.
+pub fn serve(addr: impl ToSocketAddrs, options: ServiceOptions) -> std::io::Result<ServiceHandle> {
+    let listener = TcpListener::bind(addr)?;
+    let local = listener.local_addr()?;
+    let service = Service::new(options);
+    *service.addr.lock().expect("addr poisoned") = Some(local);
+
+    let workers = if options.workers > 0 {
+        options.workers
+    } else {
+        std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
+    };
+    let mut threads = Vec::with_capacity(workers + 1);
+    for i in 0..workers {
+        let service = Arc::clone(&service);
+        threads.push(
+            std::thread::Builder::new()
+                .name(format!("synth-worker-{i}"))
+                .spawn(move || service.worker_loop())
+                .expect("spawn worker"),
+        );
+    }
+    {
+        let service = Arc::clone(&service);
+        threads.push(
+            std::thread::Builder::new()
+                .name("accept-loop".to_string())
+                .spawn(move || {
+                    for stream in listener.incoming() {
+                        if service.is_shutting_down() {
+                            break;
+                        }
+                        let Ok(stream) = stream else { continue };
+                        let service = Arc::clone(&service);
+                        // Connection threads are detached: they exit when
+                        // their client hangs up, errors, or idles out.
+                        let _ = std::thread::Builder::new()
+                            .name("connection".to_string())
+                            .spawn(move || handle_connection(service, stream));
+                    }
+                })
+                .expect("spawn accept loop"),
+        );
+    }
+    Ok(ServiceHandle {
+        service,
+        addr: local,
+        threads,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spotnoise::config::SynthesisConfig;
+
+    fn tiny_options() -> ServiceOptions {
+        ServiceOptions {
+            workers: 1,
+            cache_bytes: 16 * 32 * 32 * 4,
+            ..ServiceOptions::default()
+        }
+    }
+
+    fn tiny_spec() -> SessionSpec {
+        SessionSpec {
+            config: SynthesisConfig {
+                texture_size: 32,
+                spot_count: 40,
+                spot_texture_size: 8,
+                ..SynthesisConfig::small_test()
+            },
+            ..SessionSpec::default()
+        }
+    }
+
+    /// Spin up a full in-process server for API-level tests.
+    fn start() -> ServiceHandle {
+        serve("127.0.0.1:0", tiny_options()).expect("bind loopback")
+    }
+
+    #[test]
+    fn fetch_miss_then_hit_through_the_queue() {
+        let handle = start();
+        let service = handle.service();
+        let id = service.create_session(tiny_spec()).unwrap();
+        let miss = service.fetch_frame(id, 0).unwrap();
+        assert!(!miss.cached);
+        assert_eq!(miss.bytes.len(), 32 * 32 * 4);
+        let hit = service.fetch_frame(id, 0).unwrap();
+        assert!(hit.cached);
+        assert_eq!(miss.bytes, hit.bytes);
+        let stats = service.stats_json();
+        let cache = stats.get("cache").unwrap();
+        assert_eq!(cache.get("hits").and_then(Json::as_f64), Some(1.0));
+        assert_eq!(cache.get("misses").and_then(Json::as_f64), Some(1.0));
+        handle.shutdown();
+    }
+
+    #[test]
+    fn advance_walks_the_head_forward() {
+        let handle = start();
+        let service = handle.service();
+        let id = service.create_session(tiny_spec()).unwrap();
+        let a = service.advance(id).unwrap();
+        let b = service.advance(id).unwrap();
+        assert_eq!(a.frame, 0);
+        assert_eq!(b.frame, 1);
+        assert!(a.bytes != b.bytes);
+        handle.shutdown();
+    }
+
+    #[test]
+    fn advance_keeps_progressing_after_a_cached_rewind() {
+        let handle = start();
+        let service = handle.service();
+        let id = service.create_session(tiny_spec()).unwrap();
+        // Walk ahead, then rewind to a cached frame.
+        service.fetch_frame(id, 2).unwrap();
+        let rewound = service.fetch_frame(id, 0).unwrap();
+        assert!(rewound.cached);
+        // Advance must continue past the rewound frame — serving cached
+        // frames 1 and 2, then rendering fresh frame 3 — never freezing on
+        // one index.
+        let frames: Vec<u64> = (0..3).map(|_| service.advance(id).unwrap().frame).collect();
+        assert_eq!(frames, vec![1, 2, 3]);
+        handle.shutdown();
+    }
+
+    #[test]
+    fn unknown_sessions_and_bad_requests_are_typed_errors() {
+        let handle = start();
+        let service = handle.service();
+        assert!(matches!(
+            service.fetch_frame(999, 0),
+            Err(ServiceError::NotFound)
+        ));
+        assert_eq!(service.close_session(999), Err(ServiceError::NotFound));
+        let id = service.create_session(tiny_spec()).unwrap();
+        match service.fetch_frame(id, 100_000) {
+            Err(ServiceError::BadRequest(_)) => {}
+            other => panic!("expected BadRequest, got {other:?}"),
+        }
+        handle.shutdown();
+    }
+
+    #[test]
+    fn routing_covers_crud_and_errors() {
+        let handle = start();
+        let service = handle.service();
+        let req = |method: &str, path: &str, body: &[u8]| Request {
+            method: method.to_string(),
+            path: path.to_string(),
+            body: body.to_vec(),
+            keep_alive: true,
+        };
+        let created = service.route(&req("POST", "/sessions", b""));
+        assert_eq!(created.status, 201);
+        let doc = Json::parse(std::str::from_utf8(&created.body).unwrap()).unwrap();
+        let sid = doc
+            .get("session")
+            .and_then(Json::as_str)
+            .unwrap()
+            .to_string();
+        assert_eq!(
+            doc.get("frame_bytes").and_then(Json::as_f64),
+            Some((128 * 128 * 4) as f64)
+        );
+
+        let frame = service.route(&req("GET", &format!("/sessions/{sid}/frame/0"), b""));
+        assert_eq!(frame.status, 200);
+        assert_eq!(frame.body.len(), 128 * 128 * 4);
+        assert!(frame
+            .headers
+            .iter()
+            .any(|(k, v)| k == "X-Frame-Cache" && v == "miss"));
+
+        assert_eq!(service.route(&req("GET", "/healthz", b"")).status, 200);
+        assert_eq!(service.route(&req("GET", "/stats", b"")).status, 200);
+        assert_eq!(service.route(&req("GET", "/nope", b"")).status, 404);
+        assert_eq!(service.route(&req("PUT", "/stats", b"")).status, 405);
+        assert_eq!(
+            service
+                .route(&req("GET", "/sessions/s-99/frame/0", b""))
+                .status,
+            404
+        );
+        assert_eq!(
+            service
+                .route(&req("GET", &format!("/sessions/{sid}/frame/x"), b""))
+                .status,
+            400
+        );
+        let steered = service.route(&req(
+            "POST",
+            &format!("/sessions/{sid}/steer"),
+            br#"{"kind": "shear", "rate": 2.0}"#,
+        ));
+        assert_eq!(steered.status, 200);
+        assert_eq!(
+            service
+                .route(&req("DELETE", &format!("/sessions/{sid}"), b""))
+                .status,
+            204
+        );
+        assert_eq!(
+            service
+                .route(&req("DELETE", &format!("/sessions/{sid}"), b""))
+                .status,
+            404
+        );
+        handle.shutdown();
+    }
+}

@@ -1,0 +1,507 @@
+//! Sessions and the session registry.
+//!
+//! A [`Session`] is one client's running visualization: a
+//! [`Pipeline`](spotnoise::pipeline::Pipeline) driving the scheduler engine
+//! over the session's field, advanced frame by frame with a fixed time step.
+//! Frames are deterministic: frame `i` is the texture produced by the
+//! `(i+1)`-th pipeline advance after the session's (re)start, so any frame
+//! can be re-derived from `(field, config, index)` alone — rewinding simply
+//! rebuilds the pipeline from the seed and replays. Steering rebinds the
+//! session to a new field and restarts its animation clock, which keeps the
+//! frame-cache key sound (and makes steering *back* a pure cache hit).
+//!
+//! The [`SessionRegistry`] owns the sessions, hands out keyed ids, enforces
+//! a session cap and evicts sessions that have been idle too long.
+
+use crate::cache::FrameKey;
+use crate::spec::{service_domain, FieldSpec, SessionSpec};
+use flowfield::VectorField;
+use softpipe::machine::MachineConfig;
+use spotnoise::metrics::StageTimings;
+use spotnoise::pipeline::{ExecutionMode, Pipeline};
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+/// Why a frame could not be rendered.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RenderError {
+    /// The request would advance the session further than the per-request
+    /// cap allows (admission control against unbounded synthesis bursts).
+    TooFarAhead {
+        /// Advances the request would need.
+        needed: u64,
+        /// The configured cap.
+        max: u64,
+    },
+}
+
+impl std::fmt::Display for RenderError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RenderError::TooFarAhead { needed, max } => write!(
+                f,
+                "frame needs {needed} synthesis steps, above the per-request cap of {max}"
+            ),
+        }
+    }
+}
+
+/// One client's running visualization.
+pub struct Session {
+    spec: SessionSpec,
+    field: Box<dyn VectorField + Send + Sync>,
+    pipeline: Pipeline,
+    field_key: u64,
+    config_key: u64,
+    last_touch: Instant,
+    /// Total synthesis steps performed over the session's lifetime
+    /// (monotonic across steers and rewinds).
+    frames_rendered: u64,
+    /// Times the pipeline was rebuilt to serve an earlier frame index.
+    rewinds: u64,
+    /// Times the session was steered to a (possibly new) field.
+    steers: u64,
+    /// One past the most recently *served* frame (cache hits included) —
+    /// the index `advance` continues from. Kept separate from the
+    /// pipeline's head because a cached serve never moves the pipeline.
+    next_advance: u64,
+}
+
+fn build_pipeline(spec: &SessionSpec) -> Pipeline {
+    let machine = MachineConfig::new(spec.processors, spec.pipes);
+    let mut pipeline = Pipeline::new(
+        spec.config,
+        ExecutionMode::DivideAndConquer(machine),
+        service_domain(),
+    );
+    // The service serves the raw synthesis texture; skip the display-only
+    // high-pass filter work.
+    pipeline.set_postprocess(false);
+    pipeline
+}
+
+/// Serializes a texture as little-endian `f32` bytes, row-major from the
+/// bottom row — the frame-fetch wire format.
+pub fn texture_bytes(texture: &softpipe::Texture) -> Vec<u8> {
+    let mut out = Vec::with_capacity(texture.data().len() * 4);
+    for v in texture.data() {
+        out.extend_from_slice(&v.to_le_bytes());
+    }
+    out
+}
+
+impl Session {
+    /// Creates a session from a validated spec.
+    pub fn new(spec: SessionSpec) -> Self {
+        Session {
+            field: spec.field.build(),
+            pipeline: build_pipeline(&spec),
+            field_key: spec.field.cache_key(),
+            config_key: spec.config_cache_key(),
+            last_touch: Instant::now(),
+            frames_rendered: 0,
+            rewinds: 0,
+            steers: 0,
+            next_advance: 0,
+            spec,
+        }
+    }
+
+    /// The session's spec.
+    pub fn spec(&self) -> &SessionSpec {
+        &self.spec
+    }
+
+    /// The frame-cache key of frame `frame` in the session's current
+    /// (field, config) binding.
+    pub fn key_for(&self, frame: u64) -> FrameKey {
+        FrameKey {
+            field: self.field_key,
+            config: self.config_key,
+            seed: self.spec.config.seed,
+            frame,
+        }
+    }
+
+    /// The index the next natural advance would render.
+    pub fn head_frame(&self) -> u64 {
+        self.pipeline.frames()
+    }
+
+    /// The frame index `advance` serves next: one past the most recently
+    /// served frame, whether that serve rendered or hit the cache.
+    pub fn next_advance(&self) -> u64 {
+        self.next_advance
+    }
+
+    /// Records that `frame` was served to a client (rendered *or* cached),
+    /// moving the advance cursor past it. A cached serve never touches the
+    /// pipeline, so without this bookkeeping a rewound session's `advance`
+    /// would hit the cache at the same index forever instead of
+    /// progressing.
+    pub fn note_served(&mut self, frame: u64) {
+        self.next_advance = frame.saturating_add(1);
+    }
+
+    /// Total synthesis steps performed for this session.
+    pub fn frames_rendered(&self) -> u64 {
+        self.frames_rendered
+    }
+
+    /// Times the pipeline was rebuilt to serve an earlier frame.
+    pub fn rewinds(&self) -> u64 {
+        self.rewinds
+    }
+
+    /// Times the session was steered.
+    pub fn steers(&self) -> u64 {
+        self.steers
+    }
+
+    /// Marks the session as used now (for idle eviction).
+    pub fn touch(&mut self) {
+        self.last_touch = Instant::now();
+    }
+
+    /// How long the session has been idle.
+    pub fn idle_for(&self) -> Duration {
+        self.last_touch.elapsed()
+    }
+
+    /// Steers the session: rebinds it to `field` and restarts the animation
+    /// clock from the seed. Frames rendered under the previous binding stay
+    /// in the cache under their own keys, so steering back re-serves them
+    /// without synthesis.
+    pub fn steer(&mut self, field: FieldSpec) {
+        self.spec.field = field;
+        self.field = field.build();
+        self.field_key = field.cache_key();
+        self.pipeline = build_pipeline(&self.spec);
+        self.steers += 1;
+        self.next_advance = 0;
+        self.touch();
+    }
+
+    /// Renders frame `index`, replaying from the seed when the session is
+    /// already past it. Every frame synthesized on the way (the requested
+    /// one included) is handed to `on_frame` with its cache key and stage
+    /// timings, so look-ahead work is never wasted. Returns the requested
+    /// frame's bytes.
+    pub fn render_frame(
+        &mut self,
+        index: u64,
+        max_advances: u64,
+        mut on_frame: impl FnMut(FrameKey, &Arc<Vec<u8>>, &StageTimings),
+    ) -> Result<Arc<Vec<u8>>, RenderError> {
+        self.touch();
+        if index < self.pipeline.frames() {
+            // The session is past the requested frame: replay from the seed.
+            self.pipeline = build_pipeline(&self.spec);
+            self.rewinds += 1;
+        }
+        // The rewind above guarantees frames() <= index, so this subtraction
+        // cannot wrap; comparing the off-by-one form (`needed - 1 >= max`)
+        // keeps `index == u64::MAX` from overflowing `needed` itself and
+        // sneaking past the cap into an effectively unbounded render loop.
+        let advances_after_first = index - self.pipeline.frames();
+        if advances_after_first >= max_advances {
+            return Err(RenderError::TooFarAhead {
+                needed: advances_after_first.saturating_add(1),
+                max: max_advances,
+            });
+        }
+        let mut last = None;
+        while self.pipeline.frames() <= index {
+            let frame_index = self.pipeline.frames();
+            let out = self.pipeline.advance(self.field.as_ref(), self.spec.dt, 0);
+            self.frames_rendered += 1;
+            let bytes = Arc::new(texture_bytes(&out.texture));
+            on_frame(self.key_for(frame_index), &bytes, &out.metrics.timings);
+            last = Some(bytes);
+        }
+        Ok(last.expect("loop ran at least once"))
+    }
+}
+
+/// Counter snapshot of the registry for `/stats`.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RegistryStats {
+    /// Sessions currently live.
+    pub live: usize,
+    /// Sessions ever created.
+    pub created: u64,
+    /// Sessions removed by idle eviction.
+    pub evicted: u64,
+    /// Sessions closed by clients.
+    pub closed: u64,
+}
+
+/// Why a session could not be created.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RegistryError {
+    /// The registry is at its session cap.
+    TooManySessions,
+}
+
+/// Owns the sessions, keyed by opaque ids of the form `s-<n>`.
+pub struct SessionRegistry {
+    sessions: HashMap<u64, Arc<Mutex<Session>>>,
+    next_id: u64,
+    max_sessions: usize,
+    idle_timeout: Duration,
+    created: u64,
+    evicted: u64,
+    closed: u64,
+}
+
+/// Formats a session id the way it appears in URLs.
+pub fn format_session_id(id: u64) -> String {
+    format!("s-{id}")
+}
+
+/// Parses a session id from its URL form.
+pub fn parse_session_id(text: &str) -> Option<u64> {
+    text.strip_prefix("s-")?.parse().ok()
+}
+
+impl SessionRegistry {
+    /// Creates a registry enforcing the given cap and idle timeout.
+    pub fn new(max_sessions: usize, idle_timeout: Duration) -> Self {
+        SessionRegistry {
+            sessions: HashMap::new(),
+            next_id: 1,
+            max_sessions,
+            idle_timeout,
+            created: 0,
+            evicted: 0,
+            closed: 0,
+        }
+    }
+
+    /// Creates a session, returning its id and handle.
+    pub fn create(
+        &mut self,
+        spec: SessionSpec,
+    ) -> Result<(u64, Arc<Mutex<Session>>), RegistryError> {
+        if self.sessions.len() >= self.max_sessions {
+            return Err(RegistryError::TooManySessions);
+        }
+        let id = self.next_id;
+        self.next_id += 1;
+        let session = Arc::new(Mutex::new(Session::new(spec)));
+        self.sessions.insert(id, Arc::clone(&session));
+        self.created += 1;
+        Ok((id, session))
+    }
+
+    /// Looks up a session.
+    pub fn get(&self, id: u64) -> Option<Arc<Mutex<Session>>> {
+        self.sessions.get(&id).map(Arc::clone)
+    }
+
+    /// Closes a session; returns whether it existed.
+    pub fn close(&mut self, id: u64) -> bool {
+        let existed = self.sessions.remove(&id).is_some();
+        if existed {
+            self.closed += 1;
+        }
+        existed
+    }
+
+    /// Removes sessions idle for longer than the timeout. A session whose
+    /// lock is currently held is in use by definition and is skipped.
+    pub fn evict_idle(&mut self) -> usize {
+        let timeout = self.idle_timeout;
+        let victims: Vec<u64> = self
+            .sessions
+            .iter()
+            .filter_map(|(&id, session)| match session.try_lock() {
+                Ok(s) if s.idle_for() > timeout => Some(id),
+                _ => None,
+            })
+            .collect();
+        for id in &victims {
+            self.sessions.remove(id);
+        }
+        self.evicted += victims.len() as u64;
+        victims.len()
+    }
+
+    /// Number of live sessions.
+    pub fn len(&self) -> usize {
+        self.sessions.len()
+    }
+
+    /// True when no session is live.
+    pub fn is_empty(&self) -> bool {
+        self.sessions.is_empty()
+    }
+
+    /// Counter snapshot.
+    pub fn stats(&self) -> RegistryStats {
+        RegistryStats {
+            live: self.sessions.len(),
+            created: self.created,
+            evicted: self.evicted,
+            closed: self.closed,
+        }
+    }
+
+    /// Ids of all live sessions (for `/stats`).
+    pub fn ids(&self) -> Vec<u64> {
+        let mut ids: Vec<u64> = self.sessions.keys().copied().collect();
+        ids.sort_unstable();
+        ids
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spotnoise::config::SynthesisConfig;
+
+    fn quick_spec() -> SessionSpec {
+        SessionSpec {
+            config: SynthesisConfig {
+                texture_size: 32,
+                spot_count: 40,
+                spot_texture_size: 8,
+                ..SynthesisConfig::small_test()
+            },
+            ..SessionSpec::default()
+        }
+    }
+
+    #[test]
+    fn frames_are_deterministic_and_rewind_replays_identically() {
+        let mut a = Session::new(quick_spec());
+        let mut b = Session::new(quick_spec());
+        let f0a = a.render_frame(0, 16, |_, _, _| {}).unwrap();
+        let f1a = a.render_frame(1, 16, |_, _, _| {}).unwrap();
+        let f1b = b.render_frame(1, 16, |_, _, _| {}).unwrap();
+        assert_eq!(&*f1a, &*f1b, "same spec, same frame, same bytes");
+        // Rewind: ask a for frame 0 again — replayed from the seed.
+        let f0a2 = a.render_frame(0, 16, |_, _, _| {}).unwrap();
+        assert_eq!(&*f0a, &*f0a2);
+        assert_eq!(a.rewinds(), 1);
+        assert!(f0a != f1a, "successive frames differ");
+    }
+
+    #[test]
+    fn render_reports_every_intermediate_frame() {
+        let mut s = Session::new(quick_spec());
+        let mut seen = Vec::new();
+        s.render_frame(2, 16, |key, bytes, timings| {
+            assert_eq!(bytes.len(), 32 * 32 * 4);
+            assert!(timings.synthesize_us > 0);
+            seen.push(key.frame);
+        })
+        .unwrap();
+        assert_eq!(seen, vec![0, 1, 2]);
+        assert_eq!(s.frames_rendered(), 3);
+        assert_eq!(s.head_frame(), 3);
+    }
+
+    #[test]
+    fn advance_cap_is_enforced() {
+        let mut s = Session::new(quick_spec());
+        let err = s.render_frame(99, 16, |_, _, _| {}).unwrap_err();
+        assert_eq!(
+            err,
+            RenderError::TooFarAhead {
+                needed: 100,
+                max: 16
+            }
+        );
+        // Nothing was rendered.
+        assert_eq!(s.frames_rendered(), 0);
+        // The boundary itself is allowed: exactly max advances.
+        assert!(s.render_frame(15, 16, |_, _, _| {}).is_ok());
+        // u64::MAX must hit the cap cleanly instead of wrapping past it
+        // (debug builds would panic on the overflow, release builds would
+        // loop ~2^64 synthesis steps).
+        let err = s.render_frame(u64::MAX, 16, |_, _, _| {}).unwrap_err();
+        assert!(matches!(err, RenderError::TooFarAhead { max: 16, .. }));
+    }
+
+    #[test]
+    fn advance_cursor_tracks_served_frames_and_resets_on_steer() {
+        let mut s = Session::new(quick_spec());
+        assert_eq!(s.next_advance(), 0);
+        s.note_served(0);
+        assert_eq!(s.next_advance(), 1);
+        // A rewound serve moves the cursor back too: advance continues
+        // right after whatever the client last saw.
+        s.note_served(4);
+        s.note_served(0);
+        assert_eq!(s.next_advance(), 1);
+        s.note_served(u64::MAX);
+        assert_eq!(s.next_advance(), u64::MAX);
+        s.steer(FieldSpec::Shear { rate: 1.0 });
+        assert_eq!(s.next_advance(), 0);
+    }
+
+    #[test]
+    fn steering_restarts_the_clock_and_changes_keys() {
+        let mut s = Session::new(quick_spec());
+        let original = s.key_for(0);
+        let f0 = s.render_frame(0, 16, |_, _, _| {}).unwrap();
+        s.steer(FieldSpec::Shear { rate: 2.0 });
+        assert_eq!(s.head_frame(), 0, "steer restarts the animation clock");
+        let steered_key = s.key_for(0);
+        assert_ne!(original, steered_key);
+        let f0_steered = s.render_frame(0, 16, |_, _, _| {}).unwrap();
+        assert!(*f0 != *f0_steered, "different field, different frame");
+        // Steering back restores the original key (the cache-hit scenario).
+        s.steer(SessionSpec::default().field);
+        assert_eq!(s.key_for(0), original);
+        let f0_back = s.render_frame(0, 16, |_, _, _| {}).unwrap();
+        assert_eq!(&*f0, &*f0_back);
+        assert_eq!(s.steers(), 2);
+    }
+
+    #[test]
+    fn registry_creates_caps_and_closes() {
+        let mut r = SessionRegistry::new(2, Duration::from_secs(300));
+        let (a, _) = r.create(quick_spec()).unwrap();
+        let (b, _) = r.create(quick_spec()).unwrap();
+        assert_ne!(a, b);
+        assert!(matches!(
+            r.create(quick_spec()),
+            Err(RegistryError::TooManySessions)
+        ));
+        assert!(r.get(a).is_some());
+        assert!(r.close(a));
+        assert!(!r.close(a));
+        assert!(r.get(a).is_none());
+        let stats = r.stats();
+        assert_eq!((stats.live, stats.created, stats.closed), (1, 2, 1));
+    }
+
+    #[test]
+    fn idle_sessions_are_evicted_busy_ones_spared() {
+        let mut r = SessionRegistry::new(8, Duration::from_millis(10));
+        let (idle, _) = r.create(quick_spec()).unwrap();
+        let (busy, busy_handle) = r.create(quick_spec()).unwrap();
+        std::thread::sleep(Duration::from_millis(30));
+        // The busy session's lock is held (a worker is rendering).
+        let guard = busy_handle.lock().unwrap();
+        assert_eq!(r.evict_idle(), 1);
+        drop(guard);
+        assert!(r.get(idle).is_none());
+        assert!(r.get(busy).is_some());
+        assert_eq!(r.stats().evicted, 1);
+        // Touched sessions are not idle.
+        busy_handle.lock().unwrap().touch();
+        assert_eq!(r.evict_idle(), 0);
+    }
+
+    #[test]
+    fn session_ids_round_trip() {
+        assert_eq!(format_session_id(17), "s-17");
+        assert_eq!(parse_session_id("s-17"), Some(17));
+        assert_eq!(parse_session_id("17"), None);
+        assert_eq!(parse_session_id("s-x"), None);
+    }
+}

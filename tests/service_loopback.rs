@@ -1,0 +1,303 @@
+//! Integration tests of the synthesis service over real loopback HTTP.
+//!
+//! The headline property: a frame fetched from the server is **bit
+//! identical** to calling the advect + `synthesize_dnc` path directly with
+//! the same parameters — the service adds sessions, caching and admission
+//! control around the engine without perturbing a single texel.
+
+use flowfield::analytic::Vortex;
+use flowfield::{Rect, Vec2};
+use softpipe::machine::MachineConfig;
+use spotnoise::advect::{PositionMode, SpotAnimator};
+use spotnoise::config::SynthesisConfig;
+use spotnoise::dnc::synthesize_dnc;
+use spotnoise::json::Json;
+use spotnoise_service::{serve, AdmissionConfig, ClientError, ServiceClient, ServiceOptions};
+use std::time::Duration;
+
+fn domain() -> Rect {
+    Rect::new(Vec2::ZERO, Vec2::new(1.0, 1.0))
+}
+
+/// The test sessions' synthesis configuration, mirrored on both sides.
+fn test_config(seed: u64) -> SynthesisConfig {
+    SynthesisConfig {
+        texture_size: 64,
+        spot_count: 120,
+        spot_texture_size: 16,
+        seed,
+        ..SynthesisConfig::small_test()
+    }
+}
+
+// Two process groups, masters only: with no slaves there is no intra-group
+// submission reordering, so the divide-and-conquer result is bit-identical
+// run to run (the same property the tiled static-vs-dynamic equivalence
+// test relies on) — which is what lets this suite demand exact bytes.
+fn session_body(seed: u64, omega: f64) -> String {
+    format!(
+        concat!(
+            "{{\"field\": {{\"kind\": \"vortex\", \"omega\": {}, \"cx\": 0.5, \"cy\": 0.5}}, ",
+            "\"config\": {{\"texture_size\": 64, \"spot_count\": 120, ",
+            "\"spot_texture_size\": 16, \"seed\": {}}}, ",
+            "\"machine\": {{\"processors\": 2, \"pipes\": 2}}, \"dt\": 0.05}}"
+        ),
+        omega, seed
+    )
+}
+
+/// Computes frame `index` exactly the way the paper's pipeline does, with
+/// direct engine calls: advect `index + 1` steps from the seed, then one
+/// divide-and-conquer synthesis, serialized as little-endian f32.
+fn direct_frame_bytes(seed: u64, omega: f64, index: u64) -> Vec<u8> {
+    let cfg = test_config(seed);
+    let field = Vortex {
+        omega,
+        center: Vec2::new(0.5, 0.5),
+        domain: domain(),
+    };
+    let mut animator =
+        SpotAnimator::new(domain(), cfg.spot_count, PositionMode::Advected, cfg.seed);
+    for _ in 0..=index {
+        animator.advance(&field, 0.05);
+    }
+    let spots = animator.spots();
+    let out = synthesize_dnc(&field, &spots, &cfg, &MachineConfig::new(2, 2));
+    let mut bytes = Vec::with_capacity(out.texture.data().len() * 4);
+    for v in out.texture.data() {
+        bytes.extend_from_slice(&v.to_le_bytes());
+    }
+    bytes
+}
+
+#[test]
+fn two_concurrent_sessions_match_direct_synthesis_bit_for_bit() {
+    let handle = serve("127.0.0.1:0", ServiceOptions::default()).expect("bind loopback");
+    let addr = handle.addr();
+    // Two sessions with different seeds and steering, driven concurrently.
+    let clients = [(11u64, 1.0f64), (23u64, -2.0f64)];
+    let workers: Vec<_> = clients
+        .into_iter()
+        .map(|(seed, omega)| {
+            std::thread::spawn(move || {
+                let mut client = ServiceClient::connect(addr).expect("connect");
+                let session = client
+                    .create_session(&session_body(seed, omega))
+                    .expect("create session");
+                for frame in 0..3u64 {
+                    let fetched = client.fetch_frame(&session, frame).expect("fetch frame");
+                    assert_eq!(fetched.frame, frame);
+                    assert!(!fetched.cache_hit, "first fetch must synthesize");
+                    let expected = direct_frame_bytes(seed, omega, frame);
+                    assert_eq!(
+                        fetched.bytes, expected,
+                        "seed {seed} frame {frame}: served texture diverged from direct \
+                         synthesize_dnc"
+                    );
+                }
+                // Re-fetching an old frame is a cache hit with identical bytes.
+                let again = client.fetch_frame(&session, 1).expect("refetch");
+                assert!(again.cache_hit);
+                assert_eq!(again.bytes, direct_frame_bytes(seed, omega, 1));
+                client.close_session(&session).expect("close");
+            })
+        })
+        .collect();
+    for w in workers {
+        w.join().expect("session thread panicked");
+    }
+    handle.shutdown();
+}
+
+#[test]
+fn overload_is_shed_with_busy_and_the_queue_stays_bounded() {
+    let watermark = 2;
+    let handle = serve(
+        "127.0.0.1:0",
+        ServiceOptions {
+            workers: 1,
+            cache_bytes: 0, // every request must synthesize
+            admission: AdmissionConfig {
+                watermark,
+                per_session: 8,
+            },
+            ..ServiceOptions::default()
+        },
+    )
+    .expect("bind loopback");
+    let addr = handle.addr();
+    // Ten one-shot cold requests, each on its own session, fired together.
+    let sessions: Vec<String> = (0..10)
+        .map(|i| {
+            let mut c = ServiceClient::connect(addr).expect("connect setup");
+            c.create_session(&format!(
+                "{{\"config\": {{\"texture_size\": 64, \"spot_count\": 600, \"seed\": {}}}}}",
+                500 + i
+            ))
+            .expect("create session")
+        })
+        .collect();
+    let barrier = std::sync::Arc::new(std::sync::Barrier::new(sessions.len()));
+    let workers: Vec<_> = sessions
+        .into_iter()
+        .map(|session| {
+            let barrier = std::sync::Arc::clone(&barrier);
+            std::thread::spawn(move || {
+                let mut client = ServiceClient::connect(addr).expect("connect");
+                barrier.wait();
+                match client.fetch_frame(&session, 0) {
+                    Ok(fetched) => {
+                        assert_eq!(fetched.bytes.len(), 64 * 64 * 4);
+                        Ok(())
+                    }
+                    Err(ClientError::Busy) => Err(()),
+                    Err(e) => panic!("unexpected failure: {e}"),
+                }
+            })
+        })
+        .collect();
+    let outcomes: Vec<Result<(), ()>> = workers
+        .into_iter()
+        .map(|w| w.join().expect("client panicked"))
+        .collect();
+    let served = outcomes.iter().filter(|o| o.is_ok()).count();
+    let shed = outcomes.len() - served;
+    assert!(served > 0, "nothing was served under overload");
+    assert!(
+        shed > 0,
+        "10 simultaneous requests against watermark {watermark} with one worker must shed"
+    );
+
+    // The server's own accounting agrees: requests were shed with Busy and
+    // the queue never grew past the watermark.
+    let mut stats_client = ServiceClient::connect(addr).expect("connect stats");
+    let stats = stats_client.stats().expect("stats");
+    let queue = stats.get("queue").expect("queue stats");
+    let shed_busy = queue.get("shed_busy").and_then(Json::as_f64).unwrap();
+    let peak_depth = queue.get("peak_depth").and_then(Json::as_f64).unwrap();
+    assert!(shed_busy >= shed as f64);
+    assert!(
+        peak_depth <= watermark as f64,
+        "queue grew to {peak_depth}, past watermark {watermark}"
+    );
+    handle.shutdown();
+}
+
+#[test]
+fn steering_back_serves_cached_frames_without_synthesis() {
+    let handle = serve("127.0.0.1:0", ServiceOptions::default()).expect("bind loopback");
+    let mut client = ServiceClient::connect(handle.addr()).expect("connect");
+    let session = client
+        .create_session(&session_body(7, 1.0))
+        .expect("create session");
+    let original = client.fetch_frame(&session, 0).expect("frame 0");
+    assert!(!original.cache_hit);
+
+    // Steer to a different field: frame 0 changes and must be synthesized.
+    client
+        .steer(
+            &session,
+            r#"{"kind": "vortex", "omega": 3.0, "cx": 0.5, "cy": 0.5}"#,
+        )
+        .expect("steer away");
+    let steered = client.fetch_frame(&session, 0).expect("steered frame 0");
+    assert!(!steered.cache_hit);
+    assert_ne!(steered.bytes, original.bytes);
+
+    // Steer back: the frame is served from the cache, bit-identical.
+    client
+        .steer(
+            &session,
+            r#"{"kind": "vortex", "omega": 1.0, "cx": 0.5, "cy": 0.5}"#,
+        )
+        .expect("steer back");
+    let back = client
+        .fetch_frame(&session, 0)
+        .expect("steered-back frame 0");
+    assert!(back.cache_hit, "steered-back frame must hit the cache");
+    assert_eq!(back.bytes, original.bytes);
+
+    let stats = client.stats().expect("stats");
+    let hits = stats
+        .get("cache")
+        .and_then(|c| c.get("hits"))
+        .and_then(Json::as_f64)
+        .unwrap();
+    assert!(hits >= 1.0);
+    handle.shutdown();
+}
+
+#[test]
+fn session_lifecycle_crud_and_idle_eviction_over_http() {
+    let handle = serve(
+        "127.0.0.1:0",
+        ServiceOptions {
+            idle_timeout: Duration::from_millis(150),
+            ..ServiceOptions::default()
+        },
+    )
+    .expect("bind loopback");
+    let mut client = ServiceClient::connect(handle.addr()).expect("connect");
+
+    // Create twice; ids are distinct and readable back.
+    let a = client.create_session("").expect("create a");
+    let b = client.create_session("").expect("create b");
+    assert_ne!(a, b);
+    let info = client
+        .request("GET", &format!("/sessions/{a}"), b"")
+        .expect("session info");
+    assert_eq!(info.status, 200);
+    let doc = info.json().expect("info json");
+    assert_eq!(doc.get("session").and_then(Json::as_str), Some(a.as_str()));
+    assert_eq!(
+        doc.get("frame_bytes").and_then(Json::as_f64),
+        Some((128 * 128 * 4) as f64)
+    );
+
+    // Deleting one leaves the other; double delete is 404.
+    client.close_session(&b).expect("delete b");
+    assert!(matches!(
+        client.close_session(&b),
+        Err(ClientError::NotFound)
+    ));
+    assert!(matches!(
+        client.fetch_frame(&b, 0),
+        Err(ClientError::NotFound)
+    ));
+
+    // Idle eviction: after the timeout, a /stats call sweeps the registry.
+    std::thread::sleep(Duration::from_millis(400));
+    let stats = client.stats().expect("stats");
+    let evicted = stats
+        .get("sessions")
+        .and_then(|s| s.get("evicted"))
+        .and_then(Json::as_f64)
+        .unwrap();
+    assert!(evicted >= 1.0, "idle session was not evicted");
+    assert!(matches!(
+        client.fetch_frame(&a, 0),
+        Err(ClientError::NotFound)
+    ));
+    handle.shutdown();
+}
+
+#[test]
+fn advance_endpoint_and_shutdown_are_clean() {
+    let handle = serve("127.0.0.1:0", ServiceOptions::default()).expect("bind loopback");
+    let mut client = ServiceClient::connect(handle.addr()).expect("connect");
+    let session = client
+        .create_session(&session_body(99, 1.0))
+        .expect("create session");
+    let first = client.advance(&session).expect("advance 0");
+    let second = client.advance(&session).expect("advance 1");
+    assert_eq!(first.frame, 0);
+    assert_eq!(second.frame, 1);
+    assert_ne!(first.bytes, second.bytes);
+    // A frame fetch of an advanced index hits the cache.
+    let replay = client.fetch_frame(&session, 1).expect("replay");
+    assert!(replay.cache_hit);
+    assert_eq!(replay.bytes, second.bytes);
+
+    client.shutdown().expect("shutdown request");
+    handle.join();
+}
