@@ -5,7 +5,8 @@
 //!
 //! ```text
 //! cargo run --release -p spotnoise-bench --bin bench_raster -- \
-//!     [--out BENCH_raster.json] [--check] [--filter <substring>]
+//!     [--out BENCH_raster.json] [--check] [--filter <substring>] \
+//!     [--ratchet <committed BENCH_raster.json>]
 //! ```
 //!
 //! `--check` re-reads the written artifact, parses it and asserts the
@@ -15,14 +16,36 @@
 //! skipped entirely, not just omitted from the output), which is how CI
 //! keeps the smoke run clear of the slow full-synthesis `dnc_spot_batch_*`
 //! cases while still covering quads, meshes and the gather.
+//!
+//! `--ratchet` points `--check` at a previously committed artifact: every
+//! measured case that also appears in the ratchet file must keep at least
+//! 90 % of its committed speedup, so a future change cannot silently lose
+//! an optimization this repository has already banked. Speedups are
+//! within-run ratios (reference vs optimized on the same host), so the
+//! comparison is robust to absolute machine speed; cases present on only
+//! one side are ignored (filters and newly added cases stay compatible).
 
 use spotnoise_bench::json::Json;
 use std::path::PathBuf;
 use std::process::ExitCode;
 
-/// Validates the written artifact: it must parse, carry the expected
-/// schema, and every case must report a positive speedup.
-fn check_artifact(path: &PathBuf) -> Result<usize, String> {
+/// Fraction of a committed case's speedup a fresh measurement must retain
+/// for the ratchet to pass (headroom for shared-runner noise; the measured
+/// quantity is a within-run ratio, so host speed itself cancels out).
+const RATCHET_FLOOR: f64 = 0.9;
+
+/// Absolute slack subtracted from the banked speedup as an alternative
+/// floor: the effective floor is `min(banked × RATCHET_FLOOR, banked −
+/// RATCHET_SLACK)`. For big banked wins the ratio rules (2.4× may not drop
+/// below 2.16×); for near-parity cases — whose entire margin is
+/// allocator/toolchain behaviour — the ratio alone would leave almost no
+/// headroom (banked 1.12× would fail at 1.01×), so the absolute slack keeps
+/// the gate on genuine pessimization instead of environment drift.
+const RATCHET_SLACK: f64 = 0.15;
+
+/// Parses an artifact's cases into `(name, speedup)` pairs after validating
+/// the schema envelope.
+fn parse_cases(path: &PathBuf) -> Result<Vec<(String, f64)>, String> {
     let text = std::fs::read_to_string(path).map_err(|e| format!("read {path:?}: {e}"))?;
     let doc = Json::parse(&text)?;
     let schema = doc
@@ -43,9 +66,7 @@ fn check_artifact(path: &PathBuf) -> Result<usize, String> {
         .get("cases")
         .and_then(Json::as_array)
         .ok_or("missing cases array")?;
-    if cases.is_empty() {
-        return Err("no benchmark cases recorded".to_string());
-    }
+    let mut out = Vec::with_capacity(cases.len());
     for case in cases {
         let name = case
             .get("name")
@@ -55,6 +76,19 @@ fn check_artifact(path: &PathBuf) -> Result<usize, String> {
             .get("speedup")
             .and_then(Json::as_f64)
             .ok_or_else(|| format!("case {name}: missing speedup"))?;
+        out.push((name.to_string(), speedup));
+    }
+    Ok(out)
+}
+
+/// Validates the written artifact: it must parse, carry the expected
+/// schema, and every case must report a positive speedup.
+fn check_artifact(path: &PathBuf) -> Result<usize, String> {
+    let cases = parse_cases(path)?;
+    if cases.is_empty() {
+        return Err("no benchmark cases recorded".to_string());
+    }
+    for (name, speedup) in &cases {
         if speedup.partial_cmp(&0.0) != Some(std::cmp::Ordering::Greater) {
             return Err(format!("case {name}: speedup {speedup} is not positive"));
         }
@@ -62,10 +96,44 @@ fn check_artifact(path: &PathBuf) -> Result<usize, String> {
     Ok(cases.len())
 }
 
+/// The regression ratchet: every freshly measured case that also exists in
+/// the committed artifact must retain at least [`RATCHET_FLOOR`] of its
+/// committed speedup. Returns the number of cases compared.
+fn check_ratchet(fresh: &PathBuf, committed: &PathBuf) -> Result<usize, String> {
+    let fresh_cases = parse_cases(fresh)?;
+    let committed_cases = parse_cases(committed)?;
+    let mut compared = 0;
+    let mut failures = Vec::new();
+    for (name, measured) in &fresh_cases {
+        let Some((_, banked)) = committed_cases.iter().find(|(n, _)| n == name) else {
+            continue;
+        };
+        compared += 1;
+        let floor = (banked * RATCHET_FLOOR).min(banked - RATCHET_SLACK);
+        if *measured < floor {
+            failures.push(format!(
+                "case {name}: speedup {measured:.3} fell below {floor:.3} \
+                 (= min({RATCHET_FLOOR} x, -{RATCHET_SLACK}) of committed {banked:.3})"
+            ));
+        }
+    }
+    if compared == 0 {
+        return Err(format!(
+            "ratchet {committed:?} shares no case with the fresh run — wrong file?"
+        ));
+    }
+    if failures.is_empty() {
+        Ok(compared)
+    } else {
+        Err(failures.join("\n"))
+    }
+}
+
 fn main() -> ExitCode {
     let mut out = PathBuf::from("BENCH_raster.json");
     let mut check = false;
     let mut filter: Option<String> = None;
+    let mut ratchet: Option<PathBuf> = None;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -82,8 +150,21 @@ fn main() -> ExitCode {
                     return ExitCode::FAILURE;
                 }
             },
+            "--ratchet" => match args.next() {
+                Some(path) => ratchet = Some(PathBuf::from(path)),
+                None => {
+                    eprintln!("--ratchet needs a path to a committed BENCH_raster.json");
+                    return ExitCode::FAILURE;
+                }
+            },
             other => eprintln!("unknown argument: {other}"),
         }
+    }
+    // The ratchet is a --check extension; a bare --ratchet would silently
+    // verify nothing, so reject it up front.
+    if ratchet.is_some() && !check {
+        eprintln!("--ratchet requires --check (the ratchet runs as part of the check phase)");
+        return ExitCode::FAILURE;
     }
     // Fail on an unwritable destination before spending minutes measuring.
     if let Some(parent) = out.parent().filter(|p| !p.as_os_str().is_empty()) {
@@ -109,6 +190,21 @@ fn main() -> ExitCode {
             Err(e) => {
                 eprintln!("check FAILED: {e}");
                 return ExitCode::FAILURE;
+            }
+        }
+        if let Some(committed) = &ratchet {
+            match check_ratchet(&out, committed) {
+                Ok(compared) => {
+                    println!(
+                        "ratchet OK: {compared} cases at >= {RATCHET_FLOOR}x their committed \
+                         speedup in {}",
+                        committed.display()
+                    );
+                }
+                Err(e) => {
+                    eprintln!("ratchet FAILED against {}:\n{e}", committed.display());
+                    return ExitCode::FAILURE;
+                }
             }
         }
     }

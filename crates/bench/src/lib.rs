@@ -188,7 +188,7 @@ pub fn run_table_sweep(workload: &Workload) -> Vec<SweepCell> {
                 pipes: machine.pipes,
                 simulated_textures_per_second: out.predicted.textures_per_second,
                 measured_textures_per_second: out.measured_textures_per_second(),
-                prediction: out.predicted,
+                prediction: out.report.predicted,
             }
         })
         .collect()

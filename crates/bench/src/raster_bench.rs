@@ -14,7 +14,10 @@
 use crate::json::Json;
 use flowfield::Vec2;
 use softpipe::raster::{axis_aligned_spot_quad, rasterize_quad, reference, RasterStats, Vertex};
-use softpipe::{disc_spot_texture, gather_additive, BlendMode, Texture, TexturedMesh};
+use softpipe::{
+    disc_spot_texture, gather_additive, BlendMode, FootprintPyramid, Texture, TexturedMesh,
+};
+use std::sync::Arc;
 use std::time::Instant;
 
 /// One measured before/after case.
@@ -250,6 +253,167 @@ fn mesh_case(name: &'static str, description: &'static str, mesh: &TexturedMesh)
     }
 }
 
+/// Measures footprint sampling against exact bilinear on a bent-style mesh:
+/// reference = the exact span walker (the production fast path), optimized =
+/// the footprint-sampled walker. Outputs are *not* pixel-identical — that is
+/// the point — so instead of the bit-parity assert the case gates on the
+/// [`spotnoise::quality`] tolerances before timing.
+fn bent_mesh_footprint_case(
+    name: &'static str,
+    description: &'static str,
+    mesh: &TexturedMesh,
+    spot_size: usize,
+) -> BenchCase {
+    use spotnoise::quality::sampling_quality;
+    let spot = disc_spot_texture(spot_size, 0.5);
+    let pyramid = FootprintPyramid::build(Arc::new(spot.clone()));
+    let mut exact = Texture::new(512, 512);
+    let mut approx = Texture::new(512, 512);
+    let mut exact_stats = RasterStats::default();
+    let mut approx_stats = RasterStats::default();
+    mesh.rasterize(
+        &mut exact,
+        &spot,
+        0.5,
+        BlendMode::Additive,
+        &mut exact_stats,
+    );
+    mesh.rasterize_footprint(
+        &mut approx,
+        &pyramid,
+        0.5,
+        BlendMode::Additive,
+        &mut approx_stats,
+    );
+    assert_eq!(
+        exact_stats, approx_stats,
+        "{name}: footprint mode changed coverage"
+    );
+    let q = sampling_quality(&exact, &approx);
+    assert!(
+        q.within_footprint_tolerance(),
+        "{name}: footprint sampling out of quality tolerance: {q:?}"
+    );
+
+    let mut target = Texture::new(512, 512);
+    let probe = {
+        let mut stats = RasterStats::default();
+        let start = Instant::now();
+        mesh.rasterize(&mut target, &spot, 0.5, BlendMode::Additive, &mut stats);
+        start.elapsed().as_nanos() as f64
+    };
+    let batch = batch_for(10.0e6, probe);
+    let mut targets = (Texture::new(512, 512), Texture::new(512, 512));
+    let (reference_ns, optimized) = time_pair_best(
+        9,
+        batch,
+        || {
+            let mut stats = RasterStats::default();
+            mesh.rasterize(&mut targets.0, &spot, 0.5, BlendMode::Additive, &mut stats);
+        },
+        || {
+            let mut stats = RasterStats::default();
+            mesh.rasterize_footprint(
+                &mut targets.1,
+                &pyramid,
+                0.5,
+                BlendMode::Additive,
+                &mut stats,
+            );
+        },
+    );
+    BenchCase {
+        name,
+        description,
+        fragments_per_op: exact_stats.fragments,
+        reference_ns_per_op: reference_ns,
+        optimized_ns_per_op: optimized,
+    }
+}
+
+/// Measures pooled-arena frame production against allocate-per-frame: two
+/// identical divide-and-conquer pipelines advance in lockstep, one with the
+/// default frame arena (recycling consumed frames) and one with pooling
+/// disabled. Output equality is asserted on fresh pipelines before timing —
+/// buffer reuse must be invisible in the texels.
+fn frame_arena_case() -> BenchCase {
+    use softpipe::machine::MachineConfig;
+    use spotnoise::config::SynthesisConfig;
+    use spotnoise::pipeline::{ExecutionMode, Pipeline};
+
+    let domain = flowfield::Rect::new(Vec2::ZERO, Vec2::new(1.0, 1.0));
+    let field = flowfield::analytic::Vortex {
+        omega: 1.0,
+        center: domain.center(),
+        domain,
+    };
+    // Few spots on a large target: the frame cost is dominated by the
+    // framebuffer-sized work (clear, partial readback, gather, allocation),
+    // which is exactly what the arena removes.
+    let cfg = SynthesisConfig {
+        texture_size: 512,
+        spot_count: 48,
+        spot_radius: 0.02,
+        ..SynthesisConfig::small_test()
+    };
+    let machine = MachineConfig::new(1, 1);
+    let mode = ExecutionMode::DivideAndConquer(machine);
+    let build = |pooled: bool| {
+        let mut p = Pipeline::new(cfg, mode, domain);
+        p.set_display_enabled(false);
+        if !pooled {
+            p.set_frame_arena(None);
+        }
+        p
+    };
+
+    // Parity check on fresh pipelines: identical frames with and without
+    // the arena.
+    let mut pooled = build(true);
+    let mut fresh = build(false);
+    let mut fragments = 0;
+    for _ in 0..3 {
+        let a = pooled.advance(&field, 0.05, 0);
+        let b = fresh.advance(&field, 0.05, 0);
+        assert_eq!(
+            a.texture.absolute_difference(&b.texture),
+            0.0,
+            "frame_arena_reuse: pooled frames diverged from fresh allocation"
+        );
+        fragments = a.dnc.as_ref().map_or(0, |d| d.total_pipe_work().fragments);
+        if let Some(arena) = pooled.frame_arena() {
+            arena.recycle_texture(a.texture);
+        }
+    }
+
+    let mut pooled = build(true);
+    let mut fresh = build(false);
+    let (reference_ns, optimized) = time_pair_best(
+        7,
+        24,
+        || {
+            std::hint::black_box(fresh.advance(&field, 0.05, 0));
+        },
+        || {
+            let out = pooled.advance(&field, 0.05, 0);
+            let texture = std::hint::black_box(out.texture);
+            // Steady-state consumers (the service) hand the frame buffer
+            // back after serializing it; the bench models that.
+            if let Some(arena) = pooled.frame_arena() {
+                arena.recycle_texture(texture);
+            }
+        },
+    );
+    BenchCase {
+        name: "frame_arena_reuse",
+        description:
+            "dnc frame production, pooled FrameArena vs allocate-per-frame (512x512, 48 spots)",
+        fragments_per_op: fragments,
+        reference_ns_per_op: reference_ns,
+        optimized_ns_per_op: optimized,
+    }
+}
+
 fn gather_case() -> BenchCase {
     // Four full-coverage 512² partials, as a 4-pipe machine produces.
     let partials: Vec<Texture> = (0..4)
@@ -451,7 +615,35 @@ pub fn run_raster_bench_filtered(filter: Option<&str>) -> RasterBenchReport {
                 )
             }),
         ),
+        (
+            "bent_mesh_16x3_r12_footprint",
+            Box::new(|| {
+                // r = 12 px at stretch 3: a 72x14 ribbon whose rotated 16x3
+                // cells have sub-12 px bounding boxes — the narrow-triangle
+                // sampling-bound path the footprint sampler targets.
+                bent_mesh_footprint_case(
+                    "bent_mesh_16x3_r12_footprint",
+                    "bent 16x3 mesh, r=12 (narrow triangles): Footprint sampling vs Exact bilinear",
+                    &rotated_mesh(16, 3, Vec2::new(256.0, 256.0), 72.0, 14.0, 0.52),
+                    16,
+                )
+            }),
+        ),
+        (
+            "bent_mesh_16x3_r48_footprint",
+            Box::new(|| {
+                // r = 48 px: wider cells exercise the span-walking footprint
+                // fill (lane-blocked nearest) instead of the narrow loop.
+                bent_mesh_footprint_case(
+                    "bent_mesh_16x3_r48_footprint",
+                    "bent 16x3 mesh, r=48 (wide cells): Footprint sampling vs Exact bilinear",
+                    &rotated_mesh(16, 3, Vec2::new(256.0, 256.0), 288.0, 55.0, 0.52),
+                    32,
+                )
+            }),
+        ),
         ("gather_additive_512x4", Box::new(gather_case)),
+        ("frame_arena_reuse", Box::new(frame_arena_case)),
     ];
 
     let mut cases = Vec::new();

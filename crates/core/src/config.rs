@@ -10,6 +10,7 @@
 
 use flowfield::Integrator;
 use serde::{Deserialize, Serialize};
+pub use softpipe::SamplingMode;
 
 /// The geometric representation used for each spot.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -92,6 +93,16 @@ pub struct SynthesisConfig {
     /// that the pipe keeps overlapping with shape computation. The
     /// `bench_raster` harness sweeps this knob ({16, 64, 256}).
     pub spot_batch: usize,
+    /// How spot textures are sampled when shading fragments.
+    /// [`SamplingMode::Exact`] (the default) is the classic per-fragment
+    /// bilinear filter and is bit-identical to every result this repository
+    /// has ever produced. [`SamplingMode::Footprint`] trades exactness for
+    /// throughput on sampling-bound bent-spot meshes: fragments
+    /// nearest-sample a small prefiltered pyramid level chosen from each
+    /// triangle's uv extent — the paper's "speed can be traded for quality"
+    /// knob for the fragment pipeline, gated by the [`crate::quality`]
+    /// metrics.
+    pub sampling: SamplingMode,
 }
 
 impl SynthesisConfig {
@@ -111,6 +122,7 @@ impl SynthesisConfig {
             use_tiling: false,
             transform_on_pipe: false,
             spot_batch: 64,
+            sampling: SamplingMode::Exact,
         }
     }
 
@@ -131,6 +143,7 @@ impl SynthesisConfig {
             use_tiling: false,
             transform_on_pipe: false,
             spot_batch: 64,
+            sampling: SamplingMode::Exact,
         }
     }
 
@@ -151,6 +164,7 @@ impl SynthesisConfig {
             use_tiling: false,
             transform_on_pipe: false,
             spot_batch: 64,
+            sampling: SamplingMode::Exact,
         }
     }
 
@@ -205,6 +219,10 @@ impl SynthesisConfig {
         h.write_bool(self.use_tiling);
         h.write_bool(self.transform_on_pipe);
         h.write_usize(self.spot_batch);
+        h.write_u8(match self.sampling {
+            SamplingMode::Exact => 0,
+            SamplingMode::Footprint => 1,
+        });
         h.finish()
     }
 
@@ -399,6 +417,10 @@ mod tests {
             },
             SynthesisConfig {
                 spot_batch: 65,
+                ..base
+            },
+            SynthesisConfig {
+                sampling: SamplingMode::Footprint,
                 ..base
             },
         ];

@@ -71,7 +71,7 @@ pub mod synth;
 
 pub use advect::{PositionMode, SpotAnimator};
 pub use config::{SpotKind, SynthesisConfig};
-pub use dnc::{synthesize_cpu_only, synthesize_dnc, DncOutput, GroupReport};
+pub use dnc::{synthesize_cpu_only, synthesize_dnc, DncOutput, DncReport, GroupReport};
 pub use perfmodel::{eq_2_1, eq_3_2, PerfPrediction};
 pub use pipeline::{ExecutionMode, FrameOutput, Pipeline};
 pub use scheduler::{
@@ -83,11 +83,14 @@ pub use synth::{synthesize_sequential, SequentialOutput, SynthesisContext};
 
 #[cfg(test)]
 mod proptests {
-    use crate::config::SynthesisConfig;
+    use crate::config::{SamplingMode, SpotKind, SynthesisConfig};
     use crate::dnc::synthesize_dnc_with_context;
     use crate::partition::{partition_round_robin, partition_tiled, TilingOptions};
+    use crate::quality::sampling_quality;
     use crate::spot::{generate_spots, FieldToPixel};
-    use crate::synth::{synthesize_sequential_with_context, SynthesisContext};
+    use crate::synth::{
+        synthesize_sequential, synthesize_sequential_with_context, SynthesisContext,
+    };
     use flowfield::analytic::Vortex;
     use flowfield::{Rect, Vec2};
     use proptest::prelude::*;
@@ -115,6 +118,39 @@ mod proptests {
             let dnc = synthesize_dnc_with_context(&field, &spots, &cfg, &machine, &ctx);
             let mean_diff = seq.texture.absolute_difference(&dnc.texture) / (64.0 * 64.0);
             prop_assert!(mean_diff < 1e-4, "mean texel difference {mean_diff}");
+        }
+
+        /// Footprint sampling stays within the quality tolerances of Exact
+        /// across random fields, spot sizes and spot kinds — the license
+        /// for the speed-for-quality trade, enforced as a property.
+        #[test]
+        fn footprint_sampling_within_quality_tolerance(
+            seed in 0u64..1000,
+            omega in 0.5f64..2.5,
+            radius in 0.02f64..0.08,
+            bent in 0u8..2,
+        ) {
+            let cfg = SynthesisConfig {
+                texture_size: 96,
+                spot_count: 220,
+                spot_radius: radius,
+                spot_kind: if bent == 1 {
+                    SpotKind::Bent { rows: 8, cols: 3 }
+                } else {
+                    SpotKind::Disc
+                },
+                ..SynthesisConfig::small_test()
+            };
+            let footprint_cfg = SynthesisConfig { sampling: SamplingMode::Footprint, ..cfg };
+            let field = Vortex { omega, center: Vec2::new(0.5, 0.5), domain: domain() };
+            let spots = generate_spots(cfg.spot_count, domain(), 1.0, seed);
+            let exact = synthesize_sequential(&field, &spots, &cfg);
+            let approx = synthesize_sequential(&field, &spots, &footprint_cfg);
+            let q = sampling_quality(&exact.texture, &approx.texture);
+            prop_assert!(
+                q.within_footprint_tolerance(),
+                "seed {seed}, radius {radius}, bent {bent}: {q:?}"
+            );
         }
 
         /// Round-robin partitioning is a true partition for any group count.

@@ -108,9 +108,11 @@ impl ThroughputMeter {
 /// Hit/miss/eviction counters of a frame cache, as exposed by the synthesis
 /// service's `/stats` endpoint. Lookup outcomes are counted per *requested*
 /// frame: a `hit` served the frame without synthesis, a `miss` admitted a
-/// synthesis job. `insertions`/`evictions` track the entry population
-/// (look-ahead frames rendered on the way to a requested index are inserted
-/// without a counted lookup, so `insertions` can exceed `misses`).
+/// synthesis job. `insertions`/`evictions` track the entry population;
+/// look-ahead frames rendered on the way to a requested index are inserted
+/// without a counted lookup (so `insertions` can exceed `misses`) and are
+/// additionally counted in `inserted_lookahead` — the measure of how much
+/// future-serving work each synthesis burst banks.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct CacheStats {
     /// Frame requests served straight from the cache.
@@ -119,6 +121,9 @@ pub struct CacheStats {
     pub misses: u64,
     /// Entries stored.
     pub insertions: u64,
+    /// The subset of `insertions` that were look-ahead frames: rendered on
+    /// the way to a requested index rather than for the request itself.
+    pub inserted_lookahead: u64,
     /// Entries expelled by the LRU policy to respect the capacity.
     pub evictions: u64,
 }
@@ -140,6 +145,7 @@ impl CacheStats {
         self.hits += other.hits;
         self.misses += other.misses;
         self.insertions += other.insertions;
+        self.inserted_lookahead += other.inserted_lookahead;
         self.evictions += other.evictions;
     }
 }
@@ -222,6 +228,7 @@ mod tests {
             hits: 1,
             misses: 3,
             insertions: 3,
+            inserted_lookahead: 2,
             evictions: 2,
         });
         assert_eq!(
@@ -230,6 +237,7 @@ mod tests {
                 hits: 4,
                 misses: 4,
                 insertions: 4,
+                inserted_lookahead: 2,
                 evictions: 2,
             }
         );

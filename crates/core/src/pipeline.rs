@@ -16,7 +16,7 @@
 
 use crate::advect::{PositionMode, SpotAnimator};
 use crate::config::SynthesisConfig;
-use crate::dnc::{synthesize_dnc_with_options, DncOutput};
+use crate::dnc::{synthesize_dnc_with_arena, DncReport};
 use crate::filter::standard_postprocess;
 use crate::metrics::{timed, FrameMetrics, StageTimings};
 use crate::scheduler::SchedulerOptions;
@@ -24,7 +24,8 @@ use crate::synth::{synthesize_sequential, SynthesisContext};
 use flowfield::particles::ParticleOptions;
 use flowfield::{Rect, VectorField};
 use softpipe::machine::MachineConfig;
-use softpipe::Texture;
+use softpipe::{FrameArena, Texture};
+use std::sync::Arc;
 
 /// How the texture-synthesis step is executed.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -40,12 +41,14 @@ pub enum ExecutionMode {
 pub struct FrameOutput {
     /// The raw (signed) spot-noise texture.
     pub texture: Texture,
-    /// The display-ready texture after spot filtering and contrast stretch.
+    /// The display-ready texture after spot filtering and contrast stretch
+    /// (a 1×1 placeholder when display production is disabled via
+    /// [`Pipeline::set_display_enabled`]).
     pub display: Texture,
     /// Measurements of the frame.
     pub metrics: FrameMetrics,
     /// The divide-and-conquer report, when that executor ran.
-    pub dnc: Option<DncOutput>,
+    pub dnc: Option<DncReport>,
 }
 
 /// The persistent state of the interactive pipeline.
@@ -56,6 +59,8 @@ pub struct Pipeline {
     sched: SchedulerOptions,
     animator: SpotAnimator,
     postprocess: bool,
+    display: bool,
+    arena: Option<Arc<FrameArena>>,
     frames: u64,
 }
 
@@ -71,6 +76,8 @@ impl Pipeline {
             sched: SchedulerOptions::default(),
             animator,
             postprocess: true,
+            display: true,
+            arena: Some(Arc::new(FrameArena::new())),
             frames: 0,
         }
     }
@@ -94,6 +101,8 @@ impl Pipeline {
             sched: SchedulerOptions::default(),
             animator,
             postprocess: true,
+            display: true,
+            arena: Some(Arc::new(FrameArena::new())),
             frames: 0,
         }
     }
@@ -102,6 +111,29 @@ impl Pipeline {
     /// contrast stretch) of step 4.
     pub fn set_postprocess(&mut self, enabled: bool) {
         self.postprocess = enabled;
+    }
+
+    /// Enables or disables display-texture production entirely. Servers
+    /// that ship the raw synthesis texture (the spotnoise service) disable
+    /// it to skip one framebuffer-sized allocation + pass per frame;
+    /// [`FrameOutput::display`] then holds a 1×1 placeholder.
+    pub fn set_display_enabled(&mut self, enabled: bool) {
+        self.display = enabled;
+    }
+
+    /// Replaces the pipeline's frame arena. Pipelines pool frame buffers by
+    /// default; pass `None` to reproduce the classic allocate-per-frame
+    /// behaviour (the `frame_arena_reuse` bench baseline), or share one
+    /// arena across pipelines. Outputs are bit-identical either way.
+    pub fn set_frame_arena(&mut self, arena: Option<Arc<FrameArena>>) {
+        self.arena = arena;
+    }
+
+    /// The pipeline's frame arena, when pooling is enabled. Callers that
+    /// drop a [`FrameOutput`] after consuming it can recycle its texture
+    /// here to close the zero-allocation loop.
+    pub fn frame_arena(&self) -> Option<&Arc<FrameArena>> {
+        self.arena.as_ref()
     }
 
     /// Selects how the divide-and-conquer executor schedules work over its
@@ -152,6 +184,7 @@ impl Pipeline {
         let mode = self.mode;
         let cfg = self.cfg;
         let sched = self.sched;
+        let arena = self.arena.as_ref();
         let ((texture, dnc), synthesize_us) = timed(|| match mode {
             ExecutionMode::Sequential => {
                 let out = synthesize_sequential(field, &spots, &cfg);
@@ -159,15 +192,23 @@ impl Pipeline {
             }
             ExecutionMode::DivideAndConquer(machine) => {
                 let ctx = SynthesisContext::new(field, &cfg);
-                let out = synthesize_dnc_with_options(field, &spots, &cfg, &machine, &ctx, &sched);
-                (out.texture.clone(), Some(out))
+                let out =
+                    synthesize_dnc_with_arena(field, &spots, &cfg, &machine, &ctx, &sched, arena);
+                // Texture and report separate without cloning: the frame
+                // keeps the texture once instead of once per struct.
+                let (texture, report) = out.into_parts();
+                (texture, Some(report))
             }
         });
 
-        // Step 4: display post-processing.
+        // Step 4: display post-processing (skipped entirely when display
+        // production is disabled — raw-texture servers never read it).
         let postprocess = self.postprocess;
+        let produce_display = self.display;
         let (display, render_us) = timed(|| {
-            if postprocess {
+            if !produce_display {
+                Texture::new(1, 1)
+            } else if postprocess {
                 standard_postprocess(&texture, cfg.spot_radius_pixels())
             } else {
                 texture.normalized()

@@ -170,10 +170,72 @@ pub fn flow_alignment(
     }
 }
 
+/// Tolerance on the texture-variance ratio between footprint-sampled and
+/// exact synthesis: `|variance(approx)/variance(exact) − 1|` must stay
+/// below this. Variance is the paper's "contrast" — the quality measure the
+/// speed-for-quality trade is gated on. Measured headroom: random
+/// disc/bent workloads sit well under half of this bound.
+pub const FOOTPRINT_VARIANCE_TOLERANCE: f64 = 0.25;
+
+/// Tolerance on the mean absolute texel error between footprint-sampled and
+/// exact synthesis, normalized by the exact texture's standard deviation
+/// (so it is scale-free in the spot intensity amplitude).
+pub const FOOTPRINT_MEAN_ERROR_TOLERANCE: f64 = 0.5;
+
+/// Quality deltas of an approximate synthesis against the exact one —
+/// the gate for [`SamplingMode::Footprint`](crate::config::SamplingMode).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SamplingQuality {
+    /// `variance(approx) / variance(exact)` (1.0 = contrast preserved).
+    pub variance_ratio: f64,
+    /// Mean absolute texel error divided by the exact texture's standard
+    /// deviation (0.0 = identical).
+    pub normalized_mean_error: f64,
+}
+
+impl SamplingQuality {
+    /// True when both deltas sit within the footprint tolerances.
+    pub fn within_footprint_tolerance(&self) -> bool {
+        (self.variance_ratio - 1.0).abs() <= FOOTPRINT_VARIANCE_TOLERANCE
+            && self.normalized_mean_error <= FOOTPRINT_MEAN_ERROR_TOLERANCE
+    }
+}
+
+/// Measures how far an approximate synthesis drifted from the exact one.
+///
+/// # Panics
+/// Panics when the texture sizes disagree.
+pub fn sampling_quality(exact: &Texture, approx: &Texture) -> SamplingQuality {
+    assert_eq!(exact.width(), approx.width(), "texture widths differ");
+    assert_eq!(exact.height(), approx.height(), "texture heights differ");
+    let exact_var = exact.variance() as f64;
+    let approx_var = approx.variance() as f64;
+    let variance_ratio = if exact_var > 1e-12 {
+        approx_var / exact_var
+    } else if approx_var > 1e-12 {
+        f64::INFINITY
+    } else {
+        1.0
+    };
+    let std = exact_var.sqrt();
+    let mean_abs = exact.absolute_difference(approx) / exact.data().len() as f64;
+    let normalized_mean_error = if std > 1e-12 {
+        mean_abs / std
+    } else if mean_abs > 1e-12 {
+        f64::INFINITY
+    } else {
+        0.0
+    };
+    SamplingQuality {
+        variance_ratio,
+        normalized_mean_error,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::config::{SpotKind, SynthesisConfig};
+    use crate::config::{SamplingMode, SpotKind, SynthesisConfig};
     use crate::spot::generate_spots;
     use crate::synth::synthesize_sequential;
     use flowfield::analytic::Uniform;
@@ -270,6 +332,69 @@ mod tests {
             shift_pixels: 4.0,
         };
         assert_eq!(negative.anisotropy(), 0.0);
+    }
+
+    #[test]
+    fn sampling_quality_of_identical_textures_is_perfect() {
+        let t = Texture::from_fn(32, 32, |u, v| (u * 17.0).sin() * (v * 9.0).cos());
+        let q = sampling_quality(&t, &t);
+        assert_eq!(q.variance_ratio, 1.0);
+        assert_eq!(q.normalized_mean_error, 0.0);
+        assert!(q.within_footprint_tolerance());
+    }
+
+    #[test]
+    fn sampling_quality_flags_gross_divergence() {
+        let t = Texture::from_fn(32, 32, |u, v| (u * 17.0).sin() * (v * 9.0).cos());
+        let mut flat = Texture::new(32, 32);
+        flat.fill(0.0);
+        let q = sampling_quality(&t, &flat);
+        assert!(!q.within_footprint_tolerance(), "{q:?}");
+        // Degenerate exact textures do not divide by zero.
+        let q = sampling_quality(&flat, &t);
+        assert!(q.variance_ratio.is_infinite());
+        let q = sampling_quality(&flat, &flat);
+        assert!(q.within_footprint_tolerance());
+    }
+
+    #[test]
+    fn footprint_synthesis_keeps_anisotropy_and_contrast() {
+        // The footprint sampler's license: spot statistics survive coarse
+        // per-footprint sampling. Synthesize the same stretched-spot field
+        // exactly and with footprint sampling; contrast (variance), the
+        // per-texel error, and the flow-alignment signature must all stay
+        // within the gated tolerances.
+        let field = Uniform {
+            velocity: Vec2::new(1.0, 0.0),
+            domain: domain(),
+        };
+        let exact_cfg = SynthesisConfig {
+            texture_size: 192,
+            spot_count: 1200,
+            spot_radius: 0.025,
+            max_stretch: 5.0,
+            spot_kind: SpotKind::Bent { rows: 12, cols: 3 },
+            ..SynthesisConfig::small_test()
+        };
+        let footprint_cfg = SynthesisConfig {
+            sampling: SamplingMode::Footprint,
+            ..exact_cfg
+        };
+        let spots = generate_spots(1200, domain(), 1.0, 23);
+        let exact = synthesize_sequential(&field, &spots, &exact_cfg);
+        let approx = synthesize_sequential(&field, &spots, &footprint_cfg);
+        let q = sampling_quality(&exact.texture, &approx.texture);
+        assert!(q.within_footprint_tolerance(), "{q:?}");
+
+        let shift = exact_cfg.spot_radius_pixels();
+        let a_exact = flow_alignment(&exact.texture, &field, shift, 4);
+        let a_approx = flow_alignment(&approx.texture, &field, shift, 4);
+        assert!(
+            a_approx.anisotropy() > 1.0 + 0.7 * (a_exact.anisotropy() - 1.0),
+            "footprint sampling lost the flow signature: exact {:?} vs footprint {:?}",
+            a_exact,
+            a_approx
+        );
     }
 
     #[test]

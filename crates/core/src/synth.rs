@@ -8,13 +8,13 @@
 //! the ground truth.
 
 use crate::bent::build_bent_spot;
-use crate::config::{SpotKind, SynthesisConfig};
+use crate::config::{SamplingMode, SpotKind, SynthesisConfig};
 use crate::spot::{build_standard_spot, FieldToPixel, Spot, SpotGeometry, SpotJob};
 use flowfield::stats::{field_stats, SpeedNormalizer};
 use flowfield::VectorField;
 use softpipe::cost::CpuWork;
 use softpipe::pipe::{PipeCore, PipeOutput, RenderCommand};
-use softpipe::{disc_spot_texture, BlendMode, Texture};
+use softpipe::{disc_spot_texture, BlendMode, FootprintPyramid, Texture};
 use std::sync::Arc;
 
 /// Everything that is shared by all spot-shape computations of one frame:
@@ -29,16 +29,28 @@ pub struct SynthesisContext {
     pub normalizer: SpeedNormalizer,
     /// The pre-rendered spot-function texture `h(x)`.
     pub spot_texture: Arc<Texture>,
+    /// The fragment sampling mode every pipe of the frame is configured
+    /// with (from [`SynthesisConfig::sampling`]).
+    pub sampling: SamplingMode,
+    /// The spot texture's footprint pyramid, built once per context and
+    /// shipped to every group's pipe by the preamble — present exactly when
+    /// `sampling` is [`SamplingMode::Footprint`].
+    pub spot_pyramid: Option<Arc<FootprintPyramid>>,
 }
 
 impl SynthesisContext {
     /// Builds the per-frame context for a field and a configuration.
     pub fn new(field: &dyn VectorField, cfg: &SynthesisConfig) -> Self {
         let stats = field_stats(field, 32, 32);
+        let spot_texture = Arc::new(disc_spot_texture(cfg.spot_texture_size, cfg.spot_softness));
+        let spot_pyramid = (cfg.sampling == SamplingMode::Footprint)
+            .then(|| Arc::new(FootprintPyramid::build(Arc::clone(&spot_texture))));
         SynthesisContext {
             mapper: FieldToPixel::new(field.domain(), cfg.texture_size),
             normalizer: SpeedNormalizer::from_stats(&stats),
-            spot_texture: Arc::new(disc_spot_texture(cfg.spot_texture_size, cfg.spot_softness)),
+            spot_texture,
+            sampling: cfg.sampling,
+            spot_pyramid,
         }
     }
 
@@ -62,12 +74,26 @@ impl SynthesisContext {
 /// upload and bind the spot-function texture `h(x)` and select additive
 /// blending (the spot-noise sum). Shared by the sequential baseline and the
 /// scheduler engine so all paths configure their pipes identically.
+///
+/// A non-default sampling mode appends one `SetSampling`; the default
+/// ([`SamplingMode::Exact`]) emits nothing, so exact-mode command streams —
+/// and their state-change accounting — are byte-identical to what they have
+/// always been.
 pub fn preamble_commands(ctx: &SynthesisContext) -> Vec<RenderCommand> {
-    vec![
+    let mut commands = vec![
         RenderCommand::UploadTexture(0, ctx.spot_texture.clone()),
         RenderCommand::BindTexture(0),
         RenderCommand::SetBlend(BlendMode::Additive),
-    ]
+    ];
+    if let Some(pyramid) = &ctx.spot_pyramid {
+        // Ship the context's shared pyramid so every pipe of the frame uses
+        // the one build instead of each rebuilding it lazily.
+        commands.push(RenderCommand::UploadPyramid(0, Arc::clone(pyramid)));
+    }
+    if ctx.sampling != SamplingMode::Exact {
+        commands.push(RenderCommand::SetSampling(ctx.sampling));
+    }
+    commands
 }
 
 /// Converts a spot geometry into the render command submitted to a pipe.

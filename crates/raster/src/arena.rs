@@ -1,0 +1,212 @@
+//! Pooled per-frame buffers: zero steady-state allocation for synthesis.
+//!
+//! Every engine frame used to allocate (and fault in) fresh framebuffer-sized
+//! buffers: the gather target, one partial texture per finished pipe, and the
+//! command-stream `Vec`s the masters batch spot draws into. On a steady-state
+//! server rendering frames back to back those allocations — megabytes of
+//! `malloc` + page faults per frame at 512²+ — are pure overhead: the
+//! buffers' sizes never change. A [`FrameArena`] recycles them instead:
+//! textures and command vectors are checked out at the start of a frame and
+//! checked back in when the gather has folded them (or the pipe has executed
+//! them), so after the first frame the hot loop touches only warm,
+//! already-mapped memory.
+//!
+//! The arena is shared across threads (masters, pipe workers and the gather
+//! all check buffers in and out), so every method takes `&self` and the pools
+//! live behind mutexes held only for the O(1) push/pop — never during
+//! rendering. Reuse is strictly *allocation* reuse: a recycled texture is
+//! re-zeroed (or fully overwritten) before it is observable, so outputs are
+//! bit-identical with and without an arena — which the arena-reuse tests
+//! assert.
+
+use crate::pipe::RenderCommand;
+use crate::texture::Texture;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+/// Maximum buffers kept per pool; beyond this, returned buffers are dropped.
+/// A frame needs one texture per process group plus the gather target, so 32
+/// covers any plausible machine shape without hoarding memory after a burst.
+const MAX_POOLED: usize = 32;
+
+/// Counter snapshot of an arena (telemetry for tests and the bench).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ArenaStats {
+    /// Texture checkouts served by allocating fresh memory.
+    pub texture_allocations: u64,
+    /// Texture checkouts served from the pool.
+    pub texture_reuses: u64,
+    /// Command-vector checkouts served by allocating fresh memory.
+    pub command_allocations: u64,
+    /// Command-vector checkouts served from the pool.
+    pub command_reuses: u64,
+}
+
+/// A shared pool of framebuffer-sized textures and render-command vectors.
+#[derive(Debug, Default)]
+pub struct FrameArena {
+    textures: Mutex<Vec<Texture>>,
+    commands: Mutex<Vec<Vec<RenderCommand>>>,
+    texture_allocations: AtomicU64,
+    texture_reuses: AtomicU64,
+    command_allocations: AtomicU64,
+    command_reuses: AtomicU64,
+}
+
+impl FrameArena {
+    /// Creates an empty arena.
+    pub fn new() -> Self {
+        FrameArena::default()
+    }
+
+    /// Checks out a zeroed `width` × `height` texture (the [`Texture::new`]
+    /// contract), reusing a pooled allocation when one is available.
+    pub fn texture_zeroed(&self, width: usize, height: usize) -> Texture {
+        self.texture(width, height, true)
+    }
+
+    /// Checks out a `width` × `height` texture whose contents are
+    /// **unspecified** — for callers that overwrite every texel (partial
+    /// readback copies, the additive gather target whose first fold is a
+    /// wholesale copy). Skipping the clear keeps reuse cheaper than a fresh
+    /// zeroed allocation even for the first touch.
+    pub fn texture_uninit(&self, width: usize, height: usize) -> Texture {
+        self.texture(width, height, false)
+    }
+
+    fn texture(&self, width: usize, height: usize, zero: bool) -> Texture {
+        let pooled = self.textures.lock().expect("arena poisoned").pop();
+        match pooled {
+            Some(mut t) => {
+                self.texture_reuses.fetch_add(1, Ordering::Relaxed);
+                t.reset(width, height, zero);
+                t
+            }
+            None => {
+                self.texture_allocations.fetch_add(1, Ordering::Relaxed);
+                Texture::new(width, height)
+            }
+        }
+    }
+
+    /// Returns a texture to the pool for a later checkout. Dimensions need
+    /// not match future requests — [`Texture::reset`] reshapes in place.
+    pub fn recycle_texture(&self, texture: Texture) {
+        let mut pool = self.textures.lock().expect("arena poisoned");
+        if pool.len() < MAX_POOLED {
+            pool.push(texture);
+        }
+    }
+
+    /// Checks out an empty command vector with at least `capacity` slots.
+    pub fn commands(&self, capacity: usize) -> Vec<RenderCommand> {
+        let pooled = self.commands.lock().expect("arena poisoned").pop();
+        match pooled {
+            Some(mut v) => {
+                self.command_reuses.fetch_add(1, Ordering::Relaxed);
+                debug_assert!(v.is_empty());
+                if v.capacity() < capacity {
+                    v.reserve(capacity - v.len());
+                }
+                v
+            }
+            None => {
+                self.command_allocations.fetch_add(1, Ordering::Relaxed);
+                Vec::with_capacity(capacity)
+            }
+        }
+    }
+
+    /// Returns a command vector to the pool, clearing it first (the commands
+    /// themselves are dropped; only the outer allocation is retained).
+    pub fn recycle_commands(&self, mut commands: Vec<RenderCommand>) {
+        commands.clear();
+        let mut pool = self.commands.lock().expect("arena poisoned");
+        if pool.len() < MAX_POOLED {
+            pool.push(commands);
+        }
+    }
+
+    /// Number of textures currently pooled.
+    pub fn pooled_textures(&self) -> usize {
+        self.textures.lock().expect("arena poisoned").len()
+    }
+
+    /// Counter snapshot.
+    pub fn stats(&self) -> ArenaStats {
+        ArenaStats {
+            texture_allocations: self.texture_allocations.load(Ordering::Relaxed),
+            texture_reuses: self.texture_reuses.load(Ordering::Relaxed),
+            command_allocations: self.command_allocations.load(Ordering::Relaxed),
+            command_reuses: self.command_reuses.load(Ordering::Relaxed),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn texture_checkout_reuses_the_allocation() {
+        let arena = FrameArena::new();
+        let mut t = arena.texture_zeroed(16, 16);
+        t.fill(2.0);
+        arena.recycle_texture(t);
+        let t = arena.texture_zeroed(16, 16);
+        assert!(t.data().iter().all(|&v| v == 0.0), "recycled texture dirty");
+        let s = arena.stats();
+        assert_eq!((s.texture_allocations, s.texture_reuses), (1, 1));
+    }
+
+    #[test]
+    fn dirty_checkout_skips_the_clear_but_keeps_the_shape() {
+        let arena = FrameArena::new();
+        let mut t = arena.texture_uninit(8, 8);
+        t.fill(1.0);
+        arena.recycle_texture(t);
+        let t = arena.texture_uninit(4, 16);
+        assert_eq!((t.width(), t.height()), (4, 16));
+        assert_eq!(t.data().len(), 64);
+    }
+
+    #[test]
+    fn command_vectors_round_trip_empty() {
+        let arena = FrameArena::new();
+        let mut v = arena.commands(8);
+        v.push(RenderCommand::Clear);
+        arena.recycle_commands(v);
+        let v = arena.commands(4);
+        assert!(v.is_empty());
+        assert!(v.capacity() >= 4);
+        let s = arena.stats();
+        assert_eq!((s.command_allocations, s.command_reuses), (1, 1));
+    }
+
+    #[test]
+    fn pool_is_bounded() {
+        let arena = FrameArena::new();
+        for _ in 0..2 * MAX_POOLED {
+            arena.recycle_texture(Texture::new(2, 2));
+        }
+        assert_eq!(arena.pooled_textures(), MAX_POOLED);
+    }
+
+    #[test]
+    fn arena_is_shareable_across_threads() {
+        let arena = std::sync::Arc::new(FrameArena::new());
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                let arena = std::sync::Arc::clone(&arena);
+                scope.spawn(move || {
+                    for _ in 0..16 {
+                        let t = arena.texture_zeroed(8, 8);
+                        arena.recycle_texture(t);
+                    }
+                });
+            }
+        });
+        let s = arena.stats();
+        assert_eq!(s.texture_allocations + s.texture_reuses, 64);
+    }
+}

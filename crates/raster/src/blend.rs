@@ -55,6 +55,66 @@ impl BlendMode {
         }
     }
 
+    /// Applies the blend equation to a whole block of fragments: the mode is
+    /// matched **once per block** and each arm runs a tight, branch-free loop
+    /// the compiler can vectorize — this is what the lane-blocked span fills
+    /// call instead of dispatching per fragment. Per-texel arithmetic is
+    /// exactly [`BlendMode::apply`], so results are bit-identical to the
+    /// per-fragment path.
+    ///
+    /// # Panics
+    /// Panics when the slices' lengths differ (debug builds).
+    #[inline]
+    pub fn apply_block(self, dst: &mut [f32], src: &[f32]) {
+        debug_assert_eq!(dst.len(), src.len());
+        match self {
+            BlendMode::Replace => dst.copy_from_slice(src),
+            BlendMode::Additive => {
+                for (d, s) in dst.iter_mut().zip(src) {
+                    *d += *s;
+                }
+            }
+            BlendMode::Max => {
+                for (d, s) in dst.iter_mut().zip(src) {
+                    *d = d.max(*s);
+                }
+            }
+            BlendMode::Alpha(a) => {
+                let alpha = a.value();
+                for (d, s) in dst.iter_mut().zip(src) {
+                    *d = *s * alpha + *d * (1.0 - alpha);
+                }
+            }
+        }
+    }
+
+    /// Applies the blend equation with one uniform source value across a
+    /// span (the uniform-row fast path): a single match, then a plain
+    /// vectorizable loop per mode. Bit-identical to calling
+    /// [`BlendMode::apply`] per texel with the same `src`.
+    #[inline]
+    pub fn apply_uniform(self, dst: &mut [f32], src: f32) {
+        match self {
+            BlendMode::Replace => dst.fill(src),
+            BlendMode::Additive => {
+                for d in dst.iter_mut() {
+                    *d += src;
+                }
+            }
+            BlendMode::Max => {
+                for d in dst.iter_mut() {
+                    *d = d.max(src);
+                }
+            }
+            BlendMode::Alpha(a) => {
+                let alpha = a.value();
+                for d in dst.iter_mut() {
+                    *d = src * alpha + *d * (1.0 - alpha);
+                }
+            }
+        }
+    }
+
     /// True for modes where the order in which fragments arrive does not
     /// change the final value (up to floating-point rounding). Divide and
     /// conquer relies on this property of the additive mode: partial textures
@@ -107,6 +167,33 @@ mod tests {
         assert!(BlendMode::Max.is_order_independent());
         assert!(!BlendMode::Replace.is_order_independent());
         assert!(!BlendMode::Alpha(AlphaFactor::new(0.5)).is_order_independent());
+    }
+
+    #[test]
+    fn block_and_uniform_application_match_per_fragment_exactly() {
+        let modes = [
+            BlendMode::Replace,
+            BlendMode::Additive,
+            BlendMode::Max,
+            BlendMode::Alpha(AlphaFactor::new(0.37)),
+        ];
+        let dst_init: Vec<f32> = (0..13).map(|i| (i as f32 * 0.731).sin()).collect();
+        let src: Vec<f32> = (0..13).map(|i| (i as f32 * 1.113).cos() * 2.0).collect();
+        for mode in modes {
+            let mut block = dst_init.clone();
+            mode.apply_block(&mut block, &src);
+            let per_fragment: Vec<f32> = dst_init
+                .iter()
+                .zip(&src)
+                .map(|(&d, &s)| mode.apply(d, s))
+                .collect();
+            assert_eq!(block, per_fragment, "{mode:?} block diverged");
+
+            let mut uniform = dst_init.clone();
+            mode.apply_uniform(&mut uniform, 0.42);
+            let per_fragment: Vec<f32> = dst_init.iter().map(|&d| mode.apply(d, 0.42)).collect();
+            assert_eq!(uniform, per_fragment, "{mode:?} uniform diverged");
+        }
     }
 
     #[test]

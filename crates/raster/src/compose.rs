@@ -21,6 +21,16 @@
 //! `p0 + p1 + ... + pn` accumulation no matter the arrival order; tile
 //! regions are disjoint, so tiles are copied the moment they arrive.
 //!
+//! When several consecutive slots are ready at once — an arrival that
+//! unlocks a parked run, or the all-at-once [`gather_additive`] wrapper —
+//! the whole run is folded in **one destination pass**: each destination
+//! chunk is loaded once and every ready partial is accumulated into it while
+//! it is cache-hot, instead of streaming the full-size destination through
+//! memory once per partial. Per-texel accumulation order is unchanged
+//! (sources are applied in slot order within the chunk), so the fused fold
+//! stays bit-identical to the one-at-a-time fold; a straggler still folds
+//! alone the moment it arrives, preserving the overlap.
+//!
 //! Although the `c` term stays *sequential in the performance model* (the
 //! simulated Onyx2 charges it at full blend cost, exactly as eq. 3.2
 //! prescribes), the host implementation parallelizes the texel work over row
@@ -30,6 +40,7 @@
 //! to a single chunk, which the rayon shim runs inline on the calling
 //! thread — there is no separate sequential code path.
 
+use crate::arena::FrameArena;
 use crate::texture::Texture;
 use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
@@ -128,8 +139,14 @@ enum GatherMode {
 /// engine drives this from a channel so composition overlaps with
 /// still-running process groups; [`gather_additive`] and [`compose_tiles`]
 /// are the all-at-once convenience wrappers.
+///
+/// With [`with_arena`](StreamingGather::with_arena) the gather recycles
+/// every partial it consumed through [`push_owned`]
+/// (StreamingGather::push_owned) back into the pool the moment it has been
+/// folded or blitted — the return half of the engine's zero-alloc frame
+/// loop.
 #[derive(Debug)]
-pub struct StreamingGather {
+pub struct StreamingGather<'a> {
     mode: GatherMode,
     texture: Texture,
     blend_texels: u64,
@@ -143,22 +160,34 @@ pub struct StreamingGather {
     parked: BTreeMap<usize, Texture>,
     /// Total slots pushed so far.
     received: usize,
+    /// Pool that receives consumed owned partials.
+    arena: Option<&'a FrameArena>,
 }
 
-impl StreamingGather {
+impl<'a> StreamingGather<'a> {
     /// Starts an additive gather over `slots` full-coverage partials of the
     /// given size. Slot indices passed to `push` determine the fold order;
     /// `finish` verifies all `slots` arrived.
     pub fn additive(width: usize, height: usize, slots: usize) -> Self {
+        StreamingGather::additive_into(Texture::new(width, height), slots)
+    }
+
+    /// Like [`StreamingGather::additive`], composing into a caller-supplied
+    /// target (e.g. one checked out of a [`FrameArena`]). With at least one
+    /// slot the target's prior contents are irrelevant — the first fold is a
+    /// wholesale copy — so a dirty pooled texture is fine; with zero slots
+    /// `finish` returns the target unchanged.
+    pub fn additive_into(target: Texture, slots: usize) -> Self {
         StreamingGather {
             mode: GatherMode::Additive,
-            texture: Texture::new(width, height),
+            texture: target,
             blend_texels: 0,
             expected: slots,
             tile_seen: Vec::new(),
             next: 0,
             parked: BTreeMap::new(),
             received: 0,
+            arena: None,
         }
     }
 
@@ -166,22 +195,39 @@ impl StreamingGather {
     /// Tiles must not overlap; texels not covered by any tile remain zero.
     /// `finish` verifies one partial arrived per tile.
     pub fn tiles(width: usize, height: usize, tiles: Vec<PixelTile>) -> Self {
+        StreamingGather::tiles_into(Texture::new(width, height), tiles)
+    }
+
+    /// Like [`StreamingGather::tiles`], composing into a caller-supplied
+    /// target. The target must be **zeroed** (the [`Texture::new`]
+    /// contract): texels not covered by any tile are returned as-is.
+    pub fn tiles_into(target: Texture, tiles: Vec<PixelTile>) -> Self {
         let expected = tiles.len();
         StreamingGather {
             mode: GatherMode::Tiles(tiles),
-            texture: Texture::new(width, height),
+            texture: target,
             blend_texels: 0,
             expected,
             tile_seen: vec![false; expected],
             next: 0,
             parked: BTreeMap::new(),
             received: 0,
+            arena: None,
         }
+    }
+
+    /// Recycles consumed owned partials into `arena` instead of dropping
+    /// them (borrowed partials pushed via [`push`](StreamingGather::push)
+    /// are never recycled).
+    pub fn with_arena(mut self, arena: &'a FrameArena) -> Self {
+        self.arena = Some(arena);
+        self
     }
 
     /// Feeds the partial texture for `slot`. Tile partials are copied into
     /// place immediately; additive partials are folded as soon as every
-    /// lower slot has been folded (early arrivals are parked).
+    /// lower slot has been folded (early arrivals are parked, and the whole
+    /// unlocked run folds in one destination pass).
     ///
     /// # Panics
     /// Panics when the partial's size disagrees with the target, the slot is
@@ -196,14 +242,58 @@ impl StreamingGather {
 
     /// Like [`push`](StreamingGather::push), but taking ownership of the
     /// partial — an out-of-order additive arrival is parked without cloning
-    /// it. This is what the scheduler engine calls with the textures it
-    /// receives over the gather channel.
+    /// it, and a consumed partial's buffer is recycled when an arena is
+    /// attached. This is what the scheduler engine calls with the textures
+    /// it receives over the gather channel.
     pub fn push_owned(&mut self, slot: usize, partial: Texture) {
         if self.needs_parking(slot) {
             self.park(slot, partial);
-        } else {
-            self.push_ready(slot, &partial);
+            return;
         }
+        if matches!(self.mode, GatherMode::Additive) && self.next == 0 {
+            // Slot 0's fold is a wholesale copy; owning the partial lets us
+            // move it into place instead — zero framebuffer traffic — and
+            // retire the previous target to the pool. Values are identical
+            // to the copy, and blend_texels accounting is unchanged (the
+            // first fold never counted as blending).
+            self.validate_size(&partial);
+            self.received += 1;
+            let retired = std::mem::replace(&mut self.texture, partial);
+            if let Some(arena) = self.arena {
+                arena.recycle_texture(retired);
+            }
+            self.next = 1;
+            self.drain_parked();
+            return;
+        }
+        self.push_ready(slot, &partial);
+        if let Some(arena) = self.arena {
+            arena.recycle_texture(partial);
+        }
+    }
+
+    /// Additive only: folds a run of consecutive ready partials — slots
+    /// `next .. next + partials.len()` — in **one destination pass**, as if
+    /// each had been pushed in order. This is the all-partials-available
+    /// fast path [`gather_additive`] takes: one traversal of the destination
+    /// instead of one per partial.
+    ///
+    /// # Panics
+    /// Panics in tiles mode, or when a partial's size disagrees.
+    pub fn push_slice(&mut self, partials: &[&Texture]) {
+        assert!(
+            matches!(self.mode, GatherMode::Additive),
+            "push_slice is additive-only"
+        );
+        if partials.is_empty() {
+            return;
+        }
+        for partial in partials {
+            self.validate_size(partial);
+        }
+        self.received += partials.len();
+        self.fold_additive_run(partials);
+        self.drain_parked();
     }
 
     /// True when this is an additive slot whose predecessors have not all
@@ -240,10 +330,17 @@ impl StreamingGather {
         self.received += 1;
         match &self.mode {
             GatherMode::Additive => {
-                self.fold_additive_in_order(partial);
-                while let Some(parked) = self.parked.remove(&self.next) {
-                    self.fold_additive_in_order(&parked);
+                // Fold the arrival together with the parked run it unlocks
+                // in one fused pass when successors are already waiting.
+                let run = self.take_parked_run(self.next + 1);
+                {
+                    let mut sources: Vec<&Texture> = Vec::with_capacity(1 + run.len());
+                    sources.push(partial);
+                    sources.extend(run.iter());
+                    self.fold_additive_run(&sources);
                 }
+                self.recycle_all(run);
+                self.drain_parked();
             }
             GatherMode::Tiles(tiles) => {
                 let tile = *tiles.get(slot).expect("tile slot out of range");
@@ -255,19 +352,63 @@ impl StreamingGather {
         }
     }
 
-    /// Folds the partial for slot `self.next`: the first slot is copied
-    /// wholesale, later slots are accumulated texel-wise — exactly the
-    /// classic `p0.clone(); acc += p1; acc += p2; ...` fold, so the result
-    /// is bit-identical to the sequential gather regardless of how slots
-    /// arrived.
-    fn fold_additive_in_order(&mut self, partial: &Texture) {
-        if self.next == 0 {
-            self.texture.data_mut().copy_from_slice(partial.data());
-        } else {
-            self.blend_texels += self.texture.data().len() as u64;
-            accumulate(&mut self.texture, partial);
+    /// Removes and returns the maximal run of parked partials starting at
+    /// slot `from`.
+    fn take_parked_run(&mut self, from: usize) -> Vec<Texture> {
+        let mut run = Vec::new();
+        while let Some(parked) = self.parked.remove(&(from + run.len())) {
+            run.push(parked);
         }
-        self.next += 1;
+        run
+    }
+
+    /// Folds any parked partials that became ready (only possible after a
+    /// fold advanced `next`; in practice `take_parked_run` already drained
+    /// them, so this is a correctness backstop, not a hot path).
+    fn drain_parked(&mut self) {
+        while self.parked.contains_key(&self.next) {
+            let run = self.take_parked_run(self.next);
+            {
+                let sources: Vec<&Texture> = run.iter().collect();
+                self.fold_additive_run(&sources);
+            }
+            self.recycle_all(run);
+        }
+    }
+
+    fn recycle_all(&self, run: Vec<Texture>) {
+        if let Some(arena) = self.arena {
+            for texture in run {
+                arena.recycle_texture(texture);
+            }
+        }
+    }
+
+    /// Folds `sources` into slots `next .. next + sources.len()` in a single
+    /// destination traversal: every chunk of the destination is loaded once
+    /// and all sources accumulate into it (in slot order) while it is
+    /// cache-hot. Per-texel arithmetic and order match the classic
+    /// `p0.clone(); acc += p1; acc += p2; ...` fold exactly, so the result
+    /// is bit-identical to folding one partial at a time — the fusion saves
+    /// memory traffic, not operations. Parallelized over chunks like the
+    /// rest of the compose path; chunk boundaries never change per-texel
+    /// arithmetic.
+    fn fold_additive_run(&mut self, sources: &[&Texture]) {
+        if sources.is_empty() {
+            return;
+        }
+        let first_is_copy = self.next == 0;
+        let len = self.texture.data().len() as u64;
+        let chunk_len = compose_chunk_len(self.texture.width(), self.texture.height());
+        self.texture
+            .data_mut()
+            .par_chunks_mut(chunk_len)
+            .enumerate()
+            .for_each(|(chunk_index, chunk)| {
+                fold_chunk(chunk, sources, chunk_index * chunk_len, first_is_copy);
+            });
+        self.blend_texels += (sources.len() as u64 - u64::from(first_is_copy)) * len;
+        self.next += sources.len();
     }
 
     /// Number of partials pushed so far.
@@ -299,21 +440,69 @@ impl StreamingGather {
     }
 }
 
-/// Adds `src` texel-wise into `dst`, parallelized over row chunks. Chunk
-/// boundaries never change per-texel arithmetic, so the result is
-/// bit-identical to a sequential loop.
-fn accumulate(dst: &mut Texture, src: &Texture) {
-    let chunk_len = compose_chunk_len(dst.width(), dst.height());
-    dst.data_mut()
-        .par_chunks_mut(chunk_len)
-        .enumerate()
-        .for_each(|(chunk_index, chunk)| {
-            let start = chunk_index * chunk_len;
-            let src = &src.data()[start..start + chunk.len()];
-            for (d, s) in chunk.iter_mut().zip(src) {
-                *d += *s;
+/// Folds a run of source textures into one destination chunk, specialized
+/// per source count: the common fan-ins (a 2–4-pipe machine's partials all
+/// ready at once) compile to a single fused loop that reads every source
+/// once and writes the destination once, instead of one read-modify-write
+/// sweep per source. Per-texel addition order is the sequential fold's
+/// left-association — `((p0 + p1) + p2) + …` — in every arm, so all paths
+/// are bit-identical.
+fn fold_chunk(chunk: &mut [f32], sources: &[&Texture], start: usize, first_is_copy: bool) {
+    let len = chunk.len();
+    let s = |k: usize| -> &[f32] { &sources[k].data()[start..start + len] };
+    match (first_is_copy, sources.len()) {
+        (_, 0) => {}
+        (true, 1) => chunk.copy_from_slice(s(0)),
+        (true, 2) => {
+            let (a, b) = (s(0), s(1));
+            for (i, d) in chunk.iter_mut().enumerate() {
+                *d = a[i] + b[i];
             }
-        });
+        }
+        (true, 3) => {
+            let (a, b, c) = (s(0), s(1), s(2));
+            for (i, d) in chunk.iter_mut().enumerate() {
+                *d = (a[i] + b[i]) + c[i];
+            }
+        }
+        (true, 4) => {
+            let (a, b, c, e) = (s(0), s(1), s(2), s(3));
+            for (i, d) in chunk.iter_mut().enumerate() {
+                *d = ((a[i] + b[i]) + c[i]) + e[i];
+            }
+        }
+        (false, 1) => {
+            for (d, v) in chunk.iter_mut().zip(s(0)) {
+                *d += *v;
+            }
+        }
+        (false, 2) => {
+            let (a, b) = (s(0), s(1));
+            for (i, d) in chunk.iter_mut().enumerate() {
+                *d = (*d + a[i]) + b[i];
+            }
+        }
+        (false, 3) => {
+            let (a, b, c) = (s(0), s(1), s(2));
+            for (i, d) in chunk.iter_mut().enumerate() {
+                *d = ((*d + a[i]) + b[i]) + c[i];
+            }
+        }
+        (false, 4) => {
+            let (a, b, c, e) = (s(0), s(1), s(2), s(3));
+            for (i, d) in chunk.iter_mut().enumerate() {
+                *d = (((*d + a[i]) + b[i]) + c[i]) + e[i];
+            }
+        }
+        // Larger fan-ins: fold the leading quads with the fused kernels,
+        // then the remainder — still one destination traversal per group of
+        // four instead of per source.
+        (first, _) => {
+            let (head, tail) = sources.split_at(4);
+            fold_chunk(chunk, head, start, first);
+            fold_chunk(chunk, tail, start, false);
+        }
+    }
 }
 
 /// Copies `tile`'s pixel region of `partial` into `dst`, parallelized over
@@ -347,7 +536,9 @@ fn blit_tile(dst: &mut Texture, partial: &Texture, tile: PixelTile) {
 /// Blends partial textures (all covering the full target) by texel-wise
 /// addition. The additive blend is order independent, so the result does not
 /// depend on the order of `partials` — the property the divide-and-conquer
-/// correctness tests verify.
+/// correctness tests verify. All partials are available up front, so the
+/// whole set folds in one fused destination pass
+/// ([`StreamingGather::push_slice`]).
 ///
 /// # Panics
 /// Panics when `partials` is empty or the sizes disagree.
@@ -355,9 +546,8 @@ pub fn gather_additive(partials: &[Texture]) -> ComposeResult {
     assert!(!partials.is_empty(), "nothing to gather");
     let mut gather =
         StreamingGather::additive(partials[0].width(), partials[0].height(), partials.len());
-    for (slot, partial) in partials.iter().enumerate() {
-        gather.push(slot, partial);
-    }
+    let sources: Vec<&Texture> = partials.iter().collect();
+    gather.push_slice(&sources);
     gather.finish()
 }
 

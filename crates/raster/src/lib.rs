@@ -10,7 +10,9 @@
 //!
 //! Module map:
 //!
-//! * [`texture`] — grayscale intensity textures and spot-function textures,
+//! * [`texture`] — grayscale intensity textures, spot-function textures and
+//!   the footprint-sampling pyramid,
+//! * [`arena`] — pooled per-frame buffers (zero-alloc steady state),
 //! * [`blend`] — blend modes (additive blending is the spot-noise sum),
 //! * [`raster`] — triangle/quad scan conversion with texture mapping,
 //! * [`mesh`] — textured meshes for bent spots,
@@ -24,6 +26,7 @@
 
 #![warn(missing_docs)]
 
+pub mod arena;
 pub mod blend;
 pub mod bus;
 pub mod compose;
@@ -36,6 +39,7 @@ pub mod raster;
 pub mod state;
 pub mod texture;
 
+pub use arena::{ArenaStats, FrameArena};
 pub use blend::BlendMode;
 pub use bus::{BusStats, BusTracker, Traffic};
 pub use compose::{compose_tiles, gather_additive, ComposeResult, PixelTile, StreamingGather};
@@ -45,8 +49,8 @@ pub use machine::MachineConfig;
 pub use mesh::TexturedMesh;
 pub use pipe::{GraphicsPipe, PipeCore, PipeOutput, RenderCommand};
 pub use raster::{RasterStats, Vertex};
-pub use state::{StateChangeStats, StateMachine, Transform2};
-pub use texture::{disc_spot_texture, gaussian_spot_texture, Texture};
+pub use state::{SamplingMode, StateChangeStats, StateMachine, Transform2};
+pub use texture::{disc_spot_texture, gaussian_spot_texture, FootprintPyramid, Texture};
 
 #[cfg(test)]
 mod proptests {

@@ -43,9 +43,17 @@
 //! once, by IEEE negation symmetry rather than by luck.
 
 use crate::blend::BlendMode;
-use crate::texture::Texture;
+use crate::texture::{FootprintPyramid, Texture};
 use flowfield::Vec2;
 use serde::{Deserialize, Serialize};
+
+/// Fragments per lane block of the vectorized span fills. The fills compute
+/// `LANES` samples into a stack array and blend the block in one
+/// mode-specialized call ([`BlendMode::apply_block`]), so the compiler sees
+/// fixed-width, branch-free inner loops it can autovectorize; a scalar tail
+/// handles the remainder. Per-fragment arithmetic is unchanged, so outputs
+/// stay bit-identical to the per-pixel path.
+const LANES: usize = 8;
 
 /// A vertex as submitted to the graphics pipe: a position in *texture pixel
 /// coordinates* and a texture coordinate into the bound spot texture.
@@ -375,19 +383,23 @@ fn row_is_uniform(row: &[f32]) -> bool {
 /// Fills one covered span `[lo, hi]` of a scanline.
 ///
 /// `row` is the mutable slice of the *span* (index 0 corresponds to column
-/// `lo`), so the inner loops are single-indexed and bounds-check-free after
-/// the one slice construction. Produces values bit-identical to calling
-/// `spot.sample_bilinear` + `blend.apply` per pixel.
-#[allow(clippy::too_many_arguments)]
+/// `lo`), so the destination side needs no per-pixel bounds checks after the
+/// one slice construction. The fill runs in [`LANES`]-wide blocks: each block
+/// computes its samples into a stack array (per-lane incremental uv
+/// evaluation of the shared affine forms — independent lanes, so the
+/// evaluation vectorizes) and blends them with one mode-specialized
+/// [`BlendMode::apply_block`] call; a scalar tail covers the remainder.
+/// Produces values bit-identical to calling `spot.sample_bilinear` +
+/// `blend.apply` per pixel.
 #[inline(always)]
-fn fill_span_with<F: Fn(f32, f32) -> f32>(
+fn fill_span_with(
     row: &mut [f32],
     lo: usize,
     spot: &Texture,
     u_row: AttrRow,
     v_row: AttrRow,
     intensity: f32,
-    apply: &F,
+    blend: BlendMode,
 ) {
     let tex_w = spot.width();
     let tex_h = spot.height();
@@ -406,17 +418,15 @@ fn fill_span_with<F: Fn(f32, f32) -> f32>(
         if row_is_uniform(tex_row0) && row_is_uniform(tex_row1) {
             // Nearest-sample fast path: both sampled texture rows are
             // uniform, so every pixel of the span receives the same value
-            // and the loop is a plain (vectorizable) accumulate.
+            // and the fill is one uniform (vectorizable) blend sweep.
             let a = tex_row0[0];
             let c = tex_row1[0];
             let sample = (a + (c - a) * ty) * intensity;
-            for dst in row.iter_mut() {
-                *dst = apply(*dst, sample);
-            }
+            blend.apply_uniform(row, sample);
             return;
         }
-        for (offset, dst) in row.iter_mut().enumerate() {
-            let u = u_row.at(lo + offset) as f32;
+        let sample_at = |px: usize| -> f32 {
+            let u = u_row.at(px) as f32;
             let fx = (u * tex_w as f32 - 0.5).clamp(0.0, tex_w as f32 - 1.0);
             let tx0 = fx.floor() as usize;
             let tx1 = (tx0 + 1).min(tex_w - 1);
@@ -427,18 +437,44 @@ fn fill_span_with<F: Fn(f32, f32) -> f32>(
             let d = tex_row1[tx1];
             let bottom = a + (b - a) * tx;
             let top = c + (d - c) * tx;
-            let sample = (bottom + (top - bottom) * ty) * intensity;
-            *dst = apply(*dst, sample);
-        }
+            (bottom + (top - bottom) * ty) * intensity
+        };
+        fill_lane_blocked(row, lo, blend, sample_at);
     } else {
         // General path: both texture coordinates vary along the row.
-        for (offset, dst) in row.iter_mut().enumerate() {
-            let px = lo + offset;
+        let sample_at = |px: usize| -> f32 {
             let u = u_row.at(px) as f32;
             let v = v_row.at(px) as f32;
-            let sample = spot.sample_bilinear(u, v) * intensity;
-            *dst = apply(*dst, sample);
+            spot.sample_bilinear(u, v) * intensity
+        };
+        fill_lane_blocked(row, lo, blend, sample_at);
+    }
+}
+
+/// The shared lane-block driver of the span fills: computes [`LANES`]
+/// samples at a time with `sample_at` (whose per-lane evaluations are
+/// independent, so they vectorize) and blends each block in one
+/// mode-specialized call; the tail runs scalar with identical arithmetic.
+#[inline(always)]
+fn fill_lane_blocked(
+    row: &mut [f32],
+    lo: usize,
+    blend: BlendMode,
+    sample_at: impl Fn(usize) -> f32,
+) {
+    let mut samples = [0.0f32; LANES];
+    let split = row.len() - row.len() % LANES;
+    let (blocks, tail) = row.split_at_mut(split);
+    let mut px = lo;
+    for chunk in blocks.chunks_exact_mut(LANES) {
+        for (lane, out) in samples.iter_mut().enumerate() {
+            *out = sample_at(px + lane);
         }
+        blend.apply_block(chunk, &samples);
+        px += LANES;
+    }
+    for (offset, dst) in tail.iter_mut().enumerate() {
+        *dst = blend.apply(*dst, sample_at(px + offset));
     }
 }
 
@@ -453,18 +489,26 @@ fn rasterize_setup_span(
     blend: BlendMode,
     stats: &mut RasterStats,
 ) {
-    match blend {
-        BlendMode::Additive => {
-            walk_spans(target, spot_texture, setup, intensity, stats, |d, s| d + s)
+    if setup.x1 - setup.x0 < NARROW_TRIANGLE_WIDTH {
+        // Narrow triangles keep a per-fragment loop with the blend
+        // monomorphized per triangle; keeping it in its own small function
+        // (instead of one arm of a big fused walker) is what lets the
+        // compiler register-allocate the sampling-bound loop well.
+        match blend {
+            BlendMode::Additive => {
+                walk_narrow(target, spot_texture, setup, intensity, stats, |d, s| d + s)
+            }
+            mode => walk_narrow(
+                target,
+                spot_texture,
+                setup,
+                intensity,
+                stats,
+                move |d, s| mode.apply(d, s),
+            ),
         }
-        mode => walk_spans(
-            target,
-            spot_texture,
-            setup,
-            intensity,
-            stats,
-            move |d, s| mode.apply(d, s),
-        ),
+    } else {
+        walk_spans_wide(target, spot_texture, setup, intensity, blend, stats);
     }
 }
 
@@ -475,8 +519,16 @@ fn rasterize_setup_span(
 /// the same arithmetic, so outputs remain pixel-identical.
 const NARROW_TRIANGLE_WIDTH: usize = 12;
 
-#[inline(always)]
-fn walk_spans<F: Fn(f32, f32) -> f32>(
+/// The narrow-triangle walker: the per-pixel coverage loop with per-triangle
+/// monomorphized blending, bilinear sampling. Structure (and therefore
+/// output) identical to the pre-lane-block implementation.
+///
+/// `#[inline(never)]` is load-bearing: each monomorphized copy must stay a
+/// standalone function. Inlining both blend copies into the dispatcher
+/// measurably slowed the ~200 ns/triangle bent meshes (the 32x17 case
+/// dropped ~10%) through worse register allocation of the shared loop.
+#[inline(never)]
+fn walk_narrow<F: Fn(f32, f32) -> f32>(
     target: &mut Texture,
     spot_texture: &Texture,
     setup: &TriSetup,
@@ -486,55 +538,238 @@ fn walk_spans<F: Fn(f32, f32) -> f32>(
 ) {
     let width = target.width();
     let data = target.data_mut();
-    if setup.x1 - setup.x0 < NARROW_TRIANGLE_WIDTH {
-        for py in setup.y0..=setup.y1 {
-            let e0 = setup.edges[0].row(py);
-            let e1 = setup.edges[1].row(py);
-            let e2 = setup.edges[2].row(py);
-            let u_row = setup.u_plane.row(py);
-            let v_row = setup.v_plane.row(py);
-            let row_start = py * width;
-            let row = &mut data[row_start + setup.x0..=row_start + setup.x1];
-            for (offset, dst) in row.iter_mut().enumerate() {
-                let px = setup.x0 + offset;
-                if !(e0.covers(px) && e1.covers(px) && e2.covers(px)) {
-                    continue;
-                }
-                let u = u_row.at(px) as f32;
-                let v = v_row.at(px) as f32;
-                let sample = spot_texture.sample_bilinear(u, v) * intensity;
-                *dst = apply(*dst, sample);
-                stats.fragments += 1;
-            }
-        }
-        return;
-    }
     for py in setup.y0..=setup.y1 {
-        let mut lo = setup.x0;
-        let mut hi = setup.x1;
-        let mut empty = false;
-        for edge_fn in &setup.edges {
-            match edge_fn.row(py).interval(setup.x0, setup.x1) {
-                Some((a, b)) => {
-                    lo = lo.max(a);
-                    hi = hi.min(b);
-                }
-                None => {
-                    empty = true;
-                    break;
-                }
+        let e0 = setup.edges[0].row(py);
+        let e1 = setup.edges[1].row(py);
+        let e2 = setup.edges[2].row(py);
+        let u_row = setup.u_plane.row(py);
+        let v_row = setup.v_plane.row(py);
+        let row_start = py * width;
+        let row = &mut data[row_start + setup.x0..=row_start + setup.x1];
+        for (offset, dst) in row.iter_mut().enumerate() {
+            let px = setup.x0 + offset;
+            if !(e0.covers(px) && e1.covers(px) && e2.covers(px)) {
+                continue;
             }
+            let u = u_row.at(px) as f32;
+            let v = v_row.at(px) as f32;
+            let sample = spot_texture.sample_bilinear(u, v) * intensity;
+            *dst = apply(*dst, sample);
+            stats.fragments += 1;
         }
-        if empty || lo > hi {
+    }
+}
+
+/// The wide-triangle walker: exact span search per scanline, lane-blocked
+/// fills with block-specialized blending.
+fn walk_spans_wide(
+    target: &mut Texture,
+    spot_texture: &Texture,
+    setup: &TriSetup,
+    intensity: f32,
+    blend: BlendMode,
+    stats: &mut RasterStats,
+) {
+    let width = target.width();
+    let data = target.data_mut();
+    for py in setup.y0..=setup.y1 {
+        let Some((lo, hi)) = covered_interval(setup, py) else {
             continue;
-        }
+        };
         let u_row = setup.u_plane.row(py);
         let v_row = setup.v_plane.row(py);
         let row_start = py * width;
         let span = &mut data[row_start + lo..=row_start + hi];
-        fill_span_with(span, lo, spot_texture, u_row, v_row, intensity, &apply);
+        fill_span_with(span, lo, spot_texture, u_row, v_row, intensity, blend);
         stats.fragments += (hi - lo + 1) as u64;
     }
+}
+
+/// The exact covered pixel interval of scanline `py`, intersecting the three
+/// edges' intervals over the clipped bounding box (shared by the exact and
+/// the footprint span walkers).
+#[inline]
+fn covered_interval(setup: &TriSetup, py: usize) -> Option<(usize, usize)> {
+    let mut lo = setup.x0;
+    let mut hi = setup.x1;
+    for edge_fn in &setup.edges {
+        let (a, b) = edge_fn.row(py).interval(setup.x0, setup.x1)?;
+        lo = lo.max(a);
+        hi = hi.min(b);
+    }
+    (lo <= hi).then_some((lo, hi))
+}
+
+/// Rasterizes a set-up triangle with footprint sampling: a single nearest
+/// fetch per fragment from the pyramid level selected from the triangle's uv
+/// extent, replacing the four-tap bilinear kernel of the exact path.
+///
+/// The level selection is per scanline in structure, but because the uv
+/// planes are affine their gradients — and therefore the footprint (base
+/// texels covered per pixel step) — are the same on every row of the
+/// triangle, so it is hoisted to triangle setup. Coverage decisions use the
+/// same edge predicate as the exact path, so adjacent mesh cells still cover
+/// every texel exactly once — footprint mode changes *sampling*, never
+/// coverage (a coverage change would double-blend shared edges and break the
+/// additive sum).
+fn rasterize_setup_footprint(
+    target: &mut Texture,
+    pyramid: &FootprintPyramid,
+    setup: &TriSetup,
+    intensity: f32,
+    blend: BlendMode,
+    stats: &mut RasterStats,
+) {
+    let base_w = pyramid.base().width() as f64;
+    let base_h = pyramid.base().height() as f64;
+    let step_u = setup.u_plane.ddx.abs().max(setup.u_plane.ddy.abs()) * base_w;
+    let step_v = setup.v_plane.ddx.abs().max(setup.v_plane.ddy.abs()) * base_h;
+    let level = pyramid.level_for_step(step_u.max(step_v) as f32);
+    let tex = pyramid.level(level);
+    if setup.x1 - setup.x0 < NARROW_TRIANGLE_WIDTH {
+        match blend {
+            BlendMode::Additive => {
+                walk_narrow_nearest(target, tex, setup, intensity, stats, |d, s| d + s)
+            }
+            mode => walk_narrow_nearest(target, tex, setup, intensity, stats, move |d, s| {
+                mode.apply(d, s)
+            }),
+        }
+    } else {
+        walk_spans_wide_nearest(target, tex, setup, intensity, blend, stats);
+    }
+}
+
+/// Nearest-sample index of `coord` in a `len`-texel axis, matching
+/// [`Texture::sample_nearest`]'s clamping exactly.
+#[inline(always)]
+fn nearest_index(coord: f32, len: usize) -> usize {
+    ((coord * len as f32) as isize).clamp(0, len as isize - 1) as usize
+}
+
+/// The narrow-triangle walker with nearest sampling of one (prefiltered)
+/// texture level — the footprint-mode twin of [`walk_narrow`]. Same setup,
+/// same coverage predicate; only the shading differs: one clamped fetch
+/// instead of the bilinear kernel, which is what makes sampling-bound bent
+/// meshes fast.
+#[inline(never)]
+fn walk_narrow_nearest<F: Fn(f32, f32) -> f32>(
+    target: &mut Texture,
+    tex: &Texture,
+    setup: &TriSetup,
+    intensity: f32,
+    stats: &mut RasterStats,
+    apply: F,
+) {
+    let width = target.width();
+    let data = target.data_mut();
+    let tw = tex.width();
+    let th = tex.height();
+    let texels = tex.data();
+    for py in setup.y0..=setup.y1 {
+        let e0 = setup.edges[0].row(py);
+        let e1 = setup.edges[1].row(py);
+        let e2 = setup.edges[2].row(py);
+        let u_row = setup.u_plane.row(py);
+        let v_row = setup.v_plane.row(py);
+        let row_start = py * width;
+        let row = &mut data[row_start + setup.x0..=row_start + setup.x1];
+        for (offset, dst) in row.iter_mut().enumerate() {
+            let px = setup.x0 + offset;
+            if !(e0.covers(px) && e1.covers(px) && e2.covers(px)) {
+                continue;
+            }
+            let tx = nearest_index(u_row.at(px) as f32, tw);
+            let ty = nearest_index(v_row.at(px) as f32, th);
+            let sample = texels[ty * tw + tx] * intensity;
+            *dst = apply(*dst, sample);
+            stats.fragments += 1;
+        }
+    }
+}
+
+/// The wide-triangle walker with nearest sampling — the footprint-mode twin
+/// of [`walk_spans_wide`]: exact span search, lane-blocked nearest fills,
+/// uniform-row collapse.
+fn walk_spans_wide_nearest(
+    target: &mut Texture,
+    tex: &Texture,
+    setup: &TriSetup,
+    intensity: f32,
+    blend: BlendMode,
+    stats: &mut RasterStats,
+) {
+    let width = target.width();
+    let data = target.data_mut();
+    let tw = tex.width();
+    let th = tex.height();
+    let texels = tex.data();
+    for py in setup.y0..=setup.y1 {
+        let Some((lo, hi)) = covered_interval(setup, py) else {
+            continue;
+        };
+        let u_row = setup.u_plane.row(py);
+        let v_row = setup.v_plane.row(py);
+        let row_start = py * width;
+        let span = &mut data[row_start + lo..=row_start + hi];
+        if v_row.ddx == 0.0 {
+            // Row-constant `v`: one texture row serves the whole span.
+            let ty = nearest_index(v_row.row_base as f32, th);
+            let tex_row = &texels[ty * tw..(ty + 1) * tw];
+            if row_is_uniform(tex_row) {
+                blend.apply_uniform(span, tex_row[0] * intensity);
+            } else {
+                fill_lane_blocked(span, lo, blend, |px| {
+                    tex_row[nearest_index(u_row.at(px) as f32, tw)] * intensity
+                });
+            }
+        } else {
+            fill_lane_blocked(span, lo, blend, |px| {
+                let tx = nearest_index(u_row.at(px) as f32, tw);
+                let ty = nearest_index(v_row.at(px) as f32, th);
+                texels[ty * tw + tx] * intensity
+            });
+        }
+        stats.fragments += (hi - lo + 1) as u64;
+    }
+}
+
+/// Footprint-mode counterpart of [`rasterize_triangle_uncounted`]: same
+/// setup, rejection and fragment accounting, nearest sampling of the
+/// pyramid level matching the triangle's uv footprint.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn rasterize_triangle_footprint_uncounted(
+    target: &mut Texture,
+    pyramid: &FootprintPyramid,
+    v0: Vertex,
+    v1: Vertex,
+    v2: Vertex,
+    intensity: f32,
+    blend: BlendMode,
+    stats: &mut RasterStats,
+) {
+    if let Some(setup) = TriSetup::new(target, v0, v1, v2, stats) {
+        rasterize_setup_footprint(target, pyramid, &setup, intensity, blend, stats);
+    }
+}
+
+/// Footprint-mode counterpart of [`rasterize_quad`]: both triangles sample
+/// the pyramid with the quad's footprint-selected level.
+pub fn rasterize_quad_footprint(
+    target: &mut Texture,
+    pyramid: &FootprintPyramid,
+    quad: [Vertex; 4],
+    intensity: f32,
+    blend: BlendMode,
+    stats: &mut RasterStats,
+) {
+    stats.vertices += 4;
+    rasterize_triangle_footprint_uncounted(
+        target, pyramid, quad[0], quad[1], quad[2], intensity, blend, stats,
+    );
+    rasterize_triangle_footprint_uncounted(
+        target, pyramid, quad[0], quad[2], quad[3], intensity, blend, stats,
+    );
 }
 
 /// Rasterizes a triangle without counting its vertices (used by quads and
@@ -1269,6 +1504,124 @@ mod tests {
                 reference::rasterize_quad(&mut slow, &spot, quad, 0.8, mode, &mut ss);
                 assert_identical(&fast, &fs, &slow, &ss, &format!("blend mode {mode:?}"));
             }
+        }
+
+        #[test]
+        fn footprint_mode_covers_identically_and_samples_closely() {
+            use std::sync::Arc;
+            // Footprint sampling must change *sampling only*: the covered
+            // fragment set (count and positions) matches the exact path
+            // exactly, and on a smooth disc texture the nearest samples stay
+            // close to the bilinear ones.
+            let spot = disc_spot_texture(32, 0.5);
+            let pyramid = FootprintPyramid::build(Arc::new(spot.clone()));
+            let mut rng = ChaCha8Rng::seed_from_u64(77);
+            for case in 0..100 {
+                let v0 = random_vertex(&mut rng, -10.0, 74.0);
+                let v1 = random_vertex(&mut rng, -10.0, 74.0);
+                let v2 = random_vertex(&mut rng, -10.0, 74.0);
+                let mut exact = Texture::new(64, 64);
+                let mut approx = Texture::new(64, 64);
+                let mut es = RasterStats::default();
+                let mut fs = RasterStats::default();
+                rasterize_triangle(
+                    &mut exact,
+                    &spot,
+                    v0,
+                    v1,
+                    v2,
+                    1.0,
+                    BlendMode::Additive,
+                    &mut es,
+                );
+                fs.vertices += 3;
+                rasterize_triangle_footprint_uncounted(
+                    &mut approx,
+                    &pyramid,
+                    v0,
+                    v1,
+                    v2,
+                    1.0,
+                    BlendMode::Additive,
+                    &mut fs,
+                );
+                assert_eq!(es, fs, "case {case}: coverage diverged");
+                for y in 0..64 {
+                    for x in 0..64 {
+                        let e = exact.texel(x, y);
+                        let a = approx.texel(x, y);
+                        // Same coverage, different sampling: values may
+                        // differ (nearest vs bilinear, and either can be 0
+                        // at the disc rim) but never drift far on a smooth
+                        // spot texture.
+                        assert!(
+                            (e - a).abs() < 0.5,
+                            "case {case}: sample drifted at ({x},{y}): {e} vs {a}"
+                        );
+                    }
+                }
+            }
+        }
+
+        #[test]
+        fn footprint_mode_on_flat_texture_is_exact() {
+            use std::sync::Arc;
+            // Every pyramid level of a constant texture is that constant, so
+            // nearest and bilinear sampling agree exactly: flat-spot
+            // footprint output must be bit-identical to the exact path.
+            let spot = flat_spot();
+            let pyramid = FootprintPyramid::build(Arc::new(spot.clone()));
+            let mut rng = ChaCha8Rng::seed_from_u64(4242);
+            for case in 0..50 {
+                let quad = axis_aligned_spot_quad(
+                    Vec2::new(rng.gen_range(-8.0..72.0), rng.gen_range(-8.0..72.0)),
+                    rng.gen_range(0.5..20.0),
+                );
+                let intensity = rng.gen_range(-1.0f32..1.0);
+                let mut exact = Texture::new(64, 64);
+                let mut approx = Texture::new(64, 64);
+                let mut es = RasterStats::default();
+                let mut fs = RasterStats::default();
+                rasterize_quad(
+                    &mut exact,
+                    &spot,
+                    quad,
+                    intensity,
+                    BlendMode::Additive,
+                    &mut es,
+                );
+                rasterize_quad_footprint(
+                    &mut approx,
+                    &pyramid,
+                    quad,
+                    intensity,
+                    BlendMode::Additive,
+                    &mut fs,
+                );
+                assert_eq!(
+                    exact.absolute_difference(&approx),
+                    0.0,
+                    "case {case}: flat-texture footprint diverged"
+                );
+                assert_eq!(es, fs, "case {case}: stats diverged");
+            }
+        }
+
+        #[test]
+        fn footprint_shared_edges_still_cover_exactly_once() {
+            use std::sync::Arc;
+            // Same seam guarantee as the exact path: footprint mode reuses
+            // the coverage predicate, so a flat-spot mesh must never
+            // double-blend its internal edges.
+            let spot = flat_spot();
+            let pyramid = FootprintPyramid::build(Arc::new(spot.clone()));
+            let mesh = crate::mesh::rectangle_mesh(5, 4, 8.0, 8.0, 40.0, 40.0);
+            let mut target = Texture::new(64, 64);
+            let mut stats = RasterStats::default();
+            mesh.rasterize_footprint(&mut target, &pyramid, 1.0, BlendMode::Additive, &mut stats);
+            let max = target.data().iter().cloned().fold(0.0f32, f32::max);
+            assert!(max <= 1.0 + 1e-5, "footprint seam double-blended: {max}");
+            assert!((target.texel(20, 20) - 1.0).abs() < 1e-6);
         }
 
         #[test]

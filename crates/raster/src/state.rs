@@ -16,6 +16,25 @@ use serde::{Deserialize, Serialize};
 /// Identifier of a texture object bound to the pipe.
 pub type TextureId = u32;
 
+/// How the bound spot texture is sampled when shading fragments.
+///
+/// `Exact` is the classic per-fragment bilinear filter — the mode every
+/// result in the repository was produced with, and the default. `Footprint`
+/// trades exactness for throughput on sampling-bound geometry (bent-spot
+/// meshes): fragments nearest-sample a small prefiltered pyramid level
+/// chosen per triangle from the uv extent, replacing the four-tap bilinear
+/// kernel with a single fetch. Spot statistics survive this coarsening (the
+/// speckle-measurement literature's license), which the quality metrics
+/// gate; callers that need bit-exact output keep `Exact`.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum SamplingMode {
+    /// Per-fragment bilinear sampling of the base texture (bit-exact mode).
+    #[default]
+    Exact,
+    /// Nearest sampling of a footprint-selected prefiltered pyramid level.
+    Footprint,
+}
+
 /// Counters of state-machine transitions, the input of the state-change
 /// overhead term in the cost model.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
@@ -26,6 +45,8 @@ pub struct StateChangeStats {
     pub texture_binds: u64,
     /// Number of transformation-matrix loads applied.
     pub matrix_loads: u64,
+    /// Number of sampling-mode changes applied.
+    pub sampling_changes: u64,
     /// Number of redundant state calls that were filtered out.
     pub redundant_filtered: u64,
 }
@@ -34,7 +55,7 @@ impl StateChangeStats {
     /// Total state changes that actually hit the pipe (and therefore cost a
     /// synchronisation).
     pub fn total_changes(&self) -> u64 {
-        self.blend_changes + self.texture_binds + self.matrix_loads
+        self.blend_changes + self.texture_binds + self.matrix_loads + self.sampling_changes
     }
 
     /// Accumulates the counters of another stats block.
@@ -42,6 +63,7 @@ impl StateChangeStats {
         self.blend_changes += other.blend_changes;
         self.texture_binds += other.texture_binds;
         self.matrix_loads += other.matrix_loads;
+        self.sampling_changes += other.sampling_changes;
         self.redundant_filtered += other.redundant_filtered;
     }
 }
@@ -89,17 +111,19 @@ pub struct StateMachine {
     blend: BlendMode,
     bound_texture: Option<TextureId>,
     transform: Transform2,
+    sampling: SamplingMode,
     stats: StateChangeStats,
 }
 
 impl StateMachine {
     /// Creates a state machine in the default state (additive blending, no
-    /// texture bound, identity transform).
+    /// texture bound, identity transform, exact sampling).
     pub fn new() -> Self {
         StateMachine {
             blend: BlendMode::Additive,
             bound_texture: None,
             transform: Transform2::IDENTITY,
+            sampling: SamplingMode::Exact,
             stats: StateChangeStats::default(),
         }
     }
@@ -107,6 +131,11 @@ impl StateMachine {
     /// Current blend mode.
     pub fn blend(&self) -> BlendMode {
         self.blend
+    }
+
+    /// Current sampling mode.
+    pub fn sampling(&self) -> SamplingMode {
+        self.sampling
     }
 
     /// Currently bound texture, if any.
@@ -137,6 +166,17 @@ impl StateMachine {
         } else {
             self.blend = blend;
             self.stats.blend_changes += 1;
+        }
+    }
+
+    /// Sets the sampling mode; redundant calls are filtered and do not count
+    /// as a state change.
+    pub fn set_sampling(&mut self, sampling: SamplingMode) {
+        if self.sampling == sampling {
+            self.stats.redundant_filtered += 1;
+        } else {
+            self.sampling = sampling;
+            self.stats.sampling_changes += 1;
         }
     }
 
@@ -246,15 +286,30 @@ mod tests {
             blend_changes: 1,
             texture_binds: 2,
             matrix_loads: 3,
+            sampling_changes: 1,
             redundant_filtered: 4,
         };
         a.merge(&StateChangeStats {
             blend_changes: 10,
             texture_binds: 20,
             matrix_loads: 30,
+            sampling_changes: 2,
             redundant_filtered: 40,
         });
-        assert_eq!(a.total_changes(), 66);
+        assert_eq!(a.total_changes(), 69);
         assert_eq!(a.redundant_filtered, 44);
+    }
+
+    #[test]
+    fn sampling_mode_changes_counted_and_filtered() {
+        let mut s = StateMachine::new();
+        assert_eq!(s.sampling(), SamplingMode::Exact);
+        s.set_sampling(SamplingMode::Exact); // redundant: the default
+        assert_eq!(s.stats().sampling_changes, 0);
+        assert_eq!(s.stats().redundant_filtered, 1);
+        s.set_sampling(SamplingMode::Footprint);
+        assert_eq!(s.sampling(), SamplingMode::Footprint);
+        assert_eq!(s.stats().sampling_changes, 1);
+        assert_eq!(s.stats().total_changes(), 1);
     }
 }

@@ -6,6 +6,7 @@
 //! each rendered quad or bent-spot mesh.
 
 use serde::{Deserialize, Serialize};
+use std::sync::Arc;
 
 /// A single-channel floating-point texture, row-major, origin at the
 /// bottom-left (matching OpenGL texture conventions).
@@ -84,6 +85,30 @@ impl Texture {
     /// Sets every texel to `value`.
     pub fn fill(&mut self, value: f32) {
         self.data.fill(value);
+    }
+
+    /// Reshapes this texture in place to `width` × `height`, reusing the
+    /// existing allocation when it is large enough. When `zero` is set the
+    /// texels are cleared to 0 (matching [`Texture::new`]); otherwise the
+    /// contents are unspecified and the caller must overwrite every texel.
+    /// This is the [`FrameArena`](crate::arena::FrameArena) recycling hook.
+    pub(crate) fn reset(&mut self, width: usize, height: usize, zero: bool) {
+        assert!(width > 0 && height > 0, "texture must be non-empty");
+        let len = width * height;
+        self.width = width;
+        self.height = height;
+        if self.data.len() != len {
+            // `resize` zeroes only the grown tail; when dirty reuse is
+            // requested that is fine (contents are unspecified anyway).
+            // Capacity is deliberately NOT shrunk: a pool shared between
+            // differently sized pipelines must keep the larger allocation
+            // alive across alternating checkouts, or reuse degenerates into
+            // reallocation (capacity is invisible to every consumer).
+            self.data.resize(len, 0.0);
+        }
+        if zero {
+            self.data.fill(0.0);
+        }
     }
 
     /// Nearest-neighbour sample at texture coordinates `(u, v)` in `[0,1]`,
@@ -224,6 +249,98 @@ pub fn disc_spot_texture(size: usize, softness: f32) -> Texture {
             0.5 * (1.0 + (std::f32::consts::PI * t).cos())
         }
     })
+}
+
+/// A small mip-free prefiltered pyramid over one spot texture, the backing
+/// store of [`SamplingMode::Footprint`](crate::state::SamplingMode).
+///
+/// Level 0 is the base texture (shared, not copied); each further level is a
+/// 2×2 box-filtered half-resolution copy, up to
+/// [`FootprintPyramid::MAX_LEVELS`] levels in total. Unlike a full mip chain
+/// the pyramid stops after two prefiltered levels — spot textures are tiny
+/// (16–32 px) and bent-spot minification rarely exceeds 4 texels per pixel,
+/// so deeper levels would never be selected. The pyramid is built once per
+/// texture and cached behind an [`Arc`] by the pipe that samples it.
+#[derive(Debug, Clone)]
+pub struct FootprintPyramid {
+    base: Arc<Texture>,
+    /// `levels[k]` is the `2^(k+1)`-to-1 downsampled copy of the base.
+    levels: Vec<Texture>,
+}
+
+impl FootprintPyramid {
+    /// Total pyramid depth: the base plus two prefiltered levels.
+    pub const MAX_LEVELS: usize = 3;
+
+    /// Builds the pyramid over `base` by repeated 2×2 box filtering.
+    pub fn build(base: Arc<Texture>) -> Self {
+        let mut levels = Vec::new();
+        let mut prev: &Texture = &base;
+        while levels.len() + 1 < Self::MAX_LEVELS && (prev.width() > 1 || prev.height() > 1) {
+            levels.push(downsample_2x2(prev));
+            prev = levels.last().expect("just pushed");
+        }
+        FootprintPyramid { base, levels }
+    }
+
+    /// The base texture the pyramid was built over.
+    pub fn base(&self) -> &Texture {
+        &self.base
+    }
+
+    /// Number of levels available (base included).
+    pub fn levels(&self) -> usize {
+        1 + self.levels.len()
+    }
+
+    /// The texture of pyramid level `level` (0 = base).
+    pub fn level(&self, level: usize) -> &Texture {
+        if level == 0 {
+            &self.base
+        } else {
+            &self.levels[level - 1]
+        }
+    }
+
+    /// Selects the level whose texel size best matches a footprint of
+    /// `step` *base* texels per target pixel: level `l` texels cover `2^l`
+    /// base texels, and the cut-over sits at 1.5× the level's texel size so
+    /// the selected level's texels stay within ±50 % of the footprint.
+    /// Magnified or unit-scale footprints (`step <= 1.5`) keep the base.
+    pub fn level_for_step(&self, step: f32) -> usize {
+        let mut level = 0;
+        let mut cutover = 1.5f32;
+        while level + 1 < self.levels() && step > cutover {
+            level += 1;
+            cutover *= 2.0;
+        }
+        level
+    }
+
+    /// Nearest sample of pyramid level `level` at `(u, v)` in `[0, 1]`.
+    #[inline]
+    pub fn sample_nearest(&self, level: usize, u: f32, v: f32) -> f32 {
+        self.level(level).sample_nearest(u, v)
+    }
+}
+
+/// 2×2 box downsample with edge clamping (odd dimensions fold the last
+/// row/column onto itself), preserving the mean of constant textures.
+fn downsample_2x2(src: &Texture) -> Texture {
+    let w = src.width().div_ceil(2);
+    let h = src.height().div_ceil(2);
+    let mut out = Texture::new(w, h);
+    for y in 0..h {
+        let y0 = (2 * y).min(src.height() - 1);
+        let y1 = (2 * y + 1).min(src.height() - 1);
+        for x in 0..w {
+            let x0 = (2 * x).min(src.width() - 1);
+            let x1 = (2 * x + 1).min(src.width() - 1);
+            *out.texel_mut(x, y) = 0.25
+                * (src.texel(x0, y0) + src.texel(x1, y0) + src.texel(x0, y1) + src.texel(x1, y1));
+        }
+    }
+    out
 }
 
 /// Builds a Gaussian spot texture with standard deviation `sigma` expressed
@@ -370,5 +487,68 @@ mod tests {
         assert_eq!(t.absolute_difference(&t), 0.0);
         let z = Texture::new(16, 16);
         assert!(t.absolute_difference(&z) > 0.0);
+    }
+
+    #[test]
+    fn reset_reuses_allocation_and_zeroes_on_request() {
+        let mut t = disc_spot_texture(16, 0.5);
+        t.reset(16, 16, true);
+        assert!(t.data().iter().all(|&v| v == 0.0));
+        // Dirty reuse keeps the size but promises nothing about contents.
+        t.fill(3.0);
+        t.reset(8, 32, false);
+        assert_eq!((t.width(), t.height(), t.data().len()), (8, 32, 256));
+        // Growing zero-fills the tail via resize; shrinking then zeroing
+        // yields a clean texture again.
+        t.reset(4, 4, true);
+        assert_eq!(t.data().len(), 16);
+        assert!(t.data().iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn pyramid_levels_halve_and_preserve_constant_mean() {
+        let mut base = Texture::new(32, 32);
+        base.fill(0.75);
+        let p = FootprintPyramid::build(Arc::new(base));
+        assert_eq!(p.levels(), FootprintPyramid::MAX_LEVELS);
+        assert_eq!((p.level(1).width(), p.level(1).height()), (16, 16));
+        assert_eq!((p.level(2).width(), p.level(2).height()), (8, 8));
+        for level in 0..p.levels() {
+            assert!(p
+                .level(level)
+                .data()
+                .iter()
+                .all(|&v| (v - 0.75).abs() < 1e-6));
+        }
+    }
+
+    #[test]
+    fn pyramid_handles_odd_and_tiny_bases() {
+        let p = FootprintPyramid::build(Arc::new(disc_spot_texture(9, 0.5)));
+        assert_eq!((p.level(1).width(), p.level(1).height()), (5, 5));
+        // A 1x1 base cannot be downsampled further.
+        let mut tiny = Texture::new(1, 1);
+        tiny.fill(1.0);
+        let p = FootprintPyramid::build(Arc::new(tiny));
+        assert_eq!(p.levels(), 1);
+        assert_eq!(p.sample_nearest(0, 0.5, 0.5), 1.0);
+    }
+
+    #[test]
+    fn pyramid_downsampling_averages_blocks() {
+        // A 2x2 checkerboard collapses to its mean at level 1.
+        let base = Texture::from_fn(2, 2, |u, v| if (u < 0.5) ^ (v < 0.5) { 1.0 } else { 0.0 });
+        let p = FootprintPyramid::build(Arc::new(base));
+        assert_eq!(p.level(1).texel(0, 0), 0.5);
+    }
+
+    #[test]
+    fn level_selection_follows_footprint_size() {
+        let p = FootprintPyramid::build(Arc::new(disc_spot_texture(32, 0.5)));
+        assert_eq!(p.level_for_step(0.25), 0, "magnified: keep the base");
+        assert_eq!(p.level_for_step(1.0), 0);
+        assert_eq!(p.level_for_step(2.0), 1);
+        assert_eq!(p.level_for_step(4.0), 2);
+        assert_eq!(p.level_for_step(100.0), 2, "clamped to the deepest level");
     }
 }

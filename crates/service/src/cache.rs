@@ -130,8 +130,20 @@ impl FrameCache {
     /// its bytes and recency. A single frame larger than the whole budget
     /// is evicted immediately (the cache never lies about its bound).
     pub fn insert(&mut self, key: FrameKey, bytes: Arc<Vec<u8>>) {
+        self.insert_tagged(key, bytes, false);
+    }
+
+    /// Like [`FrameCache::insert`], tagging the entry as a *look-ahead*
+    /// frame when `lookahead` is set: one rendered on the way to a requested
+    /// index rather than for the request itself. Look-ahead insertions are
+    /// counted in [`CacheStats::inserted_lookahead`] so `/stats` shows how
+    /// much future-serving work each synthesis burst banked.
+    pub fn insert_tagged(&mut self, key: FrameKey, bytes: Arc<Vec<u8>>, lookahead: bool) {
         if self.capacity_bytes == 0 {
             return;
+        }
+        if lookahead {
+            self.stats.inserted_lookahead += 1;
         }
         self.tick += 1;
         let tick = self.tick;
@@ -247,9 +259,27 @@ mod tests {
     fn zero_capacity_disables_caching() {
         let mut c = FrameCache::new(0);
         c.insert(key(0), bytes(1));
+        c.insert_tagged(key(1), bytes(2), true);
         assert!(c.is_empty());
         assert!(c.lookup(key(0)).is_none());
         assert_eq!(c.stats().insertions, 0);
+        assert_eq!(c.stats().inserted_lookahead, 0);
+    }
+
+    #[test]
+    fn lookahead_insertions_are_counted_separately() {
+        let mut c = FrameCache::new(64);
+        // A request for frame 2 renders 0 and 1 on the way: two look-ahead
+        // insertions, one direct.
+        c.insert_tagged(key(0), bytes(0), true);
+        c.insert_tagged(key(1), bytes(1), true);
+        c.insert_tagged(key(2), bytes(2), false);
+        let s = c.stats();
+        assert_eq!(s.insertions, 3);
+        assert_eq!(s.inserted_lookahead, 2);
+        // All three entries are equally real cache entries.
+        assert!(c.peek(key(0)).is_some());
+        assert!(c.peek(key(2)).is_some());
     }
 
     #[test]

@@ -289,10 +289,15 @@ impl Service {
                 self.counters
                     .render_us
                     .fetch_add(timings.render_us, Ordering::Relaxed);
-                self.cache
-                    .lock()
-                    .expect("cache poisoned")
-                    .insert(frame_key, Arc::clone(bytes));
+                // Frames below the requested index were rendered on the way
+                // there: count them as look-ahead insertions so /stats shows
+                // how much future-serving work the request banked.
+                let lookahead = frame_key.frame != job.frame;
+                self.cache.lock().expect("cache poisoned").insert_tagged(
+                    frame_key,
+                    Arc::clone(bytes),
+                    lookahead,
+                );
             },
         );
         match rendered {
@@ -378,6 +383,10 @@ impl Service {
                     ("hits", Json::num(cache_stats.hits as f64)),
                     ("misses", Json::num(cache_stats.misses as f64)),
                     ("insertions", Json::num(cache_stats.insertions as f64)),
+                    (
+                        "inserted_lookahead",
+                        Json::num(cache_stats.inserted_lookahead as f64),
+                    ),
                     ("evictions", Json::num(cache_stats.evictions as f64)),
                     ("hit_rate", Json::num(cache_stats.hit_rate())),
                 ]),
@@ -462,6 +471,10 @@ impl Service {
                         ("spot_count", Json::num(spec.config.spot_count as f64)),
                         ("seed", Json::num(spec.config.seed as f64)),
                         ("use_tiling", Json::Bool(spec.config.use_tiling)),
+                        (
+                            "sampling",
+                            Json::str(crate::spec::sampling_mode_name(spec.config.sampling)),
+                        ),
                     ]),
                 ),
                 (
@@ -570,11 +583,44 @@ impl Service {
     }
 }
 
+/// How long shutdown waits for in-flight connection threads to finish
+/// writing their responses before the process is allowed to exit. Without
+/// this grace the `/shutdown` reply races process exit: the responder is a
+/// detached thread, and joining only the workers and the accept loop lets
+/// `main` return while the response bytes are still unsent (observed as
+/// intermittent empty replies to `POST /shutdown`).
+const CONNECTION_DRAIN_GRACE: Duration = Duration::from_secs(1);
+
+/// Live connection-thread handles, pruned as threads finish.
+type ConnectionSet = Arc<Mutex<Vec<JoinHandle<()>>>>;
+
+/// Waits until every tracked connection thread has finished, up to the
+/// drain grace (idle keep-alive connections block in `read` for up to their
+/// 60 s timeout — those are abandoned at the deadline, which is safe: they
+/// have no response in flight).
+fn drain_connections(connections: &ConnectionSet) {
+    let deadline = Instant::now() + CONNECTION_DRAIN_GRACE;
+    loop {
+        {
+            let mut conns = connections.lock().expect("connections poisoned");
+            conns.retain(|h| !h.is_finished());
+            if conns.is_empty() {
+                return;
+            }
+        }
+        if Instant::now() >= deadline {
+            return;
+        }
+        std::thread::sleep(Duration::from_millis(5));
+    }
+}
+
 /// A running server: the bound address plus the handles needed to stop it.
 pub struct ServiceHandle {
     service: Arc<Service>,
     addr: SocketAddr,
     threads: Vec<JoinHandle<()>>,
+    connections: ConnectionSet,
 }
 
 impl ServiceHandle {
@@ -588,11 +634,21 @@ impl ServiceHandle {
         &self.service
     }
 
-    /// Blocks until the server has shut down (e.g. via `POST /shutdown`).
+    /// Blocks until the server has shut down (e.g. via `POST /shutdown`),
+    /// then drains in-flight connection threads so their responses — the
+    /// `/shutdown` acknowledgement included — are written before return.
     pub fn join(mut self) {
         for t in self.threads.drain(..) {
             let _ = t.join();
         }
+        drain_connections(&self.connections);
+        // `self` is dropped on return and Drop drains again; clearing here
+        // makes that a no-op so an idle keep-alive connection (which waits
+        // out the full grace) cannot double the shutdown latency.
+        self.connections
+            .lock()
+            .expect("connections poisoned")
+            .clear();
     }
 
     /// Initiates shutdown and waits for workers and the accept loop.
@@ -608,6 +664,7 @@ impl Drop for ServiceHandle {
         for t in self.threads.drain(..) {
             let _ = t.join();
         }
+        drain_connections(&self.connections);
     }
 }
 
@@ -668,8 +725,10 @@ pub fn serve(addr: impl ToSocketAddrs, options: ServiceOptions) -> std::io::Resu
                 .expect("spawn worker"),
         );
     }
+    let connections: ConnectionSet = Arc::new(Mutex::new(Vec::new()));
     {
         let service = Arc::clone(&service);
+        let connections = Arc::clone(&connections);
         threads.push(
             std::thread::Builder::new()
                 .name("accept-loop".to_string())
@@ -680,11 +739,18 @@ pub fn serve(addr: impl ToSocketAddrs, options: ServiceOptions) -> std::io::Resu
                         }
                         let Ok(stream) = stream else { continue };
                         let service = Arc::clone(&service);
-                        // Connection threads are detached: they exit when
-                        // their client hangs up, errors, or idles out.
-                        let _ = std::thread::Builder::new()
+                        // Connection threads run detached — they exit when
+                        // their client hangs up, errors, or idles out — but
+                        // their handles are tracked (finished ones pruned)
+                        // so shutdown can drain in-flight responses.
+                        let handle = std::thread::Builder::new()
                             .name("connection".to_string())
                             .spawn(move || handle_connection(service, stream));
+                        if let Ok(handle) = handle {
+                            let mut conns = connections.lock().expect("connections poisoned");
+                            conns.retain(|h| !h.is_finished());
+                            conns.push(handle);
+                        }
                     }
                 })
                 .expect("spawn accept loop"),
@@ -694,6 +760,7 @@ pub fn serve(addr: impl ToSocketAddrs, options: ServiceOptions) -> std::io::Resu
         service,
         addr: local,
         threads,
+        connections,
     })
 }
 
@@ -742,6 +809,34 @@ mod tests {
         let cache = stats.get("cache").unwrap();
         assert_eq!(cache.get("hits").and_then(Json::as_f64), Some(1.0));
         assert_eq!(cache.get("misses").and_then(Json::as_f64), Some(1.0));
+        handle.shutdown();
+    }
+
+    #[test]
+    fn lookahead_frames_are_cached_and_counted() {
+        let handle = start();
+        let service = handle.service();
+        let id = service.create_session(tiny_spec()).unwrap();
+        // Requesting frame 2 renders frames 0 and 1 on the way: three
+        // insertions, two of them look-ahead.
+        let miss = service.fetch_frame(id, 2).unwrap();
+        assert!(!miss.cached);
+        let stats = service.stats_json();
+        let cache = stats.get("cache").unwrap();
+        assert_eq!(cache.get("insertions").and_then(Json::as_f64), Some(3.0));
+        assert_eq!(
+            cache.get("inserted_lookahead").and_then(Json::as_f64),
+            Some(2.0)
+        );
+        // The look-ahead frames serve later requests straight from cache —
+        // without adding further look-ahead counts.
+        assert!(service.fetch_frame(id, 1).unwrap().cached);
+        let stats = service.stats_json();
+        let cache = stats.get("cache").unwrap();
+        assert_eq!(
+            cache.get("inserted_lookahead").and_then(Json::as_f64),
+            Some(2.0)
+        );
         handle.shutdown();
     }
 

@@ -76,8 +76,10 @@ fn build_pipeline(spec: &SessionSpec) -> Pipeline {
         service_domain(),
     );
     // The service serves the raw synthesis texture; skip the display-only
-    // high-pass filter work.
+    // high-pass filter work — and the display texture entirely, which saves
+    // a framebuffer-sized allocation + pass per frame.
     pipeline.set_postprocess(false);
+    pipeline.set_display_enabled(false);
     pipeline
 }
 
@@ -218,6 +220,13 @@ impl Session {
             self.frames_rendered += 1;
             let bytes = Arc::new(texture_bytes(&out.texture));
             on_frame(self.key_for(frame_index), &bytes, &out.metrics.timings);
+            // The texture has been serialized into the response/cache bytes;
+            // hand its buffer back to the pipeline's arena so the next frame
+            // renders into it instead of allocating — the last link of the
+            // steady-state zero-allocation loop.
+            if let Some(arena) = self.pipeline.frame_arena() {
+                arena.recycle_texture(out.texture);
+            }
             last = Some(bytes);
         }
         Ok(last.expect("loop ran at least once"))

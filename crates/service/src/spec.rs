@@ -10,7 +10,7 @@
 
 use flowfield::analytic::{DoubleGyre, Saddle, Shear, TaylorGreen, Uniform, Vortex};
 use flowfield::{Rect, Vec2, VectorField};
-use spotnoise::config::SynthesisConfig;
+use spotnoise::config::{SamplingMode, SynthesisConfig};
 use spotnoise::hash::StableHasher;
 use spotnoise::json::Json;
 
@@ -433,7 +433,24 @@ fn parse_config_overrides(obj: &Json, base: SynthesisConfig) -> Result<Synthesis
     if let Some(v) = obj.get("use_tiling") {
         cfg.use_tiling = v.as_bool().ok_or("config.use_tiling not a boolean")?;
     }
+    if let Some(v) = obj.get("sampling") {
+        let text = v.as_str().ok_or("config.sampling not a string")?;
+        cfg.sampling = match text {
+            "exact" => SamplingMode::Exact,
+            "footprint" => SamplingMode::Footprint,
+            other => return Err(format!("unknown config.sampling {other:?}")),
+        };
+    }
     Ok(cfg)
+}
+
+/// The wire name of a sampling mode (the `config.sampling` request key and
+/// the session-info echo).
+pub fn sampling_mode_name(mode: SamplingMode) -> &'static str {
+    match mode {
+        SamplingMode::Exact => "exact",
+        SamplingMode::Footprint => "footprint",
+    }
 }
 
 #[cfg(test)]
@@ -472,8 +489,25 @@ mod tests {
         assert!(spec.config.use_tiling);
         // Untouched keys keep their defaults.
         assert_eq!(spec.config.spot_batch, 64);
+        assert_eq!(spec.config.sampling, SamplingMode::Exact);
         assert_eq!((spec.processors, spec.pipes), (4, 2));
         assert!((spec.dt - 0.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sampling_override_parses_and_keys_the_cache() {
+        let footprint =
+            SessionSpec::from_body(br#"{"config": {"sampling": "footprint"}}"#).unwrap();
+        assert_eq!(footprint.config.sampling, SamplingMode::Footprint);
+        let exact = SessionSpec::from_body(br#"{"config": {"sampling": "exact"}}"#).unwrap();
+        assert_eq!(exact.config.sampling, SamplingMode::Exact);
+        // The two modes render (slightly) different texels, so they must
+        // occupy distinct frame-cache keys.
+        assert_ne!(footprint.config_cache_key(), exact.config_cache_key());
+        assert!(SessionSpec::from_body(br#"{"config": {"sampling": "trilinear"}}"#).is_err());
+        assert!(SessionSpec::from_body(br#"{"config": {"sampling": 3}}"#).is_err());
+        assert_eq!(sampling_mode_name(SamplingMode::Exact), "exact");
+        assert_eq!(sampling_mode_name(SamplingMode::Footprint), "footprint");
     }
 
     #[test]
