@@ -22,8 +22,13 @@
 //! 90 % of its committed speedup, so a future change cannot silently lose
 //! an optimization this repository has already banked. Speedups are
 //! within-run ratios (reference vs optimized on the same host), so the
-//! comparison is robust to absolute machine speed; cases present on only
-//! one side are ignored (filters and newly added cases stay compatible).
+//! comparison is robust to absolute machine speed. Committed cases the
+//! fresh (possibly filtered) run did not measure are ignored — but a fresh
+//! case **missing from the committed artifact fails the ratchet** (listing
+//! every unbanked name): a newly added case (or a typo'd rename) would
+//! otherwise never be gated. Pass `--allow-new` to accept unbanked cases
+//! while iterating locally; CI runs without it, so new cases must be
+//! banked into the committed artifact in the same PR.
 
 use spotnoise_bench::json::Json;
 use std::path::PathBuf;
@@ -98,14 +103,19 @@ fn check_artifact(path: &PathBuf) -> Result<usize, String> {
 
 /// The regression ratchet: every freshly measured case that also exists in
 /// the committed artifact must retain at least [`RATCHET_FLOOR`] of its
-/// committed speedup. Returns the number of cases compared.
-fn check_ratchet(fresh: &PathBuf, committed: &PathBuf) -> Result<usize, String> {
+/// committed speedup, and — unless `allow_new` is set — every fresh case
+/// must exist in the committed artifact at all (an unbanked case is one the
+/// ratchet would silently never gate, which is exactly how a typo'd rename
+/// slips a banked win out of CI). Returns the number of cases compared.
+fn check_ratchet(fresh: &PathBuf, committed: &PathBuf, allow_new: bool) -> Result<usize, String> {
     let fresh_cases = parse_cases(fresh)?;
     let committed_cases = parse_cases(committed)?;
     let mut compared = 0;
     let mut failures = Vec::new();
+    let mut unbanked = Vec::new();
     for (name, measured) in &fresh_cases {
         let Some((_, banked)) = committed_cases.iter().find(|(n, _)| n == name) else {
+            unbanked.push(name.clone());
             continue;
         };
         compared += 1;
@@ -117,7 +127,15 @@ fn check_ratchet(fresh: &PathBuf, committed: &PathBuf) -> Result<usize, String> 
             ));
         }
     }
-    if compared == 0 {
+    if !unbanked.is_empty() && !allow_new {
+        failures.push(format!(
+            "unbanked case(s) not present in {}: {} — regenerate and commit \
+             the artifact (or pass --allow-new while iterating)",
+            committed.display(),
+            unbanked.join(", ")
+        ));
+    }
+    if compared == 0 && unbanked.is_empty() {
         return Err(format!(
             "ratchet {committed:?} shares no case with the fresh run — wrong file?"
         ));
@@ -134,6 +152,7 @@ fn main() -> ExitCode {
     let mut check = false;
     let mut filter: Option<String> = None;
     let mut ratchet: Option<PathBuf> = None;
+    let mut allow_new = false;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -143,6 +162,7 @@ fn main() -> ExitCode {
                 }
             }
             "--check" => check = true,
+            "--allow-new" => allow_new = true,
             "--filter" => match args.next() {
                 Some(substring) => filter = Some(substring),
                 None => {
@@ -193,7 +213,7 @@ fn main() -> ExitCode {
             }
         }
         if let Some(committed) = &ratchet {
-            match check_ratchet(&out, committed) {
+            match check_ratchet(&out, committed, allow_new) {
                 Ok(compared) => {
                     println!(
                         "ratchet OK: {compared} cases at >= {RATCHET_FLOOR}x their committed \

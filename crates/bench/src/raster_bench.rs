@@ -361,9 +361,15 @@ fn frame_arena_case() -> BenchCase {
     let build = |pooled: bool| {
         let mut p = Pipeline::new(cfg, mode, domain);
         p.set_display_enabled(false);
+        // This case isolates the frame arena: pipe pooling is disabled in
+        // BOTH legs (it is measured by its own pipe_pool_* cases), so the
+        // reference leg stays the classic spawn-per-frame +
+        // allocate-per-frame baseline the banked speedup was measured
+        // against.
         if !pooled {
             p.set_frame_arena(None);
         }
+        p.set_pipe_pool(None);
         p
     };
 
@@ -408,6 +414,117 @@ fn frame_arena_case() -> BenchCase {
         name: "frame_arena_reuse",
         description:
             "dnc frame production, pooled FrameArena vs allocate-per-frame (512x512, 48 spots)",
+        fragments_per_op: fragments,
+        reference_ns_per_op: reference_ns,
+        optimized_ns_per_op: optimized,
+    }
+}
+
+/// Measures persistent pooled pipes against spawn-per-frame: two identical
+/// divide-and-conquer pipelines advance in lockstep, both with the default
+/// frame arena, one checking pipe workers out of a [`softpipe::PipePool`]
+/// and one spawning (and joining) its workers every frame. Output equality
+/// is asserted on fresh pipelines before timing — worker reuse must be
+/// invisible in the texels — and the pooled pipeline is asserted to spawn
+/// zero threads once warm.
+fn pipe_pool_case(
+    name: &'static str,
+    description: &'static str,
+    texture_size: usize,
+    spot_count: usize,
+    pipes: usize,
+) -> BenchCase {
+    use softpipe::machine::MachineConfig;
+    use spotnoise::config::SynthesisConfig;
+    use spotnoise::pipeline::{ExecutionMode, Pipeline};
+
+    let domain = flowfield::Rect::new(Vec2::ZERO, Vec2::new(1.0, 1.0));
+    let field = flowfield::analytic::Vortex {
+        omega: 1.0,
+        center: domain.center(),
+        domain,
+    };
+    let cfg = SynthesisConfig {
+        texture_size,
+        spot_count,
+        spot_radius: 0.03,
+        ..SynthesisConfig::small_test()
+    };
+    let machine = MachineConfig::new(pipes, pipes);
+    let mode = ExecutionMode::DivideAndConquer(machine);
+    let build = |pooled: bool| {
+        let mut p = Pipeline::new(cfg, mode, domain);
+        p.set_display_enabled(false);
+        if !pooled {
+            // The bit-identical opt-out: spawn one worker per group per
+            // frame, exactly as before the pool existed.
+            p.set_pipe_pool(None);
+        } else if p.pipe_pool().is_none() {
+            // Under SPOTNOISE_PIPE_POOL=off the *default* flips to
+            // spawn-per-frame; this case measures the pool itself, so pin
+            // one explicitly — both legs stay meaningful in either CI
+            // matrix leg.
+            p.set_pipe_pool(Some(
+                softpipe::PipePool::new(p.frame_arena().cloned()).into(),
+            ));
+        }
+        p
+    };
+
+    // Parity check on fresh pipelines: identical frames with and without
+    // the pool, and zero spawns once every group's worker exists.
+    let mut pooled = build(true);
+    let mut fresh = build(false);
+    let mut fragments = 0;
+    let mut spawned_after_warmup = 0;
+    for frame in 0..4 {
+        let a = pooled.advance(&field, 0.05, 0);
+        let b = fresh.advance(&field, 0.05, 0);
+        assert_eq!(
+            a.texture.absolute_difference(&b.texture),
+            0.0,
+            "{name}: pooled frames diverged from spawn-per-frame"
+        );
+        fragments = a.dnc.as_ref().map_or(0, |d| d.total_pipe_work().fragments);
+        if let Some(arena) = pooled.frame_arena() {
+            arena.recycle_texture(a.texture);
+        }
+        let spawned = pooled.pipe_pool().expect("pooled").stats().spawned;
+        if frame == 0 {
+            spawned_after_warmup = spawned;
+        } else {
+            assert_eq!(
+                spawned, spawned_after_warmup,
+                "{name}: steady-state frame spawned a pipe worker"
+            );
+        }
+    }
+
+    let mut pooled = build(true);
+    let mut fresh = build(false);
+    let (reference_ns, optimized) = time_pair_best(
+        9,
+        24,
+        || {
+            let out = fresh.advance(&field, 0.05, 0);
+            let texture = std::hint::black_box(out.texture);
+            if let Some(arena) = fresh.frame_arena() {
+                arena.recycle_texture(texture);
+            }
+        },
+        || {
+            let out = pooled.advance(&field, 0.05, 0);
+            let texture = std::hint::black_box(out.texture);
+            // Steady-state consumers (the service) hand the frame buffer
+            // back after serializing it; the bench models that.
+            if let Some(arena) = pooled.frame_arena() {
+                arena.recycle_texture(texture);
+            }
+        },
+    );
+    BenchCase {
+        name,
+        description,
         fragments_per_op: fragments,
         reference_ns_per_op: reference_ns,
         optimized_ns_per_op: optimized,
@@ -644,6 +761,35 @@ pub fn run_raster_bench_filtered(filter: Option<&str>) -> RasterBenchReport {
         ),
         ("gather_additive_512x4", Box::new(gather_case)),
         ("frame_arena_reuse", Box::new(frame_arena_case)),
+        (
+            "pipe_pool_reuse",
+            Box::new(|| {
+                pipe_pool_case(
+                    "pipe_pool_reuse",
+                    "dnc frame production, persistent PipePool vs spawn-per-frame \
+                     (256x256, 64 spots, 2 pipes)",
+                    256,
+                    64,
+                    2,
+                )
+            }),
+        ),
+        (
+            "pipe_pool_small_frames",
+            Box::new(|| {
+                // The interactive/service shape the ROADMAP flags: many
+                // small frames, where the per-frame thread spawn is the
+                // dominant fixed cost once buffers are pooled.
+                pipe_pool_case(
+                    "pipe_pool_small_frames",
+                    "many small dnc frames, persistent PipePool vs spawn-per-frame \
+                     (128x128, 40 spots, 2 pipes)",
+                    128,
+                    40,
+                    2,
+                )
+            }),
+        ),
     ];
 
     let mut cases = Vec::new();

@@ -24,7 +24,7 @@ use crate::synth::{synthesize_sequential, SynthesisContext};
 use flowfield::particles::ParticleOptions;
 use flowfield::{Rect, VectorField};
 use softpipe::machine::MachineConfig;
-use softpipe::{FrameArena, Texture};
+use softpipe::{FrameArena, PipePool, Texture};
 use std::sync::Arc;
 
 /// How the texture-synthesis step is executed.
@@ -61,15 +61,29 @@ pub struct Pipeline {
     postprocess: bool,
     display: bool,
     arena: Option<Arc<FrameArena>>,
+    pool: Option<Arc<PipePool>>,
+    /// The persistent synthesis context, refreshed (not rebuilt) per frame
+    /// so the spot texture and pyramid survive across frames.
+    ctx: Option<SynthesisContext>,
     frames: u64,
 }
 
+/// Whether pipelines (and the service) pool pipe workers by default. The
+/// `SPOTNOISE_PIPE_POOL=off` environment switch flips the *default* to
+/// spawn-per-frame — this is what the CI matrix uses to run the whole test
+/// suite down the opt-out path; explicit [`Pipeline::set_pipe_pool`] calls
+/// always win.
+pub fn pipe_pool_default_enabled() -> bool {
+    std::env::var("SPOTNOISE_PIPE_POOL").map_or(true, |v| v != "off")
+}
+
 impl Pipeline {
-    /// Creates a pipeline for a field domain, with spots advected along
-    /// particle paths.
-    pub fn new(cfg: SynthesisConfig, mode: ExecutionMode, domain: Rect) -> Self {
-        cfg.validate().expect("invalid synthesis configuration");
-        let animator = SpotAnimator::new(domain, cfg.spot_count, PositionMode::Advected, cfg.seed);
+    fn from_parts(cfg: SynthesisConfig, mode: ExecutionMode, animator: SpotAnimator) -> Self {
+        let arena = Some(Arc::new(FrameArena::new()));
+        // The default pool shares the pipeline's arena so pooled workers
+        // recycle their partial readbacks into the same buffers the gather
+        // composes with.
+        let pool = pipe_pool_default_enabled().then(|| Arc::new(PipePool::new(arena.clone())));
         Pipeline {
             cfg,
             mode,
@@ -77,9 +91,19 @@ impl Pipeline {
             animator,
             postprocess: true,
             display: true,
-            arena: Some(Arc::new(FrameArena::new())),
+            arena,
+            pool,
+            ctx: None,
             frames: 0,
         }
+    }
+
+    /// Creates a pipeline for a field domain, with spots advected along
+    /// particle paths.
+    pub fn new(cfg: SynthesisConfig, mode: ExecutionMode, domain: Rect) -> Self {
+        cfg.validate().expect("invalid synthesis configuration");
+        let animator = SpotAnimator::new(domain, cfg.spot_count, PositionMode::Advected, cfg.seed);
+        Pipeline::from_parts(cfg, mode, animator)
     }
 
     /// Creates a pipeline with full control over the spot life cycle and
@@ -95,16 +119,7 @@ impl Pipeline {
         cfg.validate().expect("invalid synthesis configuration");
         let animator =
             SpotAnimator::with_options(domain, particle_options, position_mode, cfg.seed);
-        Pipeline {
-            cfg,
-            mode,
-            sched: SchedulerOptions::default(),
-            animator,
-            postprocess: true,
-            display: true,
-            arena: Some(Arc::new(FrameArena::new())),
-            frames: 0,
-        }
+        Pipeline::from_parts(cfg, mode, animator)
     }
 
     /// Enables or disables the display post-processing (spot filtering and
@@ -125,8 +140,38 @@ impl Pipeline {
     /// default; pass `None` to reproduce the classic allocate-per-frame
     /// behaviour (the `frame_arena_reuse` bench baseline), or share one
     /// arena across pipelines. Outputs are bit-identical either way.
+    ///
+    /// When the pipeline owns a pipe pool, the pool is rebuilt against the
+    /// new arena (pooled workers bake their arena in at spawn); a pool
+    /// installed explicitly via [`Pipeline::set_pipe_pool`] afterwards is
+    /// left alone, so set the arena *before* sharing a pool.
     pub fn set_frame_arena(&mut self, arena: Option<Arc<FrameArena>>) {
         self.arena = arena;
+        if self.pool.is_some() {
+            self.pool = Some(Arc::new(PipePool::new(self.arena.clone())));
+        }
+    }
+
+    /// Replaces the pipeline's pipe pool. Pipelines keep pipe workers alive
+    /// across frames by default; pass `None` to reproduce the classic
+    /// spawn-per-frame behaviour bit-identically (the `pipe_pool_reuse`
+    /// bench baseline), or share one pool across pipelines — the service
+    /// shares a single pool over all sessions. Build shared pools against
+    /// the same arena the pipelines compose with.
+    pub fn set_pipe_pool(&mut self, pool: Option<Arc<PipePool>>) {
+        self.pool = pool;
+    }
+
+    /// The pipeline's pipe pool, when worker pooling is enabled.
+    pub fn pipe_pool(&self) -> Option<&Arc<PipePool>> {
+        self.pool.as_ref()
+    }
+
+    /// The persistent synthesis context, once a divide-and-conquer frame
+    /// has been produced (`None` before the first frame and in sequential
+    /// mode). Exposed so tests can assert the expensive parts are reused.
+    pub fn synthesis_context(&self) -> Option<&SynthesisContext> {
+        self.ctx.as_ref()
     }
 
     /// The pipeline's frame arena, when pooling is enabled. Callers that
@@ -185,15 +230,28 @@ impl Pipeline {
         let cfg = self.cfg;
         let sched = self.sched;
         let arena = self.arena.as_ref();
+        let pool = self.pool.as_ref();
+        let ctx_slot = &mut self.ctx;
         let ((texture, dnc), synthesize_us) = timed(|| match mode {
             ExecutionMode::Sequential => {
                 let out = synthesize_sequential(field, &spots, &cfg);
                 (out.texture, None)
             }
             ExecutionMode::DivideAndConquer(machine) => {
-                let ctx = SynthesisContext::new(field, &cfg);
-                let out =
-                    synthesize_dnc_with_arena(field, &spots, &cfg, &machine, &ctx, &sched, arena);
+                // Refresh the persistent context instead of rebuilding it:
+                // the mapper and normaliser follow the (possibly advanced)
+                // field, while the spot texture and pyramid survive frames
+                // whose spot-shape parameters are unchanged.
+                let ctx = match ctx_slot {
+                    Some(ctx) => {
+                        ctx.refresh(field, &cfg);
+                        ctx
+                    }
+                    None => ctx_slot.insert(SynthesisContext::new(field, &cfg)),
+                };
+                let out = synthesize_dnc_with_arena(
+                    field, &spots, &cfg, &machine, ctx, &sched, arena, pool,
+                );
                 // Texture and report separate without cloning: the frame
                 // keeps the texture once instead of once per struct.
                 let (texture, report) = out.into_parts();

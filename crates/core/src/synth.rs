@@ -20,7 +20,12 @@ use std::sync::Arc;
 /// Everything that is shared by all spot-shape computations of one frame:
 /// the coordinate mapping, the speed normaliser and the spot-function
 /// texture. Building it once per frame keeps the per-spot work identical
-/// between the sequential and the parallel executors.
+/// between the sequential and the parallel executors; frame producers
+/// (the [`Pipeline`](crate::pipeline::Pipeline)) keep one context alive
+/// across frames and [`refresh`](SynthesisContext::refresh) it instead, so
+/// the expensive config-derived parts — the pre-rendered spot texture and
+/// its footprint pyramid — are rebuilt only when the parameters they
+/// depend on actually change.
 #[derive(Debug, Clone)]
 pub struct SynthesisContext {
     /// Field-to-pixel coordinate mapping.
@@ -36,6 +41,13 @@ pub struct SynthesisContext {
     /// shipped to every group's pipe by the preamble — present exactly when
     /// `sampling` is [`SamplingMode::Footprint`].
     pub spot_pyramid: Option<Arc<FootprintPyramid>>,
+    /// The spot-shape parameters `spot_texture` was rendered with —
+    /// `(spot_texture_size, spot_softness)` — so `refresh` can tell a
+    /// cosmetic frame boundary from a real invalidation.
+    spot_shape: (usize, f32),
+    /// Times the spot texture (and pyramid, when present) were rendered
+    /// over this context's lifetime. Telemetry for the reuse tests.
+    spot_texture_builds: u64,
 }
 
 impl SynthesisContext {
@@ -51,7 +63,49 @@ impl SynthesisContext {
             spot_texture,
             sampling: cfg.sampling,
             spot_pyramid,
+            spot_shape: (cfg.spot_texture_size, cfg.spot_softness),
+            spot_texture_builds: 1,
         }
+    }
+
+    /// Brings the context up to date for the next frame, rebuilding only
+    /// what the new `(field, cfg)` pair invalidates. The field-dependent
+    /// parts (coordinate mapper, speed normaliser) are recomputed every
+    /// call — fields advance between frames, and the 32×32 stats sweep that
+    /// feeds the normaliser is how the context *observes* that — but the
+    /// pre-rendered spot texture and its footprint pyramid are kept while
+    /// the spot-shape parameters and sampling mode are unchanged. The
+    /// refreshed context is indistinguishable from a freshly built one
+    /// (same values, shared or rebuilt), so frames are bit-identical either
+    /// way.
+    pub fn refresh(&mut self, field: &dyn VectorField, cfg: &SynthesisConfig) {
+        let stats = field_stats(field, 32, 32);
+        self.mapper = FieldToPixel::new(field.domain(), cfg.texture_size);
+        self.normalizer = SpeedNormalizer::from_stats(&stats);
+        let shape = (cfg.spot_texture_size, cfg.spot_softness);
+        if shape != self.spot_shape {
+            self.spot_texture =
+                Arc::new(disc_spot_texture(cfg.spot_texture_size, cfg.spot_softness));
+            self.spot_pyramid = None;
+            self.spot_shape = shape;
+            self.spot_texture_builds += 1;
+        }
+        self.sampling = cfg.sampling;
+        match cfg.sampling {
+            SamplingMode::Footprint if self.spot_pyramid.is_none() => {
+                self.spot_pyramid = Some(Arc::new(FootprintPyramid::build(Arc::clone(
+                    &self.spot_texture,
+                ))));
+            }
+            SamplingMode::Footprint => {}
+            SamplingMode::Exact => self.spot_pyramid = None,
+        }
+    }
+
+    /// Times the spot texture was rendered over this context's lifetime
+    /// (1 for a fresh context; unchanged by refreshes that reuse it).
+    pub fn spot_texture_builds(&self) -> u64 {
+        self.spot_texture_builds
     }
 
     /// Builds the geometry job for one spot (dispatching on the spot kind).
@@ -272,6 +326,73 @@ mod tests {
         assert_eq!(
             out.pipe.raster.vertices as usize,
             cfg.vertices_per_texture()
+        );
+    }
+
+    #[test]
+    fn refresh_reuses_the_spot_texture_until_its_parameters_change() {
+        let cfg = SynthesisConfig::small_test();
+        let field = vortex();
+        let mut ctx = SynthesisContext::new(&field, &cfg);
+        assert_eq!(ctx.spot_texture_builds(), 1);
+        let original = Arc::clone(&ctx.spot_texture);
+
+        // Frame-to-frame refresh with unchanged shape parameters: the spot
+        // texture is the very same allocation, and the refreshed context
+        // matches a freshly built one value for value.
+        ctx.refresh(&field, &cfg);
+        assert!(Arc::ptr_eq(&ctx.spot_texture, &original));
+        assert_eq!(ctx.spot_texture_builds(), 1);
+        let fresh = SynthesisContext::new(&field, &cfg);
+        assert_eq!(
+            fresh.spot_texture.absolute_difference(&ctx.spot_texture),
+            0.0
+        );
+
+        // A changed spot shape invalidates the texture...
+        let resized = SynthesisConfig {
+            spot_texture_size: cfg.spot_texture_size * 2,
+            ..cfg
+        };
+        ctx.refresh(&field, &resized);
+        assert!(!Arc::ptr_eq(&ctx.spot_texture, &original));
+        assert_eq!(ctx.spot_texture_builds(), 2);
+        assert_eq!(ctx.spot_texture.width(), resized.spot_texture_size);
+
+        // ...and flipping the sampling mode builds (then drops) the
+        // pyramid without touching the texture.
+        let footprint = SynthesisConfig {
+            sampling: SamplingMode::Footprint,
+            ..resized
+        };
+        ctx.refresh(&field, &footprint);
+        assert!(ctx.spot_pyramid.is_some());
+        assert_eq!(ctx.spot_texture_builds(), 2);
+        ctx.refresh(&field, &resized);
+        assert!(ctx.spot_pyramid.is_none());
+    }
+
+    #[test]
+    fn refresh_tracks_the_field_between_frames() {
+        // The mapper and normaliser must follow the field: refreshing onto
+        // a field with different statistics yields the same context a fresh
+        // build would.
+        let cfg = SynthesisConfig::small_test();
+        let slow = Uniform {
+            velocity: Vec2::new(0.1, 0.0),
+            domain: domain(),
+        };
+        let fast = Uniform {
+            velocity: Vec2::new(5.0, 0.0),
+            domain: domain(),
+        };
+        let mut ctx = SynthesisContext::new(&slow, &cfg);
+        ctx.refresh(&fast, &cfg);
+        let fresh = SynthesisContext::new(&fast, &cfg);
+        assert_eq!(
+            ctx.normalizer.normalize(2.5),
+            fresh.normalizer.normalize(2.5),
+            "refreshed normaliser diverged from a fresh build"
         );
     }
 

@@ -11,6 +11,14 @@
 //! them), so after the first frame the hot loop touches only warm,
 //! already-mapped memory.
 //!
+//! Textures are pooled **per size class** (texel count): a checkout is only
+//! served from a buffer of exactly the requested texel count, never by
+//! reshaping a differently-sized one. One arena can therefore be shared by
+//! sessions rendering different frame sizes — a 128² session and a 512²
+//! session each reuse their own buffers — without the alternating
+//! reallocation thrash a single mixed pool would cause (a 128² buffer grown
+//! to 512² and back reallocates on every alternation).
+//!
 //! The arena is shared across threads (masters, pipe workers and the gather
 //! all check buffers in and out), so every method takes `&self` and the pools
 //! live behind mutexes held only for the O(1) push/pop — never during
@@ -24,9 +32,10 @@ use crate::texture::Texture;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
 
-/// Maximum buffers kept per pool; beyond this, returned buffers are dropped.
-/// A frame needs one texture per process group plus the gather target, so 32
-/// covers any plausible machine shape without hoarding memory after a burst.
+/// Maximum buffers kept per texture size class (and for the command-vector
+/// pool); beyond this, returned buffers are dropped. A frame needs one
+/// texture per process group plus the gather target, so 32 covers any
+/// plausible machine shape without hoarding memory after a burst.
 const MAX_POOLED: usize = 32;
 
 /// Counter snapshot of an arena (telemetry for tests and the bench).
@@ -42,10 +51,22 @@ pub struct ArenaStats {
     pub command_reuses: u64,
 }
 
+/// One texture size class: all pooled buffers of a given texel count.
+/// Size classes are kept in a small association list rather than a hash
+/// map — an arena sees a handful of frame sizes at most, a linear scan is
+/// free next to the lock, and (measured) instantiating a `HashMap` here
+/// perturbs codegen of the rasterizer hot loops elsewhere in this crate.
+#[derive(Debug)]
+struct SizeClass {
+    texels: usize,
+    pool: Vec<Texture>,
+}
+
 /// A shared pool of framebuffer-sized textures and render-command vectors.
 #[derive(Debug, Default)]
 pub struct FrameArena {
-    textures: Mutex<Vec<Texture>>,
+    /// Texture pools, one per size class (texel count).
+    textures: Mutex<Vec<SizeClass>>,
     commands: Mutex<Vec<Vec<RenderCommand>>>,
     texture_allocations: AtomicU64,
     texture_reuses: AtomicU64,
@@ -60,7 +81,8 @@ impl FrameArena {
     }
 
     /// Checks out a zeroed `width` × `height` texture (the [`Texture::new`]
-    /// contract), reusing a pooled allocation when one is available.
+    /// contract), reusing a pooled allocation of the same texel count when
+    /// one is available.
     pub fn texture_zeroed(&self, width: usize, height: usize) -> Texture {
         self.texture(width, height, true)
     }
@@ -75,10 +97,19 @@ impl FrameArena {
     }
 
     fn texture(&self, width: usize, height: usize, zero: bool) -> Texture {
-        let pooled = self.textures.lock().expect("arena poisoned").pop();
+        let texels = width * height;
+        let pooled = self
+            .textures
+            .lock()
+            .expect("arena poisoned")
+            .iter_mut()
+            .find(|class| class.texels == texels)
+            .and_then(|class| class.pool.pop());
         match pooled {
             Some(mut t) => {
                 self.texture_reuses.fetch_add(1, Ordering::Relaxed);
+                // Same texel count by construction: reset only reshapes (and
+                // optionally zeroes) — it can never reallocate.
                 t.reset(width, height, zero);
                 t
             }
@@ -89,12 +120,22 @@ impl FrameArena {
         }
     }
 
-    /// Returns a texture to the pool for a later checkout. Dimensions need
-    /// not match future requests — [`Texture::reset`] reshapes in place.
+    /// Returns a texture to its size class's pool for a later checkout.
     pub fn recycle_texture(&self, texture: Texture) {
-        let mut pool = self.textures.lock().expect("arena poisoned");
-        if pool.len() < MAX_POOLED {
-            pool.push(texture);
+        let texels = texture.data().len();
+        let mut classes = self.textures.lock().expect("arena poisoned");
+        let class = match classes.iter_mut().find(|class| class.texels == texels) {
+            Some(class) => class,
+            None => {
+                classes.push(SizeClass {
+                    texels,
+                    pool: Vec::new(),
+                });
+                classes.last_mut().expect("just pushed")
+            }
+        };
+        if class.pool.len() < MAX_POOLED {
+            class.pool.push(texture);
         }
     }
 
@@ -127,8 +168,18 @@ impl FrameArena {
         }
     }
 
-    /// Number of textures currently pooled.
+    /// Number of textures currently pooled, over all size classes.
     pub fn pooled_textures(&self) -> usize {
+        self.textures
+            .lock()
+            .expect("arena poisoned")
+            .iter()
+            .map(|class| class.pool.len())
+            .sum()
+    }
+
+    /// Number of distinct texture size classes currently pooled.
+    pub fn texture_size_classes(&self) -> usize {
         self.textures.lock().expect("arena poisoned").len()
     }
 
@@ -165,9 +216,47 @@ mod tests {
         let mut t = arena.texture_uninit(8, 8);
         t.fill(1.0);
         arena.recycle_texture(t);
+        // Same texel count, different shape: served from the pool (reshape
+        // in place, no reallocation).
         let t = arena.texture_uninit(4, 16);
         assert_eq!((t.width(), t.height()), (4, 16));
         assert_eq!(t.data().len(), 64);
+        let s = arena.stats();
+        assert_eq!((s.texture_allocations, s.texture_reuses), (1, 1));
+    }
+
+    #[test]
+    fn checkouts_never_cross_size_classes() {
+        let arena = FrameArena::new();
+        arena.recycle_texture(Texture::new(8, 8));
+        // A differently-sized checkout must allocate fresh instead of
+        // reshaping the 8x8 buffer (which would reallocate its storage).
+        let big = arena.texture_zeroed(32, 32);
+        assert_eq!(big.data().len(), 32 * 32);
+        let s = arena.stats();
+        assert_eq!((s.texture_allocations, s.texture_reuses), (1, 0));
+        // The 8x8 buffer is still pooled for its own size class.
+        let small = arena.texture_zeroed(8, 8);
+        assert_eq!(small.data().len(), 64);
+        assert_eq!(arena.stats().texture_reuses, 1);
+        assert_eq!(arena.texture_size_classes(), 1);
+    }
+
+    #[test]
+    fn mixed_sizes_reach_steady_state_without_realloc_thrash() {
+        // Alternating checkouts of two sizes: after one buffer per size
+        // class exists, every further checkout is a reuse.
+        let arena = FrameArena::new();
+        for _ in 0..8 {
+            let small = arena.texture_zeroed(8, 8);
+            let big = arena.texture_uninit(32, 32);
+            arena.recycle_texture(small);
+            arena.recycle_texture(big);
+        }
+        let s = arena.stats();
+        assert_eq!(s.texture_allocations, 2, "one allocation per size class");
+        assert_eq!(s.texture_reuses, 14);
+        assert_eq!(arena.texture_size_classes(), 2);
     }
 
     #[test]
@@ -184,12 +273,17 @@ mod tests {
     }
 
     #[test]
-    fn pool_is_bounded() {
+    fn pool_is_bounded_per_size_class() {
         let arena = FrameArena::new();
         for _ in 0..2 * MAX_POOLED {
             arena.recycle_texture(Texture::new(2, 2));
         }
         assert_eq!(arena.pooled_textures(), MAX_POOLED);
+        // A second size class has its own bound.
+        for _ in 0..2 * MAX_POOLED {
+            arena.recycle_texture(Texture::new(4, 4));
+        }
+        assert_eq!(arena.pooled_textures(), 2 * MAX_POOLED);
     }
 
     #[test]

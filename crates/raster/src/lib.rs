@@ -19,6 +19,7 @@
 //! * [`framebuffer`] — RGB framebuffer and PPM export for the final scene,
 //! * [`state`] — the OpenGL-like state machine with change counting,
 //! * [`pipe`] — synchronous pipe core and threaded [`pipe::GraphicsPipe`],
+//! * [`pool`] — persistent pipe workers checked out per frame,
 //! * [`compose`] — gathering/blending partial textures (the sequential step),
 //! * [`bus`] — host-to-graphics bus traffic accounting,
 //! * [`cost`] — the Onyx2-calibrated cost model,
@@ -35,6 +36,7 @@ pub mod framebuffer;
 pub mod machine;
 pub mod mesh;
 pub mod pipe;
+pub mod pool;
 pub mod raster;
 pub mod state;
 pub mod texture;
@@ -48,6 +50,7 @@ pub use framebuffer::{Framebuffer, Rgb};
 pub use machine::MachineConfig;
 pub use mesh::TexturedMesh;
 pub use pipe::{GraphicsPipe, PipeCore, PipeOutput, RenderCommand};
+pub use pool::{PipePool, PoolStats, PooledPipe};
 pub use raster::{RasterStats, Vertex};
 pub use state::{SamplingMode, StateChangeStats, StateMachine, Transform2};
 pub use texture::{disc_spot_texture, gaussian_spot_texture, FootprintPyramid, Texture};

@@ -7,7 +7,7 @@
 //! misbehaving client cannot balloon memory.
 
 use spotnoise::json::Json;
-use std::io::{self, BufRead, Read, Write};
+use std::io::{self, BufRead, BufReader, Read, Write};
 use std::sync::Arc;
 
 /// Upper bound on the request head (request line + headers).
@@ -48,7 +48,24 @@ fn read_line_capped(reader: &mut impl BufRead, cap: usize, line: &mut String) ->
 /// Reads one request from a buffered stream. `Ok(None)` is a clean
 /// end-of-stream before a request line (the client hung up between
 /// keep-alive requests).
-pub fn read_request(reader: &mut impl BufRead) -> io::Result<Option<Request>> {
+///
+/// # Keep-alive framing
+///
+/// A body-bearing request **must** announce its body with
+/// `Content-Length`; this parser supports no other framing (chunked
+/// encoding is rejected as unframeable for the same reason). A client that
+/// sends a body without one would desync the stream — the body bytes would
+/// be parsed as the next request's head. When body-method requests
+/// (`POST`/`PUT`/`PATCH`) omit the header *and* more bytes are already
+/// buffered behind the head (i.e. an unannounced body demonstrably
+/// arrived), the parser fails with [`io::ErrorKind::InvalidInput`], which
+/// the server maps to `411 Length Required` + connection close. A
+/// body-method request with no header and nothing buffered is treated as
+/// bodyless (a bare `POST /shutdown` is legal); if an unannounced body
+/// trickles in later it can no longer be mistaken for a response to *this*
+/// request — the next head parse fails with a 400 and the connection
+/// closes, so the stream never serves desynced answers.
+pub fn read_request<R: Read>(reader: &mut BufReader<R>) -> io::Result<Option<Request>> {
     let mut line = String::new();
     if read_line_capped(reader, MAX_HEAD_BYTES, &mut line)? == 0 {
         return Ok(None);
@@ -64,7 +81,8 @@ pub fn read_request(reader: &mut impl BufRead) -> io::Result<Option<Request>> {
         }
     };
 
-    let mut content_length = 0usize;
+    let mut content_length: Option<usize> = None;
+    let mut chunked = false;
     // HTTP/1.1 defaults to keep-alive; HTTP/1.0 to close.
     let mut keep_alive = version != "HTTP/1.0";
     let mut head_bytes = line.len();
@@ -91,17 +109,38 @@ pub fn read_request(reader: &mut impl BufRead) -> io::Result<Option<Request>> {
         if let Some((name, value)) = header.split_once(':') {
             let value = value.trim();
             if name.eq_ignore_ascii_case("content-length") {
-                content_length = value.parse().map_err(|_| {
+                content_length = Some(value.parse().map_err(|_| {
                     io::Error::new(
                         io::ErrorKind::InvalidData,
                         format!("bad content-length {value:?}"),
                     )
-                })?;
+                })?);
             } else if name.eq_ignore_ascii_case("connection") {
                 keep_alive = !value.eq_ignore_ascii_case("close");
+            } else if name.eq_ignore_ascii_case("transfer-encoding") {
+                chunked = true;
             }
         }
     }
+    let body_method = matches!(method.as_str(), "POST" | "PUT" | "PATCH");
+    if chunked || (content_length.is_none() && body_method && !reader.buffer().is_empty()) {
+        // Either an explicitly unframeable body (any Transfer-Encoding —
+        // rejected even alongside a Content-Length, which RFC 7230 treats
+        // as a smuggling vector: honouring the length would leave the
+        // chunk framing in the stream as a phantom next request), or bytes
+        // already buffered behind a body-method head that announced no
+        // length: parsing on would desync the stream. Note the deliberate
+        // trade-off in the buffered-bytes heuristic: a client that
+        // pipelines a *bodyless* POST with its next request in one segment
+        // is also answered 411 — none of this API's clients pipeline
+        // POSTs, and such a client can disambiguate by sending
+        // `Content-Length: 0`.
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidInput,
+            "body without content-length",
+        ));
+    }
+    let content_length = content_length.unwrap_or(0);
     if content_length > MAX_BODY_BYTES {
         return Err(io::Error::new(
             io::ErrorKind::InvalidData,
@@ -142,6 +181,7 @@ pub fn status_text(status: u16) -> &'static str {
         400 => "Bad Request",
         404 => "Not Found",
         405 => "Method Not Allowed",
+        411 => "Length Required",
         413 => "Payload Too Large",
         500 => "Internal Server Error",
         503 => "Service Unavailable",
@@ -280,6 +320,55 @@ mod tests {
         }
         raw.extend(b"\r\n");
         assert!(read_request(&mut BufReader::new(&raw[..])).is_err());
+    }
+
+    #[test]
+    fn unannounced_post_body_is_length_required_not_desync() {
+        // The body bytes sit right behind the head with no Content-Length:
+        // parsing must stop with InvalidInput (-> 411 + close), NOT succeed
+        // and leave the body to be parsed as the next request head.
+        let raw = b"POST /sessions HTTP/1.1\r\nHost: x\r\n\r\n{\"field\": {\"kind\": \"shear\"}}";
+        let err = read_request(&mut BufReader::new(&raw[..])).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidInput);
+
+        // Same for PUT/PATCH.
+        let raw = b"PUT /x HTTP/1.1\r\n\r\nbody";
+        let err = read_request(&mut BufReader::new(&raw[..])).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidInput);
+
+        // A chunked body is unframeable for this parser regardless of
+        // buffering, so it is refused up front.
+        let raw = b"POST /x HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n4\r\nwxyz\r\n0\r\n\r\n";
+        let err = read_request(&mut BufReader::new(&raw[..])).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidInput);
+
+        // Transfer-Encoding alongside Content-Length is the classic
+        // request-smuggling shape: honouring the length would leave the
+        // chunk framing in the stream as a phantom next request, so it is
+        // refused too.
+        let raw = b"POST /x HTTP/1.1\r\nTransfer-Encoding: chunked\r\nContent-Length: 5\r\n\r\n4\r\nwxyz\r\n0\r\n\r\n";
+        let err = read_request(&mut BufReader::new(&raw[..])).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidInput);
+    }
+
+    #[test]
+    fn bodyless_post_without_content_length_is_accepted() {
+        // `curl -X POST /shutdown` sends no body and no Content-Length;
+        // that must keep working.
+        let raw = b"POST /shutdown HTTP/1.1\r\nHost: x\r\n\r\n";
+        let req = read_request(&mut BufReader::new(&raw[..]))
+            .unwrap()
+            .unwrap();
+        assert_eq!(req.method, "POST");
+        assert!(req.body.is_empty());
+        // GETs never carry bodies; trailing buffered bytes are a pipelined
+        // next request, not a desynced body.
+        let raw = b"GET /stats HTTP/1.1\r\n\r\nGET /healthz HTTP/1.1\r\n\r\n";
+        let mut reader = BufReader::new(&raw[..]);
+        let first = read_request(&mut reader).unwrap().unwrap();
+        assert_eq!(first.path, "/stats");
+        let second = read_request(&mut reader).unwrap().unwrap();
+        assert_eq!(second.path, "/healthz");
     }
 
     #[test]

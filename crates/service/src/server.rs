@@ -13,10 +13,13 @@ use crate::cache::FrameCache;
 use crate::http::{read_request, Request, Response};
 use crate::queue::{AdmissionConfig, AdmissionError, FrameQueue};
 use crate::session::{
-    format_session_id, parse_session_id, RegistryError, RenderError, SessionRegistry,
+    format_session_id, parse_session_id, InFlightGuard, RegistryError, RenderError, Session,
+    SessionRegistry, SharedPools,
 };
 use crate::spec::{FieldSpec, SessionSpec};
+use softpipe::{FrameArena, PipePool};
 use spotnoise::json::Json;
+use spotnoise::pipeline::pipe_pool_default_enabled;
 use std::io::BufReader;
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -93,7 +96,18 @@ pub struct FrameResult {
 
 struct FrameJob {
     frame: u64,
+    /// The session the frame is rendered on. Carried in the job — the
+    /// worker never re-resolves the id through the registry, so an
+    /// admitted request renders even if its session is closed or evicted
+    /// in the instant between the requester's registry lookup and the
+    /// in-flight guard taking effect.
+    session: Arc<Mutex<Session>>,
     reply: mpsc::Sender<Result<FrameResult, ServiceError>>,
+    /// Holds the session's in-flight count from admission until the worker
+    /// has finished (the job is dropped after execution — or on shed —
+    /// which releases the guard), so idle eviction cannot reap the session
+    /// while this job waits in the queue.
+    _guard: InFlightGuard,
 }
 
 /// Monotonic service-wide counters (lock-free; written by workers and
@@ -113,6 +127,9 @@ pub struct Service {
     registry: Mutex<SessionRegistry>,
     cache: Mutex<FrameCache>,
     queue: FrameQueue<FrameJob>,
+    /// Service-wide frame-buffer arena and pipe-worker pool, shared by all
+    /// sessions (both size-keyed, so mixed frame sizes never collide).
+    pools: SharedPools,
     counters: ServiceCounters,
     shutdown: AtomicBool,
     started: Instant,
@@ -125,19 +142,41 @@ impl Service {
     /// Creates a service with no front end attached (the API used by unit
     /// tests and in-process embedding; [`serve`] adds the TCP front end).
     pub fn new(options: ServiceOptions) -> Arc<Service> {
+        let arena = Arc::new(FrameArena::new());
+        // One persistent-pipe pool for the whole service, sized by the
+        // session cap: every admitted session can keep one warm pipe per
+        // typical process group. `SPOTNOISE_PIPE_POOL=off` reverts the
+        // service to spawn-per-frame (the CI opt-out matrix leg).
+        let pipes = pipe_pool_default_enabled().then(|| {
+            Arc::new(PipePool::with_capacity(
+                Some(Arc::clone(&arena)),
+                options.max_sessions.saturating_mul(2).max(8),
+            ))
+        });
+        let pools = SharedPools {
+            arena: Some(arena),
+            pipes,
+        };
         Arc::new(Service {
-            registry: Mutex::new(SessionRegistry::new(
+            registry: Mutex::new(SessionRegistry::with_pools(
                 options.max_sessions,
                 options.idle_timeout,
+                pools.clone(),
             )),
             cache: Mutex::new(FrameCache::new(options.cache_bytes)),
             queue: FrameQueue::new(options.admission),
+            pools,
             counters: ServiceCounters::default(),
             shutdown: AtomicBool::new(false),
             started: Instant::now(),
             addr: Mutex::new(None),
             options,
         })
+    }
+
+    /// The service-wide pools every session's pipeline composes on.
+    pub fn pools(&self) -> &SharedPools {
+        &self.pools
     }
 
     /// The options the service was built with.
@@ -198,10 +237,13 @@ impl Service {
             .expect("registry poisoned")
             .get(id)
             .ok_or(ServiceError::NotFound)?;
-        let key = {
+        let (key, guard) = {
             let mut s = session.lock().expect("session poisoned");
             s.touch();
-            s.key_for(frame)
+            // Mark the prospective job in-flight *before* the cache check
+            // and submission: from here until the worker finishes, idle
+            // eviction must not reap the session.
+            (s.key_for(frame), s.begin_job())
         };
         if let Some(bytes) = self.cache.lock().expect("cache poisoned").lookup(key) {
             session.lock().expect("session poisoned").note_served(frame);
@@ -212,7 +254,15 @@ impl Service {
             });
         }
         let (tx, rx) = mpsc::channel();
-        match self.queue.submit(id, FrameJob { frame, reply: tx }) {
+        match self.queue.submit(
+            id,
+            FrameJob {
+                frame,
+                session: Arc::clone(&session),
+                reply: tx,
+                _guard: guard,
+            },
+        ) {
             Ok(()) => {}
             Err(AdmissionError::Busy) => return Err(ServiceError::Busy("queue")),
             Err(AdmissionError::SessionBusy) => return Err(ServiceError::Busy("session")),
@@ -246,8 +296,8 @@ impl Service {
 
     /// One synthesis worker: drains the queue until it closes.
     fn worker_loop(&self) {
-        while let Some((session_id, job)) = self.queue.pop() {
-            let outcome = self.execute(session_id, &job);
+        while let Some((_session_id, job)) = self.queue.pop() {
+            let outcome = self.execute(&job);
             // A hung-up client (timeout, disconnect) makes send fail; the
             // work is already done and cached, so that is not an error.
             let _ = job.reply.send(outcome);
@@ -255,14 +305,11 @@ impl Service {
         }
     }
 
-    fn execute(&self, session_id: u64, job: &FrameJob) -> Result<FrameResult, ServiceError> {
-        let session = self
-            .registry
-            .lock()
-            .expect("registry poisoned")
-            .get(session_id)
-            .ok_or(ServiceError::NotFound)?;
-        let mut s = session.lock().expect("session poisoned");
+    fn execute(&self, job: &FrameJob) -> Result<FrameResult, ServiceError> {
+        // The job carries its session handle; no registry re-lookup, so an
+        // admitted request can never turn into a spurious NotFound however
+        // the registry changed while the job was queued.
+        let mut s = job.session.lock().expect("session poisoned");
         // Re-check the cache: a racing request for the same frame may have
         // rendered it while this job queued.
         let key = s.key_for(job.frame);
@@ -409,6 +456,22 @@ impl Service {
                     ("shed_session", Json::num(q.shed_session as f64)),
                     ("completed", Json::num(q.completed as f64)),
                 ]),
+            ),
+            (
+                "pipes",
+                match &self.pools.pipes {
+                    Some(pool) => {
+                        let p = pool.stats();
+                        Json::object([
+                            ("pooled", Json::Bool(true)),
+                            ("spawned", Json::num(p.spawned as f64)),
+                            ("reused", Json::num(p.reused as f64)),
+                            ("retired", Json::num(p.retired as f64)),
+                            ("idle", Json::num(p.idle as f64)),
+                        ])
+                    }
+                    None => Json::object([("pooled", Json::Bool(false))]),
+                },
             ),
             (
                 "http",
@@ -689,6 +752,18 @@ fn handle_connection(service: Arc<Service>, stream: TcpStream) {
             Err(e) if e.kind() == std::io::ErrorKind::InvalidData => {
                 let _ = Response::error(400, "bad_request", "malformed request")
                     .write_to(&mut writer, false);
+                break;
+            }
+            // A body-bearing request without Content-Length: the unframed
+            // body would desync the stream, so answer 411 and close (the
+            // close discards whatever body bytes follow).
+            Err(e) if e.kind() == std::io::ErrorKind::InvalidInput => {
+                let _ = Response::error(
+                    411,
+                    "length_required",
+                    "request bodies must be framed with Content-Length",
+                )
+                .write_to(&mut writer, false);
                 break;
             }
             Err(_) => break,

@@ -17,11 +17,27 @@ use crate::cache::FrameKey;
 use crate::spec::{service_domain, FieldSpec, SessionSpec};
 use flowfield::VectorField;
 use softpipe::machine::MachineConfig;
+use softpipe::{FrameArena, PipePool};
 use spotnoise::metrics::StageTimings;
 use spotnoise::pipeline::{ExecutionMode, Pipeline};
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
+
+/// Service-wide buffer and worker pools attached to every session's
+/// pipeline. Sharing one arena and one pipe pool across sessions keeps the
+/// steady state zero-alloc and zero-spawn even as sessions come and go —
+/// both pools are size-keyed, so sessions with different frame sizes never
+/// exchange buffers or pipes. A `None` member leaves the pipeline's own
+/// per-session default in place.
+#[derive(Debug, Clone, Default)]
+pub struct SharedPools {
+    /// Frame-buffer arena shared by all sessions.
+    pub arena: Option<Arc<FrameArena>>,
+    /// Persistent pipe-worker pool shared by all sessions.
+    pub pipes: Option<Arc<PipePool>>,
+}
 
 /// Why a frame could not be rendered.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -52,6 +68,14 @@ pub struct Session {
     spec: SessionSpec,
     field: Box<dyn VectorField + Send + Sync>,
     pipeline: Pipeline,
+    /// The shared pools the pipeline is (re)attached to — kept so steer and
+    /// rewind rebuilds stay on the shared buffers and warm pipe workers.
+    shared: SharedPools,
+    /// Frame jobs admitted for this session but not yet finished by a
+    /// worker. Idle eviction skips sessions with in-flight work: the
+    /// session lock alone only covers *running* synthesis, while this
+    /// covers the queued-but-not-yet-popped window too.
+    in_flight: Arc<AtomicUsize>,
     field_key: u64,
     config_key: u64,
     last_touch: Instant,
@@ -68,7 +92,7 @@ pub struct Session {
     next_advance: u64,
 }
 
-fn build_pipeline(spec: &SessionSpec) -> Pipeline {
+fn build_pipeline(spec: &SessionSpec, shared: &SharedPools) -> Pipeline {
     let machine = MachineConfig::new(spec.processors, spec.pipes);
     let mut pipeline = Pipeline::new(
         spec.config,
@@ -80,6 +104,16 @@ fn build_pipeline(spec: &SessionSpec) -> Pipeline {
     // a framebuffer-sized allocation + pass per frame.
     pipeline.set_postprocess(false);
     pipeline.set_display_enabled(false);
+    // Attach the service-wide pools (arena first: replacing the arena
+    // rebuilds a pipeline-owned pipe pool, which the shared pool then
+    // replaces). A session rebuilt after a steer or rewind lands back on
+    // the same warm buffers and workers.
+    if let Some(arena) = &shared.arena {
+        pipeline.set_frame_arena(Some(Arc::clone(arena)));
+    }
+    if let Some(pool) = &shared.pipes {
+        pipeline.set_pipe_pool(Some(Arc::clone(pool)));
+    }
     pipeline
 }
 
@@ -93,12 +127,32 @@ pub fn texture_bytes(texture: &softpipe::Texture) -> Vec<u8> {
     out
 }
 
+/// RAII marker for one admitted-but-unfinished frame job: holds the
+/// session's in-flight count up until the worker has finished (or the job
+/// was shed/dropped), which is what keeps idle eviction away from sessions
+/// with queued work.
+pub struct InFlightGuard(Arc<AtomicUsize>);
+
+impl Drop for InFlightGuard {
+    fn drop(&mut self) {
+        self.0.fetch_sub(1, Ordering::SeqCst);
+    }
+}
+
 impl Session {
-    /// Creates a session from a validated spec.
+    /// Creates a session from a validated spec, with per-session default
+    /// pools.
     pub fn new(spec: SessionSpec) -> Self {
+        Session::with_pools(spec, SharedPools::default())
+    }
+
+    /// Creates a session whose pipeline composes on the given shared pools.
+    pub fn with_pools(spec: SessionSpec, shared: SharedPools) -> Self {
         Session {
             field: spec.field.build(),
-            pipeline: build_pipeline(&spec),
+            pipeline: build_pipeline(&spec, &shared),
+            shared,
+            in_flight: Arc::new(AtomicUsize::new(0)),
             field_key: spec.field.cache_key(),
             config_key: spec.config_cache_key(),
             last_touch: Instant::now(),
@@ -108,6 +162,20 @@ impl Session {
             next_advance: 0,
             spec,
         }
+    }
+
+    /// Marks one frame job as admitted for this session; the returned guard
+    /// releases the mark when dropped. Take it *before* submitting to the
+    /// admission queue and keep it alive through synthesis, so eviction can
+    /// never reap the session between queue pop and render.
+    pub fn begin_job(&self) -> InFlightGuard {
+        self.in_flight.fetch_add(1, Ordering::SeqCst);
+        InFlightGuard(Arc::clone(&self.in_flight))
+    }
+
+    /// Number of admitted-but-unfinished frame jobs.
+    pub fn in_flight(&self) -> usize {
+        self.in_flight.load(Ordering::SeqCst)
     }
 
     /// The session's spec.
@@ -179,7 +247,7 @@ impl Session {
         self.spec.field = field;
         self.field = field.build();
         self.field_key = field.cache_key();
-        self.pipeline = build_pipeline(&self.spec);
+        self.pipeline = build_pipeline(&self.spec, &self.shared);
         self.steers += 1;
         self.next_advance = 0;
         self.touch();
@@ -199,7 +267,7 @@ impl Session {
         self.touch();
         if index < self.pipeline.frames() {
             // The session is past the requested frame: replay from the seed.
-            self.pipeline = build_pipeline(&self.spec);
+            self.pipeline = build_pipeline(&self.spec, &self.shared);
             self.rewinds += 1;
         }
         // The rewind above guarantees frames() <= index, so this subtraction
@@ -259,6 +327,8 @@ pub struct SessionRegistry {
     next_id: u64,
     max_sessions: usize,
     idle_timeout: Duration,
+    /// Pools attached to every created session's pipeline.
+    shared: SharedPools,
     created: u64,
     evicted: u64,
     closed: u64,
@@ -275,13 +345,21 @@ pub fn parse_session_id(text: &str) -> Option<u64> {
 }
 
 impl SessionRegistry {
-    /// Creates a registry enforcing the given cap and idle timeout.
+    /// Creates a registry enforcing the given cap and idle timeout, with
+    /// per-session default pools.
     pub fn new(max_sessions: usize, idle_timeout: Duration) -> Self {
+        SessionRegistry::with_pools(max_sessions, idle_timeout, SharedPools::default())
+    }
+
+    /// Like [`SessionRegistry::new`], attaching the given shared pools to
+    /// every session it creates.
+    pub fn with_pools(max_sessions: usize, idle_timeout: Duration, shared: SharedPools) -> Self {
         SessionRegistry {
             sessions: HashMap::new(),
             next_id: 1,
             max_sessions,
             idle_timeout,
+            shared,
             created: 0,
             evicted: 0,
             closed: 0,
@@ -298,7 +376,7 @@ impl SessionRegistry {
         }
         let id = self.next_id;
         self.next_id += 1;
-        let session = Arc::new(Mutex::new(Session::new(spec)));
+        let session = Arc::new(Mutex::new(Session::with_pools(spec, self.shared.clone())));
         self.sessions.insert(id, Arc::clone(&session));
         self.created += 1;
         Ok((id, session))
@@ -319,14 +397,18 @@ impl SessionRegistry {
     }
 
     /// Removes sessions idle for longer than the timeout. A session whose
-    /// lock is currently held is in use by definition and is skipped.
+    /// lock is currently held is in use by definition and is skipped — and
+    /// so is a session with admitted-but-unfinished frame jobs
+    /// ([`Session::in_flight`]): a queued job holds no lock yet, but
+    /// evicting its session between queue pop and synthesis would turn an
+    /// admitted request into a spurious `404`.
     pub fn evict_idle(&mut self) -> usize {
         let timeout = self.idle_timeout;
         let victims: Vec<u64> = self
             .sessions
             .iter()
             .filter_map(|(&id, session)| match session.try_lock() {
-                Ok(s) if s.idle_for() > timeout => Some(id),
+                Ok(s) if s.idle_for() > timeout && s.in_flight() == 0 => Some(id),
                 _ => None,
             })
             .collect();
@@ -504,6 +586,26 @@ mod tests {
         // Touched sessions are not idle.
         busy_handle.lock().unwrap().touch();
         assert_eq!(r.evict_idle(), 0);
+    }
+
+    #[test]
+    fn queued_work_blocks_eviction_until_the_guard_drops() {
+        let mut r = SessionRegistry::new(8, Duration::from_millis(5));
+        let (id, handle) = r.create(quick_spec()).unwrap();
+        // A job is admitted but no worker has popped it yet: the session
+        // lock is free, only the in-flight guard marks the pending work.
+        let guard = handle.lock().unwrap().begin_job();
+        std::thread::sleep(Duration::from_millis(20));
+        assert_eq!(r.evict_idle(), 0, "evicted a session with queued work");
+        assert!(r.get(id).is_some());
+        // Overlapping jobs: the session stays protected until the last one
+        // finishes.
+        let second = handle.lock().unwrap().begin_job();
+        drop(guard);
+        assert_eq!(r.evict_idle(), 0);
+        drop(second);
+        assert_eq!(r.evict_idle(), 1);
+        assert!(r.get(id).is_none());
     }
 
     #[test]

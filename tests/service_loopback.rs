@@ -282,6 +282,41 @@ fn session_lifecycle_crud_and_idle_eviction_over_http() {
 }
 
 #[test]
+fn unframed_post_body_gets_411_and_a_closed_connection() {
+    use std::io::{Read, Write};
+
+    let handle = serve("127.0.0.1:0", ServiceOptions::default()).expect("bind loopback");
+    // Raw socket: a POST whose body was sent without Content-Length. The
+    // server must answer 411 Length Required and close — if it instead
+    // parsed on, the body bytes would desync the keep-alive stream and be
+    // interpreted as the next request's head.
+    let mut raw = std::net::TcpStream::connect(handle.addr()).expect("connect");
+    raw.write_all(b"POST /sessions HTTP/1.1\r\nHost: x\r\n\r\n{\"field\": {\"kind\": \"shear\", \"rate\": 1.0}}")
+        .expect("send");
+    let mut reply = String::new();
+    raw.read_to_string(&mut reply).expect("read until close");
+    assert!(
+        reply.starts_with("HTTP/1.1 411 Length Required"),
+        "expected 411, got: {reply:?}"
+    );
+    assert!(reply.contains("Connection: close"));
+    // read_to_string returning means the server closed the connection, so
+    // the stray body can never be parsed as a follow-up request.
+
+    // A bodyless POST without Content-Length (curl -X POST) still works.
+    let mut raw = std::net::TcpStream::connect(handle.addr()).expect("connect");
+    raw.write_all(b"POST /shutdown HTTP/1.1\r\nHost: x\r\nConnection: close\r\n\r\n")
+        .expect("send");
+    let mut reply = String::new();
+    raw.read_to_string(&mut reply).expect("read reply");
+    assert!(
+        reply.starts_with("HTTP/1.1 200"),
+        "bodyless POST broke: {reply:?}"
+    );
+    handle.join();
+}
+
+#[test]
 fn advance_endpoint_and_shutdown_are_clean() {
     let handle = serve("127.0.0.1:0", ServiceOptions::default()).expect("bind loopback");
     let mut client = ServiceClient::connect(handle.addr()).expect("connect");
