@@ -6,7 +6,7 @@
 //! ```text
 //! cargo run --release -p spotnoise-bench --bin bench_raster -- \
 //!     [--out BENCH_raster.json] [--check] [--filter <substring>] \
-//!     [--ratchet <committed BENCH_raster.json>]
+//!     [--ratchet <committed BENCH_raster.json>] [--threads 1,2,4]
 //! ```
 //!
 //! `--check` re-reads the written artifact, parses it and asserts the
@@ -29,6 +29,19 @@
 //! otherwise never be gated. Pass `--allow-new` to accept unbanked cases
 //! while iterating locally; CI runs without it, so new cases must be
 //! banked into the committed artifact in the same PR.
+//!
+//! The ratchet also refuses to compare across SIMD dispatch levels: the
+//! artifact records the level its kernels ran at (`"simd"`), and numbers
+//! banked under `avx2` are meaningless floors for a `SPOTNOISE_SIMD=off`
+//! run (and vice versa — a scalar bank would let an AVX2 regression hide).
+//! A committed artifact predating the `simd` field must be regenerated.
+//!
+//! `--threads 1,2,4` switches to sweep mode: the whole case list runs once
+//! per listed worker count and the artifact becomes one
+//! `bench_raster_sweep/v1` document with a `runs` array (one
+//! `bench_raster/v1` section per count). Sweep artifacts are measurement
+//! data, not regression banks, so `--threads` excludes `--ratchet`;
+//! `--check` still validates every section.
 
 use spotnoise_bench::json::Json;
 use std::path::PathBuf;
@@ -48,11 +61,18 @@ const RATCHET_FLOOR: f64 = 0.9;
 /// the gate on genuine pessimization instead of environment drift.
 const RATCHET_SLACK: f64 = 0.15;
 
-/// Parses an artifact's cases into `(name, speedup)` pairs after validating
-/// the schema envelope.
-fn parse_cases(path: &PathBuf) -> Result<Vec<(String, f64)>, String> {
-    let text = std::fs::read_to_string(path).map_err(|e| format!("read {path:?}: {e}"))?;
-    let doc = Json::parse(&text)?;
+/// One parsed `bench_raster/v1` document (or sweep section): the dispatch
+/// metadata plus `(name, speedup)` pairs.
+struct ParsedRun {
+    /// Recorded SIMD dispatch level; `None` for artifacts written before
+    /// the field existed.
+    simd: Option<String>,
+    /// `(case name, speedup)` pairs.
+    cases: Vec<(String, f64)>,
+}
+
+/// Validates one `bench_raster/v1` envelope and extracts its run.
+fn parse_run(doc: &Json) -> Result<ParsedRun, String> {
     let schema = doc
         .get("schema")
         .and_then(Json::as_str)
@@ -67,6 +87,7 @@ fn parse_cases(path: &PathBuf) -> Result<Vec<(String, f64)>, String> {
     if threads < 1.0 {
         return Err(format!("implausible thread count {threads}"));
     }
+    let simd = doc.get("simd").and_then(Json::as_str).map(str::to_string);
     let cases = doc
         .get("cases")
         .and_then(Json::as_array)
@@ -83,22 +104,63 @@ fn parse_cases(path: &PathBuf) -> Result<Vec<(String, f64)>, String> {
             .ok_or_else(|| format!("case {name}: missing speedup"))?;
         out.push((name.to_string(), speedup));
     }
-    Ok(out)
+    Ok(ParsedRun { simd, cases: out })
 }
 
-/// Validates the written artifact: it must parse, carry the expected
-/// schema, and every case must report a positive speedup.
-fn check_artifact(path: &PathBuf) -> Result<usize, String> {
-    let cases = parse_cases(path)?;
-    if cases.is_empty() {
+/// Parses a single-run artifact from disk.
+fn parse_artifact(path: &PathBuf) -> Result<ParsedRun, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("read {path:?}: {e}"))?;
+    parse_run(&Json::parse(&text)?)
+}
+
+/// Validates one run's cases: non-empty, every speedup positive.
+fn check_run(run: &ParsedRun) -> Result<usize, String> {
+    if run.cases.is_empty() {
         return Err("no benchmark cases recorded".to_string());
     }
-    for (name, speedup) in &cases {
+    for (name, speedup) in &run.cases {
         if speedup.partial_cmp(&0.0) != Some(std::cmp::Ordering::Greater) {
             return Err(format!("case {name}: speedup {speedup} is not positive"));
         }
     }
-    Ok(cases.len())
+    Ok(run.cases.len())
+}
+
+/// Validates the written single-run artifact: it must parse, carry the
+/// expected schema, and every case must report a positive speedup.
+fn check_artifact(path: &PathBuf) -> Result<usize, String> {
+    check_run(&parse_artifact(path)?)
+}
+
+/// Validates a written `bench_raster_sweep/v1` artifact: the envelope, the
+/// expected number of runs, and every section's cases. Returns the total
+/// case count across all runs.
+fn check_sweep_artifact(path: &PathBuf, expected_runs: usize) -> Result<usize, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("read {path:?}: {e}"))?;
+    let doc = Json::parse(&text)?;
+    let schema = doc
+        .get("schema")
+        .and_then(Json::as_str)
+        .ok_or("missing schema field")?;
+    if schema != "bench_raster_sweep/v1" {
+        return Err(format!("unexpected schema {schema:?}"));
+    }
+    let runs = doc
+        .get("runs")
+        .and_then(Json::as_array)
+        .ok_or("missing runs array")?;
+    if runs.len() != expected_runs {
+        return Err(format!(
+            "expected {expected_runs} sweep runs, artifact has {}",
+            runs.len()
+        ));
+    }
+    let mut total = 0;
+    for (i, run) in runs.iter().enumerate() {
+        total += check_run(&parse_run(run).map_err(|e| format!("run {i}: {e}"))?)
+            .map_err(|e| format!("run {i}: {e}"))?;
+    }
+    Ok(total)
 }
 
 /// The regression ratchet: every freshly measured case that also exists in
@@ -108,8 +170,35 @@ fn check_artifact(path: &PathBuf) -> Result<usize, String> {
 /// ratchet would silently never gate, which is exactly how a typo'd rename
 /// slips a banked win out of CI). Returns the number of cases compared.
 fn check_ratchet(fresh: &PathBuf, committed: &PathBuf, allow_new: bool) -> Result<usize, String> {
-    let fresh_cases = parse_cases(fresh)?;
-    let committed_cases = parse_cases(committed)?;
+    let fresh_run = parse_artifact(fresh)?;
+    let committed_run = parse_artifact(committed)?;
+    // Speedups measured under different kernels are not comparable: a bank
+    // recorded at avx2 is not a floor for a scalar-forced run, and a scalar
+    // bank would wave an avx2 regression through. Refuse loudly instead of
+    // reporting phantom (or phantom-free) regressions.
+    let fresh_simd = fresh_run.simd.as_deref().unwrap_or("unknown");
+    match committed_run.simd.as_deref() {
+        None => {
+            return Err(format!(
+                "committed artifact {} records no SIMD dispatch level (it predates the \
+                 'simd' field) — regenerate it with the current bench_raster and commit \
+                 the result",
+                committed.display()
+            ));
+        }
+        Some(banked_simd) if banked_simd != fresh_simd => {
+            return Err(format!(
+                "dispatch level mismatch: fresh run executed at '{fresh_simd}' but {} was \
+                 banked at '{banked_simd}' — speedups are not comparable across dispatch \
+                 levels; ratchet against an artifact banked at the same level (CI keeps \
+                 one per leg, e.g. BENCH_raster_scalar.json for SPOTNOISE_SIMD=off)",
+                committed.display()
+            ));
+        }
+        Some(_) => {}
+    }
+    let fresh_cases = fresh_run.cases;
+    let committed_cases = committed_run.cases;
     let mut compared = 0;
     let mut failures = Vec::new();
     let mut unbanked = Vec::new();
@@ -153,6 +242,7 @@ fn main() -> ExitCode {
     let mut filter: Option<String> = None;
     let mut ratchet: Option<PathBuf> = None;
     let mut allow_new = false;
+    let mut threads: Option<Vec<usize>> = None;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -177,6 +267,19 @@ fn main() -> ExitCode {
                     return ExitCode::FAILURE;
                 }
             },
+            "--threads" => match args.next().map(|list| {
+                list.split(',')
+                    .map(|n| n.trim().parse::<usize>())
+                    .collect::<Result<Vec<usize>, _>>()
+            }) {
+                Some(Ok(counts)) if !counts.is_empty() && counts.iter().all(|&n| n >= 1) => {
+                    threads = Some(counts);
+                }
+                _ => {
+                    eprintln!("--threads needs a comma-separated list of counts >= 1, e.g. 1,2,4");
+                    return ExitCode::FAILURE;
+                }
+            },
             other => eprintln!("unknown argument: {other}"),
         }
     }
@@ -186,12 +289,56 @@ fn main() -> ExitCode {
         eprintln!("--ratchet requires --check (the ratchet runs as part of the check phase)");
         return ExitCode::FAILURE;
     }
+    // A sweep artifact is measurement data across worker counts, not a
+    // regression bank — there is no single speedup per case to ratchet.
+    if threads.is_some() && ratchet.is_some() {
+        eprintln!("--threads sweeps cannot be ratcheted; run them without --ratchet");
+        return ExitCode::FAILURE;
+    }
     // Fail on an unwritable destination before spending minutes measuring.
     if let Some(parent) = out.parent().filter(|p| !p.as_os_str().is_empty()) {
         std::fs::create_dir_all(parent).expect("cannot create output directory");
     }
     if let Some(f) = &filter {
         println!("measuring only cases containing {f:?}");
+    }
+    if let Some(counts) = &threads {
+        // Sweep mode: the whole case list once per worker count, one report
+        // section each. The override is cleared afterwards even though the
+        // process is about to exit — the invariant is cheap to keep.
+        let mut reports = Vec::with_capacity(counts.len());
+        for &n in counts {
+            rayon::set_current_num_threads(n);
+            println!("--- sweep: {n} worker thread(s) ---");
+            let report =
+                spotnoise_bench::raster_bench::run_raster_bench_filtered(filter.as_deref());
+            if report.cases.is_empty() {
+                rayon::set_current_num_threads(0);
+                eprintln!("filter matched no benchmark case");
+                return ExitCode::FAILURE;
+            }
+            println!("{}", spotnoise_bench::raster_bench::format_report(&report));
+            reports.push(report);
+        }
+        rayon::set_current_num_threads(0);
+        std::fs::write(&out, spotnoise_bench::raster_bench::sweep_to_json(&reports))
+            .expect("write sweep artifact");
+        println!("wrote {}", out.display());
+        if check {
+            match check_sweep_artifact(&out, reports.len()) {
+                Ok(cases) => {
+                    println!(
+                        "check OK: {} runs, {cases} cases total, schema valid, every speedup > 0",
+                        reports.len()
+                    );
+                }
+                Err(e) => {
+                    eprintln!("check FAILED: {e}");
+                    return ExitCode::FAILURE;
+                }
+            }
+        }
+        return ExitCode::SUCCESS;
     }
     let report = spotnoise_bench::raster_bench::run_raster_bench_filtered(filter.as_deref());
     if report.cases.is_empty() {

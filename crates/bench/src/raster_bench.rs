@@ -60,6 +60,12 @@ impl BenchCase {
 pub struct RasterBenchReport {
     /// Worker threads available to the parallel gather.
     pub threads: usize,
+    /// SIMD dispatch level the run's kernels executed at
+    /// ([`softpipe::simd::active`]), recorded so banked numbers are only
+    /// compared against runs of the same kernels.
+    pub simd: String,
+    /// Raw `SPOTNOISE_SIMD` override the process was started with, if any.
+    pub simd_override: Option<String>,
     /// Measured cases.
     pub cases: Vec<BenchCase>,
 }
@@ -178,6 +184,111 @@ fn quad_case(
         name,
         description,
         fragments_per_op: fast_stats.fragments,
+        reference_ns_per_op: reference_ns,
+        optimized_ns_per_op: optimized,
+    }
+}
+
+/// Measures the explicit SIMD dispatch win on the lane-blocked quad fill:
+/// the same span-walking rasterization with the kernels forced to the
+/// scalar fallback (reference leg) vs the process's active dispatch level
+/// (optimized leg). Unlike the other cases, both legs run the *current*
+/// span walker — the case isolates what the explicit `core::arch` kernels
+/// buy over the autovectorized scalar code, on the same host, in the same
+/// process. Under `SPOTNOISE_SIMD=off` both legs are scalar and the case
+/// reports ~1.0x, which is why the artifact records its dispatch level.
+fn simd_quad_case(
+    name: &'static str,
+    description: &'static str,
+    spot: &Texture,
+    quad: [Vertex; 4],
+    intensity: f32,
+) -> BenchCase {
+    use softpipe::simd::{self, SimdLevel};
+    // Parity: the forced-scalar and active-level kernels must produce
+    // bit-identical textures (the Exact-mode contract this whole module
+    // rides on).
+    let mut scalar_out = Texture::new(512, 512);
+    let mut active_out = Texture::new(512, 512);
+    let mut scalar_stats = RasterStats::default();
+    let mut active_stats = RasterStats::default();
+    simd::force(Some(SimdLevel::Scalar));
+    rasterize_quad(
+        &mut scalar_out,
+        spot,
+        quad,
+        intensity,
+        BlendMode::Additive,
+        &mut scalar_stats,
+    );
+    simd::force(None);
+    rasterize_quad(
+        &mut active_out,
+        spot,
+        quad,
+        intensity,
+        BlendMode::Additive,
+        &mut active_stats,
+    );
+    assert_eq!(
+        scalar_out.absolute_difference(&active_out),
+        0.0,
+        "{name}: SIMD kernels diverged from the scalar fallback"
+    );
+    assert_eq!(scalar_stats, active_stats, "{name}: stats diverged");
+
+    let mut target = Texture::new(512, 512);
+    let probe = {
+        simd::force(Some(SimdLevel::Scalar));
+        let mut stats = RasterStats::default();
+        let start = Instant::now();
+        rasterize_quad(
+            &mut target,
+            spot,
+            quad,
+            intensity,
+            BlendMode::Additive,
+            &mut stats,
+        );
+        let probe = start.elapsed().as_nanos() as f64;
+        simd::force(None);
+        probe
+    };
+    let batch = batch_for(10.0e6, probe);
+    let mut targets = (Texture::new(512, 512), Texture::new(512, 512));
+    let (reference_ns, optimized) = time_pair_best(
+        9,
+        batch,
+        || {
+            simd::force(Some(SimdLevel::Scalar));
+            let mut stats = RasterStats::default();
+            rasterize_quad(
+                &mut targets.0,
+                spot,
+                quad,
+                intensity,
+                BlendMode::Additive,
+                &mut stats,
+            );
+        },
+        || {
+            simd::force(None);
+            let mut stats = RasterStats::default();
+            rasterize_quad(
+                &mut targets.1,
+                spot,
+                quad,
+                intensity,
+                BlendMode::Additive,
+                &mut stats,
+            );
+        },
+    );
+    simd::force(None);
+    BenchCase {
+        name,
+        description,
+        fragments_per_op: active_stats.fragments,
         reference_ns_per_op: reference_ns,
         optimized_ns_per_op: optimized,
     }
@@ -759,6 +870,30 @@ pub fn run_raster_bench_filtered(filter: Option<&str>) -> RasterBenchReport {
                 )
             }),
         ),
+        (
+            "simd_quad_disc_r12",
+            Box::new(|| {
+                simd_quad_case(
+                    "simd_quad_disc_r12",
+                    "disc-spot quad r=12: explicit SIMD kernels vs forced-scalar fallback",
+                    &disc,
+                    axis_aligned_spot_quad(Vec2::new(256.0, 256.0), 12.0),
+                    0.5,
+                )
+            }),
+        ),
+        (
+            "simd_quad_disc_r48",
+            Box::new(|| {
+                simd_quad_case(
+                    "simd_quad_disc_r48",
+                    "disc-spot quad r=48: explicit SIMD kernels vs forced-scalar fallback",
+                    &disc,
+                    axis_aligned_spot_quad(Vec2::new(256.0, 256.0), 48.0),
+                    0.5,
+                )
+            }),
+        ),
         ("gather_additive_512x4", Box::new(gather_case)),
         ("frame_arena_reuse", Box::new(frame_arena_case)),
         (
@@ -809,7 +944,11 @@ pub fn run_raster_bench_filtered(filter: Option<&str>) -> RasterBenchReport {
         cases.extend(spot_batch_cases().into_iter().filter(|c| matches(c.name)));
     }
     RasterBenchReport {
-        threads: std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get),
+        // The shim honours `rayon::set_current_num_threads`, so thread
+        // sweeps record the count they actually ran with.
+        threads: rayon::current_num_threads(),
+        simd: softpipe::simd::active().name().to_string(),
+        simd_override: softpipe::simd::env_override().map(str::to_string),
         cases,
     }
 }
@@ -838,28 +977,53 @@ pub fn format_report(report: &RasterBenchReport) -> String {
     out
 }
 
-/// Serializes the report in the `BENCH_raster.json` schema.
-pub fn report_to_json(report: &RasterBenchReport) -> String {
-    Json::object([
+/// Builds the JSON value for one report: the shared body of the single-run
+/// `bench_raster/v1` artifact and each entry of the `--threads` sweep's
+/// `runs` array. `simd_override` is emitted only when the process was
+/// actually started with `SPOTNOISE_SIMD`, so unforced artifacts stay
+/// byte-stable against earlier schema revisions plus the two new keys.
+fn report_json_value(report: &RasterBenchReport) -> Json {
+    let mut pairs: Vec<(&'static str, Json)> = vec![
         ("schema", Json::str("bench_raster/v1")),
         ("threads", Json::num(report.threads as f64)),
-        (
-            "cases",
-            Json::array(report.cases.iter().map(|c| {
-                Json::object([
-                    ("name", Json::str(c.name)),
-                    ("description", Json::str(c.description)),
-                    ("fragments_per_op", Json::num(c.fragments_per_op as f64)),
-                    ("reference_ns_per_op", Json::num(c.reference_ns_per_op)),
-                    ("optimized_ns_per_op", Json::num(c.optimized_ns_per_op)),
-                    ("speedup", Json::num(c.speedup())),
-                    (
-                        "optimized_fragments_per_second",
-                        Json::num(c.optimized_fragments_per_second()),
-                    ),
-                ])
-            })),
-        ),
+        ("simd", Json::str(report.simd.clone())),
+    ];
+    if let Some(forced) = &report.simd_override {
+        pairs.push(("simd_override", Json::str(forced.clone())));
+    }
+    pairs.push((
+        "cases",
+        Json::array(report.cases.iter().map(|c| {
+            Json::object([
+                ("name", Json::str(c.name)),
+                ("description", Json::str(c.description)),
+                ("fragments_per_op", Json::num(c.fragments_per_op as f64)),
+                ("reference_ns_per_op", Json::num(c.reference_ns_per_op)),
+                ("optimized_ns_per_op", Json::num(c.optimized_ns_per_op)),
+                ("speedup", Json::num(c.speedup())),
+                (
+                    "optimized_fragments_per_second",
+                    Json::num(c.optimized_fragments_per_second()),
+                ),
+            ])
+        })),
+    ));
+    Json::object(pairs)
+}
+
+/// Serializes the report in the `BENCH_raster.json` schema.
+pub fn report_to_json(report: &RasterBenchReport) -> String {
+    report_json_value(report).to_string_pretty()
+}
+
+/// Serializes a `--threads` sweep: one `bench_raster/v1` report per swept
+/// worker count, wrapped in a `bench_raster_sweep/v1` envelope so the sweep
+/// artifact can never be mistaken for (or ratcheted against) a single-run
+/// bank.
+pub fn sweep_to_json(reports: &[RasterBenchReport]) -> String {
+    Json::object([
+        ("schema", Json::str("bench_raster_sweep/v1")),
+        ("runs", Json::array(reports.iter().map(report_json_value))),
     ])
     .to_string_pretty()
 }
@@ -893,10 +1057,11 @@ mod tests {
         assert!(report.cases.is_empty());
     }
 
-    #[test]
-    fn report_json_contains_schema_and_cases() {
-        let report = RasterBenchReport {
+    fn sample_report() -> RasterBenchReport {
+        RasterBenchReport {
             threads: 4,
+            simd: "avx2".to_string(),
+            simd_override: None,
             cases: vec![BenchCase {
                 name: "quad",
                 description: "d",
@@ -904,9 +1069,39 @@ mod tests {
                 reference_ns_per_op: 10.0,
                 optimized_ns_per_op: 5.0,
             }],
+        }
+    }
+
+    #[test]
+    fn report_json_contains_schema_and_cases() {
+        let json = report_to_json(&sample_report());
+        assert!(json.contains("\"schema\": \"bench_raster/v1\""));
+        assert!(json.contains("\"simd\": \"avx2\""));
+        assert!(json.contains("\"speedup\": 2"));
+        // No override ran, so the key is absent entirely.
+        assert!(!json.contains("simd_override"));
+    }
+
+    #[test]
+    fn report_json_records_simd_override_when_present() {
+        let report = RasterBenchReport {
+            simd: "scalar".to_string(),
+            simd_override: Some("off".to_string()),
+            ..sample_report()
         };
         let json = report_to_json(&report);
+        assert!(json.contains("\"simd\": \"scalar\""));
+        assert!(json.contains("\"simd_override\": \"off\""));
+    }
+
+    #[test]
+    fn sweep_json_wraps_one_report_per_run() {
+        let mut second = sample_report();
+        second.threads = 2;
+        let json = sweep_to_json(&[sample_report(), second]);
+        assert!(json.contains("\"schema\": \"bench_raster_sweep/v1\""));
         assert!(json.contains("\"schema\": \"bench_raster/v1\""));
-        assert!(json.contains("\"speedup\": 2"));
+        assert!(json.contains("\"threads\": 4"));
+        assert!(json.contains("\"threads\": 2"));
     }
 }

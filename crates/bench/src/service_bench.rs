@@ -112,6 +112,11 @@ pub struct OverloadResult {
 pub struct ServiceBenchReport {
     /// Host threads available to the server.
     pub threads: usize,
+    /// SIMD dispatch level the synthesis kernels executed at
+    /// ([`softpipe::simd::active`]).
+    pub simd: String,
+    /// Raw `SPOTNOISE_SIMD` override the process was started with, if any.
+    pub simd_override: Option<String>,
     /// The workload knobs used.
     pub options: ServiceBenchOptions,
     /// Bytes of one frame on the wire.
@@ -347,6 +352,8 @@ pub fn run_service_bench(opts: ServiceBenchOptions) -> ServiceBenchReport {
     let overload = run_overload(&opts);
     ServiceBenchReport {
         threads: std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get),
+        simd: softpipe::simd::active().name().to_string(),
+        simd_override: softpipe::simd::env_override().map(str::to_string),
         options: opts,
         frame_bytes: opts.texture_size * opts.texture_size * 4,
         cases,
@@ -393,9 +400,15 @@ pub fn format_report(report: &ServiceBenchReport) -> String {
 /// Serializes the report in the `BENCH_service.json` schema.
 pub fn report_to_json(report: &ServiceBenchReport) -> String {
     let o = &report.overload;
-    Json::object([
+    let mut pairs: Vec<(&'static str, Json)> = vec![
         ("schema", Json::str("bench_service/v1")),
         ("threads", Json::num(report.threads as f64)),
+        ("simd", Json::str(report.simd.clone())),
+    ];
+    if let Some(forced) = &report.simd_override {
+        pairs.push(("simd_override", Json::str(forced.clone())));
+    }
+    pairs.extend([
         (
             "workload",
             Json::object([
@@ -438,8 +451,8 @@ pub fn report_to_json(report: &ServiceBenchReport) -> String {
                 ("peak_depth", Json::num(o.peak_depth as f64)),
             ]),
         ),
-    ])
-    .to_string_pretty()
+    ]);
+    Json::object(pairs).to_string_pretty()
 }
 
 #[cfg(test)]
@@ -461,6 +474,8 @@ mod tests {
     fn report_json_has_schema_cases_and_overload() {
         let report = ServiceBenchReport {
             threads: 1,
+            simd: "sse2".to_string(),
+            simd_override: None,
             options: ServiceBenchOptions::quick(),
             frame_bytes: 64 * 64 * 4,
             cases: vec![ServiceCase {
@@ -490,6 +505,9 @@ mod tests {
             Some("bench_service/v1")
         );
         assert_eq!(doc.get("cases").and_then(Json::as_array).unwrap().len(), 1);
+        assert_eq!(doc.get("simd").and_then(Json::as_str), Some("sse2"));
+        // No SPOTNOISE_SIMD override ran, so the key is absent.
+        assert!(doc.get("simd_override").is_none());
         assert_eq!(
             doc.get("overload")
                 .and_then(|o| o.get("busy"))

@@ -42,12 +42,25 @@ impl AlphaFactor {
 
 impl BlendMode {
     /// Applies the blend equation for a single fragment.
+    ///
+    /// `Max` uses the explicit compare-select `if src > dst { src } else
+    /// { dst }` rather than `f32::max`: the two differ only on signed-zero
+    /// ties, where `f32::max`'s result depends on how the intrinsic is
+    /// lowered (debug and release builds disagree). The compare-select keeps
+    /// `dst` on every tie, which is deterministic across build profiles and
+    /// exactly reproducible by the SIMD kernels' compare+select.
     #[inline]
     pub fn apply(self, dst: f32, src: f32) -> f32 {
         match self {
             BlendMode::Replace => src,
             BlendMode::Additive => dst + src,
-            BlendMode::Max => dst.max(src),
+            BlendMode::Max => {
+                if src > dst {
+                    src
+                } else {
+                    dst
+                }
+            }
             BlendMode::Alpha(a) => {
                 let alpha = a.value();
                 src * alpha + dst * (1.0 - alpha)
@@ -76,7 +89,7 @@ impl BlendMode {
             }
             BlendMode::Max => {
                 for (d, s) in dst.iter_mut().zip(src) {
-                    *d = d.max(*s);
+                    *d = if *s > *d { *s } else { *d };
                 }
             }
             BlendMode::Alpha(a) => {
@@ -103,7 +116,7 @@ impl BlendMode {
             }
             BlendMode::Max => {
                 for d in dst.iter_mut() {
-                    *d = d.max(src);
+                    *d = if src > *d { src } else { *d };
                 }
             }
             BlendMode::Alpha(a) => {

@@ -400,12 +400,19 @@ impl<'a> StreamingGather<'a> {
         let first_is_copy = self.next == 0;
         let len = self.texture.data().len() as u64;
         let chunk_len = compose_chunk_len(self.texture.width(), self.texture.height());
+        let level = crate::simd::active();
         self.texture
             .data_mut()
             .par_chunks_mut(chunk_len)
             .enumerate()
             .for_each(|(chunk_index, chunk)| {
-                fold_chunk(chunk, sources, chunk_index * chunk_len, first_is_copy);
+                fold_chunk(
+                    chunk,
+                    level,
+                    sources,
+                    chunk_index * chunk_len,
+                    first_is_copy,
+                );
             });
         self.blend_texels += (sources.len() as u64 - u64::from(first_is_copy)) * len;
         self.next += sources.len();
@@ -442,65 +449,37 @@ impl<'a> StreamingGather<'a> {
 
 /// Folds a run of source textures into one destination chunk, specialized
 /// per source count: the common fan-ins (a 2–4-pipe machine's partials all
-/// ready at once) compile to a single fused loop that reads every source
+/// ready at once) run as a single fused SIMD loop that reads every source
 /// once and writes the destination once, instead of one read-modify-write
 /// sweep per source. Per-texel addition order is the sequential fold's
-/// left-association — `((p0 + p1) + p2) + …` — in every arm, so all paths
-/// are bit-identical.
-fn fold_chunk(chunk: &mut [f32], sources: &[&Texture], start: usize, first_is_copy: bool) {
+/// left-association — `((p0 + p1) + p2) + …` — in every kernel, so all
+/// dispatch levels are bit-identical.
+fn fold_chunk(
+    chunk: &mut [f32],
+    level: crate::simd::SimdLevel,
+    sources: &[&Texture],
+    start: usize,
+    first_is_copy: bool,
+) {
     let len = chunk.len();
     let s = |k: usize| -> &[f32] { &sources[k].data()[start..start + len] };
     match (first_is_copy, sources.len()) {
         (_, 0) => {}
-        (true, 1) => chunk.copy_from_slice(s(0)),
-        (true, 2) => {
-            let (a, b) = (s(0), s(1));
-            for (i, d) in chunk.iter_mut().enumerate() {
-                *d = a[i] + b[i];
-            }
-        }
-        (true, 3) => {
-            let (a, b, c) = (s(0), s(1), s(2));
-            for (i, d) in chunk.iter_mut().enumerate() {
-                *d = (a[i] + b[i]) + c[i];
-            }
-        }
-        (true, 4) => {
-            let (a, b, c, e) = (s(0), s(1), s(2), s(3));
-            for (i, d) in chunk.iter_mut().enumerate() {
-                *d = ((a[i] + b[i]) + c[i]) + e[i];
-            }
-        }
-        (false, 1) => {
-            for (d, v) in chunk.iter_mut().zip(s(0)) {
-                *d += *v;
-            }
-        }
-        (false, 2) => {
-            let (a, b) = (s(0), s(1));
-            for (i, d) in chunk.iter_mut().enumerate() {
-                *d = (*d + a[i]) + b[i];
-            }
-        }
-        (false, 3) => {
-            let (a, b, c) = (s(0), s(1), s(2));
-            for (i, d) in chunk.iter_mut().enumerate() {
-                *d = ((*d + a[i]) + b[i]) + c[i];
-            }
-        }
-        (false, 4) => {
-            let (a, b, c, e) = (s(0), s(1), s(2), s(3));
-            for (i, d) in chunk.iter_mut().enumerate() {
-                *d = (((*d + a[i]) + b[i]) + c[i]) + e[i];
-            }
-        }
+        (true, 1) => crate::simd::copy_slice(level, chunk, s(0)),
+        (true, 2) => crate::simd::fold_copy(level, chunk, &[s(0), s(1)]),
+        (true, 3) => crate::simd::fold_copy(level, chunk, &[s(0), s(1), s(2)]),
+        (true, 4) => crate::simd::fold_copy(level, chunk, &[s(0), s(1), s(2), s(3)]),
+        (false, 1) => crate::simd::fold_acc(level, chunk, &[s(0)]),
+        (false, 2) => crate::simd::fold_acc(level, chunk, &[s(0), s(1)]),
+        (false, 3) => crate::simd::fold_acc(level, chunk, &[s(0), s(1), s(2)]),
+        (false, 4) => crate::simd::fold_acc(level, chunk, &[s(0), s(1), s(2), s(3)]),
         // Larger fan-ins: fold the leading quads with the fused kernels,
         // then the remainder — still one destination traversal per group of
         // four instead of per source.
         (first, _) => {
             let (head, tail) = sources.split_at(4);
-            fold_chunk(chunk, head, start, first);
-            fold_chunk(chunk, tail, start, false);
+            fold_chunk(chunk, level, head, start, first);
+            fold_chunk(chunk, level, tail, start, false);
         }
     }
 }
@@ -516,6 +495,7 @@ fn blit_tile(dst: &mut Texture, partial: &Texture, tile: PixelTile) {
     }
     let chunk_len = compose_chunk_len(width, height);
     let chunk_rows = chunk_len / width;
+    let level = crate::simd::active();
     dst.data_mut()
         .par_chunks_mut(chunk_len)
         .enumerate()
@@ -527,8 +507,11 @@ fn blit_tile(dst: &mut Texture, partial: &Texture, tile: PixelTile) {
             for y in y_lo..y_hi {
                 let local = (y - y_start) * width;
                 let row_start = y * width;
-                chunk[local + tile.x0..local + x1]
-                    .copy_from_slice(&partial.data()[row_start + tile.x0..row_start + x1]);
+                crate::simd::copy_slice(
+                    level,
+                    &mut chunk[local + tile.x0..local + x1],
+                    &partial.data()[row_start + tile.x0..row_start + x1],
+                );
             }
         });
 }

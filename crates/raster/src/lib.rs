@@ -21,6 +21,7 @@
 //! * [`pipe`] — synchronous pipe core and threaded [`pipe::GraphicsPipe`],
 //! * [`pool`] — persistent pipe workers checked out per frame,
 //! * [`compose`] — gathering/blending partial textures (the sequential step),
+//! * [`simd`] — explicit SSE2/AVX2/NEON kernels behind runtime dispatch,
 //! * [`bus`] — host-to-graphics bus traffic accounting,
 //! * [`cost`] — the Onyx2-calibrated cost model,
 //! * [`machine`] — the workstation model (processors, pipes, assignment).
@@ -38,6 +39,7 @@ pub mod mesh;
 pub mod pipe;
 pub mod pool;
 pub mod raster;
+pub mod simd;
 pub mod state;
 pub mod texture;
 
@@ -52,6 +54,7 @@ pub use mesh::TexturedMesh;
 pub use pipe::{GraphicsPipe, PipeCore, PipeOutput, RenderCommand};
 pub use pool::{PipePool, PoolStats, PooledPipe};
 pub use raster::{RasterStats, Vertex};
+pub use simd::SimdLevel;
 pub use state::{SamplingMode, StateChangeStats, StateMachine, Transform2};
 pub use texture::{disc_spot_texture, gaussian_spot_texture, FootprintPyramid, Texture};
 

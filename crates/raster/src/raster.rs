@@ -43,6 +43,7 @@
 //! once, by IEEE negation symmetry rather than by luck.
 
 use crate::blend::BlendMode;
+use crate::simd::{self, SimdLevel};
 use crate::texture::{FootprintPyramid, Texture};
 use flowfield::Vec2;
 use serde::{Deserialize, Serialize};
@@ -262,18 +263,24 @@ impl AttrPlane {
     }
 }
 
-/// An [`AttrPlane`] restricted to one scanline.
+/// An [`AttrPlane`] restricted to one scanline. The fields are crate-visible
+/// so the SIMD kernels can splat them and evaluate the same affine form per
+/// lane.
 #[derive(Debug, Clone, Copy)]
-struct AttrRow {
-    row_base: f64,
-    ddx: f64,
-    ox: f64,
+pub(crate) struct AttrRow {
+    /// Attribute value at the row's reference column `ox`.
+    pub(crate) row_base: f64,
+    /// Attribute change per pixel step along the row.
+    pub(crate) ddx: f64,
+    /// Reference column (the triangle's first vertex x).
+    pub(crate) ox: f64,
 }
 
 impl AttrRow {
-    /// Attribute value at pixel column `px`; shared by both raster paths.
+    /// Attribute value at pixel column `px`; shared by both raster paths and
+    /// mirrored lane-wise (in the same operation order) by the SIMD kernels.
     #[inline]
-    fn at(&self, px: usize) -> f64 {
+    pub(crate) fn at(&self, px: usize) -> f64 {
         self.row_base + ((px as f64 + 0.5) - self.ox) * self.ddx
     }
 }
@@ -384,17 +391,17 @@ fn row_is_uniform(row: &[f32]) -> bool {
 ///
 /// `row` is the mutable slice of the *span* (index 0 corresponds to column
 /// `lo`), so the destination side needs no per-pixel bounds checks after the
-/// one slice construction. The fill runs in [`LANES`]-wide blocks: each block
-/// computes its samples into a stack array (per-lane incremental uv
-/// evaluation of the shared affine forms — independent lanes, so the
-/// evaluation vectorizes) and blends them with one mode-specialized
-/// [`BlendMode::apply_block`] call; a scalar tail covers the remainder.
-/// Produces values bit-identical to calling `spot.sample_bilinear` +
-/// `blend.apply` per pixel.
+/// one slice construction. The hoisted-bilinear and uniform paths run on the
+/// explicit SIMD kernels for `level` (see [`crate::simd`]); the general
+/// bilinear path keeps scalar sampling but blends through the
+/// level-dispatched block kernel. Produces values bit-identical to calling
+/// `spot.sample_bilinear` + `blend.apply` per pixel at every level.
+#[allow(clippy::too_many_arguments)]
 #[inline(always)]
 fn fill_span_with(
     row: &mut [f32],
     lo: usize,
+    level: SimdLevel,
     spot: &Texture,
     u_row: AttrRow,
     v_row: AttrRow,
@@ -422,43 +429,35 @@ fn fill_span_with(
             let a = tex_row0[0];
             let c = tex_row1[0];
             let sample = (a + (c - a) * ty) * intensity;
-            blend.apply_uniform(row, sample);
+            simd::blend_uniform(level, blend, row, sample);
             return;
         }
-        let sample_at = |px: usize| -> f32 {
-            let u = u_row.at(px) as f32;
-            let fx = (u * tex_w as f32 - 0.5).clamp(0.0, tex_w as f32 - 1.0);
-            let tx0 = fx.floor() as usize;
-            let tx1 = (tx0 + 1).min(tex_w - 1);
-            let tx = fx - tx0 as f32;
-            let a = tex_row0[tx0];
-            let b = tex_row0[tx1];
-            let c = tex_row1[tx0];
-            let d = tex_row1[tx1];
-            let bottom = a + (b - a) * tx;
-            let top = c + (d - c) * tx;
-            (bottom + (top - bottom) * ty) * intensity
-        };
-        fill_lane_blocked(row, lo, blend, sample_at);
+        simd::fill_hoisted(
+            level, row, lo, u_row, tex_row0, tex_row1, ty, intensity, blend,
+        );
     } else {
-        // General path: both texture coordinates vary along the row.
+        // General path: both texture coordinates vary along the row. The
+        // bilinear sampling stays scalar (its data-dependent row-pair fetches
+        // don't lane-block well), but the blend runs on the dispatched block
+        // kernel.
         let sample_at = |px: usize| -> f32 {
             let u = u_row.at(px) as f32;
             let v = v_row.at(px) as f32;
             spot.sample_bilinear(u, v) * intensity
         };
-        fill_lane_blocked(row, lo, blend, sample_at);
+        fill_lane_blocked(row, lo, level, blend, sample_at);
     }
 }
 
 /// The shared lane-block driver of the span fills: computes [`LANES`]
 /// samples at a time with `sample_at` (whose per-lane evaluations are
-/// independent, so they vectorize) and blends each block in one
-/// mode-specialized call; the tail runs scalar with identical arithmetic.
+/// independent, so they vectorize) and blends each block through the
+/// level-dispatched kernel; the tail runs scalar with identical arithmetic.
 #[inline(always)]
-fn fill_lane_blocked(
+pub(crate) fn fill_lane_blocked(
     row: &mut [f32],
     lo: usize,
+    level: SimdLevel,
     blend: BlendMode,
     sample_at: impl Fn(usize) -> f32,
 ) {
@@ -470,7 +469,7 @@ fn fill_lane_blocked(
         for (lane, out) in samples.iter_mut().enumerate() {
             *out = sample_at(px + lane);
         }
-        blend.apply_block(chunk, &samples);
+        simd::blend_block(level, blend, chunk, &samples);
         px += LANES;
     }
     for (offset, dst) in tail.iter_mut().enumerate() {
@@ -572,6 +571,7 @@ fn walk_spans_wide(
 ) {
     let width = target.width();
     let data = target.data_mut();
+    let level = simd::active();
     for py in setup.y0..=setup.y1 {
         let Some((lo, hi)) = covered_interval(setup, py) else {
             continue;
@@ -580,7 +580,16 @@ fn walk_spans_wide(
         let v_row = setup.v_plane.row(py);
         let row_start = py * width;
         let span = &mut data[row_start + lo..=row_start + hi];
-        fill_span_with(span, lo, spot_texture, u_row, v_row, intensity, blend);
+        fill_span_with(
+            span,
+            lo,
+            level,
+            spot_texture,
+            u_row,
+            v_row,
+            intensity,
+            blend,
+        );
         stats.fragments += (hi - lo + 1) as u64;
     }
 }
@@ -620,12 +629,63 @@ fn rasterize_setup_footprint(
     blend: BlendMode,
     stats: &mut RasterStats,
 ) {
-    let base_w = pyramid.base().width() as f64;
-    let base_h = pyramid.base().height() as f64;
+    let level = pyramid.level_for_step(setup_footprint_step(
+        setup,
+        pyramid.base().width() as f64,
+        pyramid.base().height() as f64,
+    ));
+    rasterize_setup_footprint_at(target, pyramid.level(level), setup, intensity, blend, stats);
+}
+
+/// The footprint step of a set-up triangle: base texels covered per pixel
+/// step, the input to [`FootprintPyramid::level_for_step`].
+#[inline]
+fn setup_footprint_step(setup: &TriSetup, base_w: f64, base_h: f64) -> f32 {
     let step_u = setup.u_plane.ddx.abs().max(setup.u_plane.ddy.abs()) * base_w;
     let step_v = setup.v_plane.ddx.abs().max(setup.v_plane.ddy.abs()) * base_h;
-    let level = pyramid.level_for_step(step_u.max(step_v) as f32);
-    let tex = pyramid.level(level);
+    step_u.max(step_v) as f32
+}
+
+/// The footprint step a triangle *would* rasterize with, without
+/// rasterizing it — `None` for degenerate (rejected) triangles. Lets mesh
+/// walkers aggregate a level over several triangles (per-row selection)
+/// before committing to one. The uv gradients are winding-invariant in
+/// magnitude, so this matches [`setup_footprint_step`] without needing the
+/// full setup.
+pub(crate) fn triangle_footprint_step(
+    v0: Vertex,
+    v1: Vertex,
+    v2: Vertex,
+    base_w: f64,
+    base_h: f64,
+) -> Option<f32> {
+    let area = edge(v0.position, v1.position, v2.position);
+    if area.abs() < 1e-12 {
+        return None;
+    }
+    let inv_area = 1.0 / area.abs();
+    let (px0, px1, px2) = (v0.position, v1.position, v2.position);
+    let (u0, u1, u2) = (v0.uv.0 as f64, v1.uv.0 as f64, v2.uv.0 as f64);
+    let (w0, w1, w2) = (v0.uv.1 as f64, v1.uv.1 as f64, v2.uv.1 as f64);
+    let u_ddx = (u0 * (px1.y - px2.y) + u1 * (px2.y - px0.y) + u2 * (px0.y - px1.y)) * inv_area;
+    let u_ddy = (u0 * (px2.x - px1.x) + u1 * (px0.x - px2.x) + u2 * (px1.x - px0.x)) * inv_area;
+    let v_ddx = (w0 * (px1.y - px2.y) + w1 * (px2.y - px0.y) + w2 * (px0.y - px1.y)) * inv_area;
+    let v_ddy = (w0 * (px2.x - px1.x) + w1 * (px0.x - px2.x) + w2 * (px1.x - px0.x)) * inv_area;
+    let step_u = u_ddx.abs().max(u_ddy.abs()) * base_w;
+    let step_v = v_ddx.abs().max(v_ddy.abs()) * base_h;
+    Some(step_u.max(step_v) as f32)
+}
+
+/// Rasterizes a set-up triangle with nearest sampling of one already-chosen
+/// pyramid level `tex` (shared by per-triangle and per-row level selection).
+fn rasterize_setup_footprint_at(
+    target: &mut Texture,
+    tex: &Texture,
+    setup: &TriSetup,
+    intensity: f32,
+    blend: BlendMode,
+    stats: &mut RasterStats,
+) {
     if setup.x1 - setup.x0 < NARROW_TRIANGLE_WIDTH {
         match blend {
             BlendMode::Additive => {
@@ -641,9 +701,10 @@ fn rasterize_setup_footprint(
 }
 
 /// Nearest-sample index of `coord` in a `len`-texel axis, matching
-/// [`Texture::sample_nearest`]'s clamping exactly.
+/// [`Texture::sample_nearest`]'s clamping exactly (also the scalar oracle of
+/// the SIMD nearest fills).
 #[inline(always)]
-fn nearest_index(coord: f32, len: usize) -> usize {
+pub(crate) fn nearest_index(coord: f32, len: usize) -> usize {
     ((coord * len as f32) as isize).clamp(0, len as isize - 1) as usize
 }
 
@@ -704,6 +765,7 @@ fn walk_spans_wide_nearest(
     let tw = tex.width();
     let th = tex.height();
     let texels = tex.data();
+    let level = simd::active();
     for py in setup.y0..=setup.y1 {
         let Some((lo, hi)) = covered_interval(setup, py) else {
             continue;
@@ -717,18 +779,14 @@ fn walk_spans_wide_nearest(
             let ty = nearest_index(v_row.row_base as f32, th);
             let tex_row = &texels[ty * tw..(ty + 1) * tw];
             if row_is_uniform(tex_row) {
-                blend.apply_uniform(span, tex_row[0] * intensity);
+                simd::blend_uniform(level, blend, span, tex_row[0] * intensity);
             } else {
-                fill_lane_blocked(span, lo, blend, |px| {
-                    tex_row[nearest_index(u_row.at(px) as f32, tw)] * intensity
-                });
+                simd::fill_nearest_row(level, span, lo, u_row, tex_row, intensity, blend);
             }
         } else {
-            fill_lane_blocked(span, lo, blend, |px| {
-                let tx = nearest_index(u_row.at(px) as f32, tw);
-                let ty = nearest_index(v_row.at(px) as f32, th);
-                texels[ty * tw + tx] * intensity
-            });
+            simd::fill_nearest_2d(
+                level, span, lo, u_row, v_row, texels, tw, th, intensity, blend,
+            );
         }
         stats.fragments += (hi - lo + 1) as u64;
     }
@@ -750,6 +808,36 @@ pub(crate) fn rasterize_triangle_footprint_uncounted(
 ) {
     if let Some(setup) = TriSetup::new(target, v0, v1, v2, stats) {
         rasterize_setup_footprint(target, pyramid, &setup, intensity, blend, stats);
+    }
+}
+
+/// Footprint-mode rasterization at a caller-chosen pyramid level, for mesh
+/// walkers that select one level for a whole *row* of triangles (see
+/// [`crate::mesh::TexturedMesh::rasterize_footprint`]) instead of per
+/// primitive. Setup, rejection and fragment accounting are identical to
+/// [`rasterize_triangle_footprint_uncounted`]; only the level choice moves
+/// to the caller.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn rasterize_triangle_footprint_leveled(
+    target: &mut Texture,
+    pyramid: &FootprintPyramid,
+    level: usize,
+    v0: Vertex,
+    v1: Vertex,
+    v2: Vertex,
+    intensity: f32,
+    blend: BlendMode,
+    stats: &mut RasterStats,
+) {
+    if let Some(setup) = TriSetup::new(target, v0, v1, v2, stats) {
+        rasterize_setup_footprint_at(
+            target,
+            pyramid.level(level),
+            &setup,
+            intensity,
+            blend,
+            stats,
+        );
     }
 }
 

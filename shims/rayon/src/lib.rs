@@ -7,6 +7,7 @@
 //! here (texture rows, spot chunks).
 
 use std::num::NonZeroUsize;
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::OnceLock;
 
 /// Commonly imported traits, mirroring `rayon::prelude`.
@@ -14,16 +15,35 @@ pub mod prelude {
     pub use crate::{IntoParallelRefIterator, ParallelSliceMut};
 }
 
+/// Process-global thread-count override; 0 means "no override" (use the
+/// detected parallelism). Real rayon configures this through thread-pool
+/// builders; benchmark thread sweeps only need the global knob.
+static THREAD_OVERRIDE: AtomicUsize = AtomicUsize::new(0);
+
+/// Overrides [`current_num_threads`] for the whole process; `0` clears the
+/// override and returns to detected parallelism. Lets thread-scaling sweeps
+/// (`bench_raster --threads 1,2,4`) measure each worker count without
+/// restarting the process.
+pub fn set_current_num_threads(threads: usize) {
+    THREAD_OVERRIDE.store(threads, Ordering::Relaxed);
+}
+
 /// Number of worker threads used for parallel execution. Cached: the std
 /// query re-reads cgroup limits from the filesystem on every call, which is
-/// far too slow for a value consulted on hot paths.
+/// far too slow for a value consulted on hot paths. An explicit
+/// [`set_current_num_threads`] override takes precedence.
 pub fn current_num_threads() -> usize {
-    static THREADS: OnceLock<usize> = OnceLock::new();
-    *THREADS.get_or_init(|| {
-        std::thread::available_parallelism()
-            .map(NonZeroUsize::get)
-            .unwrap_or(1)
-    })
+    match THREAD_OVERRIDE.load(Ordering::Relaxed) {
+        0 => {
+            static THREADS: OnceLock<usize> = OnceLock::new();
+            *THREADS.get_or_init(|| {
+                std::thread::available_parallelism()
+                    .map(NonZeroUsize::get)
+                    .unwrap_or(1)
+            })
+        }
+        n => n,
+    }
 }
 
 /// Runs `f` over every element of `items` in parallel, preserving order.
@@ -248,6 +268,14 @@ mod tests {
             }
         });
         assert_eq!(data, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn thread_override_is_respected_and_clearable() {
+        crate::set_current_num_threads(3);
+        assert_eq!(crate::current_num_threads(), 3);
+        crate::set_current_num_threads(0);
+        assert!(crate::current_num_threads() >= 1);
     }
 
     #[test]

@@ -49,40 +49,49 @@ fn texture_hash(texture: &softpipe::Texture) -> u64 {
 /// were recorded from the repository state *before* the lane-blocked fills,
 /// fused gather and frame arena landed. Any drift means an optimization
 /// changed the rendered texels.
+///
+/// Runs under **every SIMD dispatch level the host supports** (scalar plus
+/// SSE2/AVX2 or NEON): the explicit kernels are required to be bit-identical
+/// to the scalar path, so one hash pins them all.
 #[test]
 fn exact_mode_is_bit_identical_to_seed_output() {
     let field = vortex();
     let disc = SynthesisConfig::small_test();
-    let spots = generate_spots(
+    let disc_spots = generate_spots(
         disc.spot_count,
         domain(),
         disc.intensity_amplitude,
         disc.seed,
     );
-    let out = synthesize_sequential(&field, &spots, &disc);
-    assert_eq!(
-        texture_hash(&out.texture),
-        0x6f66138deb36b5ed,
-        "disc Exact synthesis drifted from the seed output"
-    );
-
     let bent = SynthesisConfig {
         spot_kind: SpotKind::Bent { rows: 8, cols: 3 },
         spot_count: 150,
         ..SynthesisConfig::small_test()
     };
-    let spots = generate_spots(
+    let bent_spots = generate_spots(
         bent.spot_count,
         domain(),
         bent.intensity_amplitude,
         bent.seed,
     );
-    let out = synthesize_sequential(&field, &spots, &bent);
-    assert_eq!(
-        texture_hash(&out.texture),
-        0x1d922e165ddf7bd8,
-        "bent-mesh Exact synthesis drifted from the seed output"
-    );
+    for level in softpipe::simd::available() {
+        softpipe::simd::force(Some(level));
+        let out = synthesize_sequential(&field, &disc_spots, &disc);
+        assert_eq!(
+            texture_hash(&out.texture),
+            0x6f66138deb36b5ed,
+            "disc Exact synthesis drifted from the seed output at SIMD level {}",
+            level.name()
+        );
+        let out = synthesize_sequential(&field, &bent_spots, &bent);
+        assert_eq!(
+            texture_hash(&out.texture),
+            0x1d922e165ddf7bd8,
+            "bent-mesh Exact synthesis drifted from the seed output at SIMD level {}",
+            level.name()
+        );
+    }
+    softpipe::simd::force(None);
 }
 
 /// Two consecutive frames from one pooled pipeline are bit-identical to the
