@@ -1,18 +1,27 @@
 //! Loopback load bench of the synthesis service: sweeps concurrent clients
 //! {1, 4, 16} × cache-hot/cache-cold against a real server on an ephemeral
-//! port, runs an overload phase against a tiny one-worker server, and
-//! writes `BENCH_service.json` (schema `bench_service/v1`).
+//! port, runs a shared-field fan-out phase (many subscribers streaming a
+//! few broadcast channels), runs an overload phase against a tiny
+//! one-worker server, and writes `BENCH_service.json` (schema
+//! `bench_service/v1`).
 //!
 //! ```text
 //! cargo run --release -p spotnoise-bench --bin bench_service -- \
-//!     [--out BENCH_service.json] [--check] [--quick]
+//!     [--out BENCH_service.json] [--check] [--quick] [--threads 1,2,4]
 //! ```
 //!
 //! `--quick` shrinks the workload for CI smoke runs. `--check` re-reads the
 //! written artifact and asserts the service-level SLOs hold: six sweep
 //! cases, cache-hot p50 at least 5× below cache-cold at every concurrency,
-//! and overload shed with `Busy` while the queue never grew past its
+//! broadcast fan-out delivering more frames than it synthesizes (≥ 10× with
+//! 64+ subscribers) at a steady-state gap within 2× of the hot single-client
+//! p50, and overload shed with `Busy` while the queue never grew past its
 //! watermark. A failed check exits non-zero.
+//!
+//! `--threads 1,2,4` switches to sweep mode: the whole phase list runs once
+//! per worker count — the rayon shim override and the server's synthesis
+//! worker pool both pinned to the count — and the runs are written as one
+//! `bench_service_sweep/v1` artifact.
 
 use spotnoise_bench::json::Json;
 use spotnoise_bench::service_bench;
@@ -96,6 +105,52 @@ fn check_artifact(path: &PathBuf) -> Result<String, String> {
         }
         speedups.push(format!("c{concurrency}: {ratio:.0}x"));
     }
+    // The fan-out phase: broadcast leverage must be real, and the
+    // steady-state delivery path must stay within 2x of the (single-client)
+    // cache-hot request path.
+    let fanout = doc.get("fanout").ok_or("missing fanout object")?;
+    let f_field = |key: &str| -> Result<f64, String> {
+        fanout
+            .get(key)
+            .and_then(Json::as_f64)
+            .ok_or_else(|| format!("fanout missing numeric {key}"))
+    };
+    let fields = f_field("fields")?;
+    let subscribers = f_field("subscribers")?;
+    let ratio = f_field("delivery_ratio")?;
+    let fanout_p50 = f_field("p50_us")?;
+    if subscribers < 8.0 {
+        return Err(format!(
+            "fanout ran with only {subscribers} subscribers, need at least 8"
+        ));
+    }
+    if ratio <= 1.0 {
+        return Err(format!(
+            "fanout delivered/synthesized ratio {ratio:.2} is not > 1: the broadcast \
+             layer is synthesizing per subscriber"
+        ));
+    }
+    if subscribers >= 64.0 {
+        if ratio < 10.0 {
+            return Err(format!(
+                "fanout ratio {ratio:.2} below 10x with {subscribers} subscribers"
+            ));
+        }
+        if fields > 4.0 {
+            return Err(format!(
+                "fanout spread {subscribers} subscribers over {fields} fields, need <= 4"
+            ));
+        }
+    }
+    let hot_c1_p50 = *p50
+        .get(&("hot".to_string(), 1))
+        .ok_or("no hot case at concurrency 1 to compare fanout against")?;
+    if fanout_p50 > 2.0 * hot_c1_p50 {
+        return Err(format!(
+            "fanout steady-state gap p50 {fanout_p50:.1}us exceeds 2x the hot_c1 \
+             p50 {hot_c1_p50:.1}us"
+        ));
+    }
     let overload = doc.get("overload").ok_or("missing overload object")?;
     let o_field = |key: &str| -> Result<f64, String> {
         overload
@@ -119,17 +174,60 @@ fn check_artifact(path: &PathBuf) -> Result<String, String> {
         ));
     }
     Ok(format!(
-        "{} cases, hot/cold p50 gaps [{}], overload shed {busy} of {} with queue depth <= {watermark}",
+        "{} cases, hot/cold p50 gaps [{}], fanout {ratio:.1}x over {fields} fields, \
+         overload shed {busy} of {} with queue depth <= {watermark}",
         cases.len(),
         speedups.join(", "),
         busy + completed,
     ))
 }
 
+/// Validates a `--threads` sweep artifact: the envelope schema, one run per
+/// swept count, and a real broadcast leverage in every run.
+fn check_sweep_artifact(path: &PathBuf, expected_runs: usize) -> Result<usize, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("read {path:?}: {e}"))?;
+    let doc = Json::parse(&text)?;
+    let schema = doc
+        .get("schema")
+        .and_then(Json::as_str)
+        .ok_or("missing schema field")?;
+    if schema != "bench_service_sweep/v1" {
+        return Err(format!("unexpected sweep schema {schema:?}"));
+    }
+    let runs = doc
+        .get("runs")
+        .and_then(Json::as_array)
+        .ok_or("missing runs array")?;
+    if runs.len() != expected_runs {
+        return Err(format!(
+            "{} runs recorded, expected {expected_runs}",
+            runs.len()
+        ));
+    }
+    let mut cases = 0;
+    for (i, run) in runs.iter().enumerate() {
+        cases += run
+            .get("cases")
+            .and_then(Json::as_array)
+            .ok_or_else(|| format!("run {i} has no cases array"))?
+            .len();
+        let ratio = run
+            .get("fanout")
+            .and_then(|f| f.get("delivery_ratio"))
+            .and_then(Json::as_f64)
+            .ok_or_else(|| format!("run {i} has no fanout delivery_ratio"))?;
+        if ratio <= 1.0 {
+            return Err(format!("run {i}: fanout ratio {ratio:.2} is not > 1"));
+        }
+    }
+    Ok(cases)
+}
+
 fn main() -> ExitCode {
     let mut out = PathBuf::from("BENCH_service.json");
     let mut check = false;
     let mut quick = false;
+    let mut threads: Option<Vec<usize>> = None;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -140,6 +238,19 @@ fn main() -> ExitCode {
             }
             "--check" => check = true,
             "--quick" => quick = true,
+            "--threads" => match args.next().map(|list| {
+                list.split(',')
+                    .map(|n| n.trim().parse::<usize>())
+                    .collect::<Result<Vec<usize>, _>>()
+            }) {
+                Some(Ok(counts)) if !counts.is_empty() && counts.iter().all(|&n| n >= 1) => {
+                    threads = Some(counts);
+                }
+                _ => {
+                    eprintln!("--threads needs a comma-separated list of counts >= 1, e.g. 1,2,4");
+                    return ExitCode::FAILURE;
+                }
+            },
             other => eprintln!("unknown argument: {other}"),
         }
     }
@@ -151,6 +262,40 @@ fn main() -> ExitCode {
     } else {
         service_bench::ServiceBenchOptions::standard()
     };
+    if let Some(counts) = &threads {
+        // Sweep mode: every phase once per worker count. Both sides of the
+        // server scale together — the rayon shim override pins the synthesis
+        // kernels' parallelism, the `workers` knob pins the service's worker
+        // pool. The override is cleared afterwards even though the process
+        // is about to exit — the invariant is cheap to keep.
+        let mut reports = Vec::with_capacity(counts.len());
+        for &n in counts {
+            rayon::set_current_num_threads(n);
+            println!("--- sweep: {n} worker thread(s) ---");
+            let report = service_bench::run_service_bench(service_bench::ServiceBenchOptions {
+                workers: n,
+                ..options
+            });
+            println!("{}", service_bench::format_report(&report));
+            reports.push(report);
+        }
+        rayon::set_current_num_threads(0);
+        std::fs::write(&out, service_bench::sweep_to_json(&reports)).expect("write sweep artifact");
+        println!("wrote {}", out.display());
+        if check {
+            match check_sweep_artifact(&out, reports.len()) {
+                Ok(cases) => println!(
+                    "check OK: {} runs, {cases} cases total, schema valid, fanout > 1x in each",
+                    reports.len()
+                ),
+                Err(e) => {
+                    eprintln!("check FAILED: {e}");
+                    return ExitCode::FAILURE;
+                }
+            }
+        }
+        return ExitCode::SUCCESS;
+    }
     let report = service_bench::run_service_bench(options);
     println!("{}", service_bench::format_report(&report));
     std::fs::write(&out, service_bench::report_to_json(&report)).expect("write BENCH_service.json");

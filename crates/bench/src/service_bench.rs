@@ -10,6 +10,11 @@
 //! * **hot** — all clients replay the frames of one pre-warmed shared
 //!   session, so every request is served straight from the LRU frame cache.
 //!
+//! A **fan-out** phase then measures the shared-field broadcast layer:
+//! many subscribers of a handful of shared fields stream frames over
+//! chunked HTTP while the server synthesizes each field exactly once —
+//! delivered/synthesized is the broadcast leverage and must stay O(fields).
+//!
 //! A final overload phase floods a deliberately tiny server (one worker,
 //! watermark 3) far past its watermark and records how many requests were
 //! shed with `Busy` versus queued — the queue must shed, not grow. Results
@@ -32,6 +37,17 @@ pub struct ServiceBenchOptions {
     pub requests_per_client: usize,
     /// Concurrency levels to sweep.
     pub concurrency: [usize; 3],
+    /// Distinct shared fields of the fan-out phase.
+    pub fanout_fields: usize,
+    /// Total streaming subscribers of the fan-out phase, spread evenly
+    /// over the fields.
+    pub fanout_subscribers: usize,
+    /// Frames each fan-out subscriber streams.
+    pub fanout_frames: u64,
+    /// Synthesis worker threads per server (0 = one per available core);
+    /// set by the `--threads` sweep so the service side scales with the
+    /// rayon worker override.
+    pub workers: usize,
 }
 
 impl ServiceBenchOptions {
@@ -42,6 +58,10 @@ impl ServiceBenchOptions {
             spot_count: 800,
             requests_per_client: 24,
             concurrency: [1, 4, 16],
+            fanout_fields: 4,
+            fanout_subscribers: 64,
+            fanout_frames: 24,
+            workers: 0,
         }
     }
 
@@ -52,6 +72,10 @@ impl ServiceBenchOptions {
             spot_count: 200,
             requests_per_client: 8,
             concurrency: [1, 4, 16],
+            fanout_fields: 2,
+            fanout_subscribers: 16,
+            fanout_frames: 8,
+            workers: 0,
         }
     }
 
@@ -64,6 +88,13 @@ impl ServiceBenchOptions {
             ),
             self.texture_size, self.spot_count, seed
         )
+    }
+
+    /// A shared-session spec: same workload, subscribed to the broadcast
+    /// channel of its `(field, config, seed)` instead of owning a pipeline.
+    fn shared_session_body(&self, seed: u64) -> String {
+        let body = self.session_body(seed);
+        format!("{}, \"shared\": true}}", &body[..body.len() - 1])
     }
 }
 
@@ -90,6 +121,34 @@ pub struct ServiceCase {
     pub cache_hit_rate: f64,
     /// Requests shed with `503 Busy` (retried until served).
     pub busy_retries: u64,
+}
+
+/// Outcome of the shared-field fan-out phase.
+#[derive(Debug, Clone, Copy)]
+pub struct FanoutResult {
+    /// Distinct shared fields (= broadcast channels).
+    pub fields: usize,
+    /// Streaming subscribers across all fields.
+    pub subscribers: usize,
+    /// Frames each subscriber streamed.
+    pub frames_per_subscriber: u64,
+    /// Frames received client-side across all subscribers.
+    pub delivered: u64,
+    /// Frontier skips observed client-side (fallen-behind subscribers).
+    pub skipped: u64,
+    /// Frames the server actually synthesized (`/stats` channels counter).
+    pub synthesized: u64,
+    /// delivered / synthesized as the server accounts it — the broadcast
+    /// leverage; O(fields) synthesis makes this scale with subscribers.
+    pub delivery_ratio: f64,
+    /// Median steady-state inter-frame gap of a subscriber's stream, in
+    /// microseconds (the first frame of each stream — which pays the
+    /// initial synthesis — is excluded).
+    pub p50_us: f64,
+    /// 99th-percentile steady-state inter-frame gap in microseconds.
+    pub p99_us: f64,
+    /// Aggregate delivered frames per second over the phase's wall time.
+    pub frames_per_second: f64,
 }
 
 /// Outcome of the overload phase.
@@ -123,6 +182,8 @@ pub struct ServiceBenchReport {
     pub frame_bytes: usize,
     /// The sweep cases.
     pub cases: Vec<ServiceCase>,
+    /// The shared-field fan-out phase outcome.
+    pub fanout: FanoutResult,
     /// The overload phase outcome.
     pub overload: OverloadResult,
 }
@@ -260,6 +321,126 @@ fn run_case(
     }
 }
 
+/// One fan-out subscriber: create a shared session for `seed` and stream
+/// `frames` frames, recording steady-state inter-frame gaps.
+struct SubscriberOutcome {
+    gaps_us: Vec<f64>,
+    delivered: u64,
+    skipped: u64,
+}
+
+fn run_subscriber(
+    addr: SocketAddr,
+    body: String,
+    frames: u64,
+    barrier: Arc<Barrier>,
+) -> SubscriberOutcome {
+    let mut client = ServiceClient::connect(addr).expect("connect fanout subscriber");
+    let session = client.create_session(&body).expect("create shared session");
+    let mut outcome = SubscriberOutcome {
+        gaps_us: Vec::with_capacity(frames.saturating_sub(1) as usize),
+        delivered: 0,
+        skipped: 0,
+    };
+    barrier.wait();
+    let mut stream = client
+        .stream_frames(&session, 0, frames)
+        .expect("open fanout stream");
+    let mut last = Instant::now();
+    while let Some(frame) = stream.next_frame().expect("fanout stream read") {
+        let now = Instant::now();
+        // The first frame pays the stream's initial synthesis (or cache
+        // warm-up); everything after it is the steady-state fan-out path.
+        if outcome.delivered > 0 {
+            outcome.gaps_us.push((now - last).as_secs_f64() * 1e6);
+        }
+        last = now;
+        outcome.delivered += 1;
+        if frame.skipped {
+            outcome.skipped += 1;
+        }
+    }
+    outcome
+}
+
+/// Runs the shared-field fan-out phase on a fresh server: `fields` distinct
+/// shared specs, `subscribers` streaming clients spread evenly over them.
+/// Synthesis must stay O(fields) while delivery scales with subscribers.
+fn run_fanout(opts: &ServiceBenchOptions) -> FanoutResult {
+    let fields = opts.fanout_fields.max(1);
+    let subscribers = opts.fanout_subscribers.max(fields);
+    let frames = opts.fanout_frames.max(1);
+    let handle = serve(
+        "127.0.0.1:0",
+        ServiceOptions {
+            cache_bytes: 256 << 20,
+            workers: opts.workers,
+            max_sessions: subscribers + 8,
+            max_stream_frames: frames,
+            ..ServiceOptions::default()
+        },
+    )
+    .expect("bind fanout server");
+    let addr = handle.addr();
+    let barrier = Arc::new(Barrier::new(subscribers + 1));
+    let workers: Vec<_> = (0..subscribers)
+        .map(|i| {
+            // Subscriber i watches field (i % fields): distinct seeds make
+            // distinct broadcast channels, same-seed subscribers share one.
+            let body = opts.shared_session_body(7_000 + (i % fields) as u64);
+            let barrier = Arc::clone(&barrier);
+            std::thread::spawn(move || run_subscriber(addr, body, frames, barrier))
+        })
+        .collect();
+    barrier.wait();
+    let started = Instant::now();
+    let outcomes: Vec<SubscriberOutcome> = workers
+        .into_iter()
+        .map(|w| w.join().expect("fanout subscriber panicked"))
+        .collect();
+    let wall = started.elapsed().as_secs_f64();
+
+    let mut stats_client = ServiceClient::connect(addr).expect("connect fanout stats");
+    let stats = stats_client.stats().expect("fanout stats");
+    let channel_stat = |key: &str| {
+        stats
+            .get("channels")
+            .and_then(|c| c.get(key))
+            .and_then(Json::as_f64)
+            .unwrap_or(f64::NAN)
+    };
+    let synthesized = channel_stat("synthesized") as u64;
+    let stats_delivered = channel_stat("delivered");
+    handle.shutdown();
+
+    let delivered: u64 = outcomes.iter().map(|o| o.delivered).sum();
+    let skipped: u64 = outcomes.iter().map(|o| o.skipped).sum();
+    let mut gaps: Vec<f64> = outcomes
+        .iter()
+        .flat_map(|o| o.gaps_us.iter().copied())
+        .collect();
+    FanoutResult {
+        fields,
+        subscribers,
+        frames_per_subscriber: frames,
+        delivered,
+        skipped,
+        synthesized,
+        delivery_ratio: if synthesized > 0 {
+            stats_delivered / synthesized as f64
+        } else {
+            0.0
+        },
+        p50_us: percentile_us(&mut gaps, 50.0),
+        p99_us: percentile_us(&mut gaps, 99.0),
+        frames_per_second: if wall > 0.0 {
+            delivered as f64 / wall
+        } else {
+            0.0
+        },
+    }
+}
+
 /// Floods a one-worker, watermark-3 server with simultaneous cold requests
 /// and records shed-vs-served counts. The queue must shed with `Busy`, never
 /// grow past its watermark.
@@ -331,10 +512,11 @@ fn run_overload(opts: &ServiceBenchOptions) -> OverloadResult {
     }
 }
 
-/// Runs the full sweep and the overload phase.
+/// Runs the full sweep, the fan-out phase and the overload phase.
 pub fn run_service_bench(opts: ServiceBenchOptions) -> ServiceBenchReport {
     let server_options = ServiceOptions {
         cache_bytes: 64 << 20,
+        workers: opts.workers,
         ..ServiceOptions::default()
     };
     let handle = serve("127.0.0.1:0", server_options).expect("bind bench server");
@@ -349,6 +531,7 @@ pub fn run_service_bench(opts: ServiceBenchOptions) -> ServiceBenchReport {
         }
     }
     handle.shutdown();
+    let fanout = run_fanout(&opts);
     let overload = run_overload(&opts);
     ServiceBenchReport {
         threads: std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get),
@@ -357,6 +540,7 @@ pub fn run_service_bench(opts: ServiceBenchOptions) -> ServiceBenchReport {
         options: opts,
         frame_bytes: opts.texture_size * opts.texture_size * 4,
         cases,
+        fanout,
         overload,
     }
 }
@@ -389,6 +573,20 @@ pub fn format_report(report: &ServiceBenchReport) -> String {
             case.busy_retries,
         ));
     }
+    let f = &report.fanout;
+    out.push_str(&format!(
+        "fanout: {} subscribers x {} frames on {} shared fields: {} delivered \
+         ({} skips), {} synthesized ({:.1}x leverage), gap p50 {:.1} us, {:.1} frames/s\n",
+        f.subscribers,
+        f.frames_per_subscriber,
+        f.fields,
+        f.delivered,
+        f.skipped,
+        f.synthesized,
+        f.delivery_ratio,
+        f.p50_us,
+        f.frames_per_second,
+    ));
     let o = &report.overload;
     out.push_str(&format!(
         "overload: {} simultaneous requests vs watermark {}: {} busy, {} served, peak depth {}\n",
@@ -399,6 +597,24 @@ pub fn format_report(report: &ServiceBenchReport) -> String {
 
 /// Serializes the report in the `BENCH_service.json` schema.
 pub fn report_to_json(report: &ServiceBenchReport) -> String {
+    report_json_value(report).to_string_pretty()
+}
+
+/// Serializes a `--threads` sweep: one `bench_service/v1` report per swept
+/// worker count, wrapped in a `bench_service_sweep/v1` envelope so the
+/// sweep artifact can never be mistaken for a single-run bank.
+pub fn sweep_to_json(reports: &[ServiceBenchReport]) -> String {
+    Json::object([
+        ("schema", Json::str("bench_service_sweep/v1")),
+        ("runs", Json::array(reports.iter().map(report_json_value))),
+    ])
+    .to_string_pretty()
+}
+
+/// Builds the JSON value for one report: the body of the single-run
+/// artifact and each entry of a `--threads` sweep's `runs` array.
+fn report_json_value(report: &ServiceBenchReport) -> Json {
+    let f = &report.fanout;
     let o = &report.overload;
     let mut pairs: Vec<(&'static str, Json)> = vec![
         ("schema", Json::str("bench_service/v1")),
@@ -422,6 +638,7 @@ pub fn report_to_json(report: &ServiceBenchReport) -> String {
                     Json::num(report.options.requests_per_client as f64),
                 ),
                 ("frame_bytes", Json::num(report.frame_bytes as f64)),
+                ("workers", Json::num(report.options.workers as f64)),
             ]),
         ),
         (
@@ -442,6 +659,24 @@ pub fn report_to_json(report: &ServiceBenchReport) -> String {
             })),
         ),
         (
+            "fanout",
+            Json::object([
+                ("fields", Json::num(f.fields as f64)),
+                ("subscribers", Json::num(f.subscribers as f64)),
+                (
+                    "frames_per_subscriber",
+                    Json::num(f.frames_per_subscriber as f64),
+                ),
+                ("delivered", Json::num(f.delivered as f64)),
+                ("skipped", Json::num(f.skipped as f64)),
+                ("synthesized", Json::num(f.synthesized as f64)),
+                ("delivery_ratio", Json::num(f.delivery_ratio)),
+                ("p50_us", Json::num(f.p50_us)),
+                ("p99_us", Json::num(f.p99_us)),
+                ("frames_per_second", Json::num(f.frames_per_second)),
+            ]),
+        ),
+        (
             "overload",
             Json::object([
                 ("watermark", Json::num(o.watermark as f64)),
@@ -452,7 +687,7 @@ pub fn report_to_json(report: &ServiceBenchReport) -> String {
             ]),
         ),
     ]);
-    Json::object(pairs).to_string_pretty()
+    Json::object(pairs)
 }
 
 #[cfg(test)]
@@ -490,6 +725,18 @@ mod tests {
                 cache_hit_rate: 0.0,
                 busy_retries: 0,
             }],
+            fanout: FanoutResult {
+                fields: 2,
+                subscribers: 16,
+                frames_per_subscriber: 8,
+                delivered: 128,
+                skipped: 0,
+                synthesized: 20,
+                delivery_ratio: 6.4,
+                p50_us: 150.0,
+                p99_us: 900.0,
+                frames_per_second: 5000.0,
+            },
             overload: OverloadResult {
                 watermark: 3,
                 submitted: 12,
@@ -509,10 +756,31 @@ mod tests {
         // No SPOTNOISE_SIMD override ran, so the key is absent.
         assert!(doc.get("simd_override").is_none());
         assert_eq!(
+            doc.get("fanout")
+                .and_then(|f| f.get("delivery_ratio"))
+                .and_then(Json::as_f64),
+            Some(6.4)
+        );
+        assert_eq!(
             doc.get("overload")
                 .and_then(|o| o.get("busy"))
                 .and_then(Json::as_f64),
             Some(8.0)
+        );
+        // A sweep wraps one report per run in its own envelope.
+        let sweep = sweep_to_json(&[report.clone(), report]);
+        let sweep_doc = Json::parse(&sweep).expect("sweep parses");
+        assert_eq!(
+            sweep_doc.get("schema").and_then(Json::as_str),
+            Some("bench_service_sweep/v1")
+        );
+        assert_eq!(
+            sweep_doc
+                .get("runs")
+                .and_then(Json::as_array)
+                .unwrap()
+                .len(),
+            2
         );
     }
 }

@@ -3,8 +3,15 @@
 //! Used by the loopback load bench (`bench_service`), the integration tests
 //! and in-process tooling. One [`ServiceClient`] holds one keep-alive
 //! connection, so repeated frame fetches measure server latency rather than
-//! TCP handshakes.
+//! TCP handshakes. Blocking reads carry a configurable deadline
+//! ([`ServiceClient::connect_with_read_timeout`]) surfaced as
+//! [`ClientError::TimedOut`], so a stalled server can never wedge a client
+//! forever. [`ServiceClient::stream_frames`] reads the chunked
+//! frame-streaming endpoint; a stream abandoned before its terminal chunk
+//! leaves undrained chunks in the connection, so the client marks itself
+//! desynced and refuses further requests — reconnect to recover.
 
+use crate::http::{read_chunk, FrameRecord, FRAME_RECORD_HEADER};
 use spotnoise::json::Json;
 use std::io::{self, BufRead, BufReader, Read, Write};
 use std::net::{SocketAddr, TcpStream};
@@ -42,6 +49,10 @@ impl HttpReply {
 pub enum ClientError {
     /// Transport failure.
     Io(io::Error),
+    /// A blocking read hit the configured deadline before the server
+    /// replied — distinct from [`ClientError::Io`] so callers can retry or
+    /// reconnect instead of treating a slow server as a broken one.
+    TimedOut,
     /// The server shed the request (`503` with a `busy` error).
     Busy,
     /// The server does not know the session (`404`).
@@ -54,6 +65,7 @@ impl std::fmt::Display for ClientError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             ClientError::Io(e) => write!(f, "io: {e}"),
+            ClientError::TimedOut => write!(f, "read deadline expired"),
             ClientError::Busy => write!(f, "server busy"),
             ClientError::NotFound => write!(f, "not found"),
             ClientError::Http(status, body) => write!(f, "http {status}: {body}"),
@@ -63,7 +75,12 @@ impl std::fmt::Display for ClientError {
 
 impl From<io::Error> for ClientError {
     fn from(e: io::Error) -> Self {
-        ClientError::Io(e)
+        // `SO_RCVTIMEO` expiry surfaces as WouldBlock on Unix and TimedOut
+        // on Windows; both mean "deadline", not "connection broken".
+        match e.kind() {
+            io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut => ClientError::TimedOut,
+            _ => ClientError::Io(e),
+        }
     }
 }
 
@@ -82,31 +99,67 @@ pub struct FetchedFrame {
 pub struct ServiceClient {
     reader: BufReader<TcpStream>,
     writer: TcpStream,
+    /// Set when a chunked stream was abandoned before its terminal chunk:
+    /// undrained chunks are still in the connection, so any further request
+    /// would read stream data as its response head. Reconnect to recover.
+    desynced: bool,
 }
 
+/// The default blocking-read deadline ([`ServiceClient::connect`]).
+pub const DEFAULT_READ_TIMEOUT: Duration = Duration::from_secs(120);
+
 impl ServiceClient {
-    /// Connects to the server.
+    /// Connects to the server with the default read deadline.
     pub fn connect(addr: SocketAddr) -> io::Result<Self> {
+        Self::connect_with_read_timeout(addr, Some(DEFAULT_READ_TIMEOUT))
+    }
+
+    /// Connects with an explicit blocking-read deadline (`None` blocks
+    /// forever). Expiry surfaces as [`ClientError::TimedOut`] from the
+    /// typed helpers.
+    pub fn connect_with_read_timeout(
+        addr: SocketAddr,
+        timeout: Option<Duration>,
+    ) -> io::Result<Self> {
         let stream = TcpStream::connect(addr)?;
         stream.set_nodelay(true)?;
-        stream.set_read_timeout(Some(Duration::from_secs(120)))?;
+        stream.set_read_timeout(timeout)?;
         let reader = BufReader::new(stream.try_clone()?);
         Ok(ServiceClient {
             reader,
             writer: stream,
+            desynced: false,
         })
     }
 
-    /// Sends one request and reads the full response.
-    pub fn request(&mut self, method: &str, path: &str, body: &[u8]) -> io::Result<HttpReply> {
+    /// Changes the blocking-read deadline of the live connection (`None`
+    /// blocks forever).
+    pub fn set_read_timeout(&mut self, timeout: Option<Duration>) -> io::Result<()> {
+        self.writer.set_read_timeout(timeout)
+    }
+
+    fn check_synced(&self) -> io::Result<()> {
+        if self.desynced {
+            return Err(io::Error::new(
+                io::ErrorKind::NotConnected,
+                "connection desynced by an abandoned frame stream; reconnect",
+            ));
+        }
+        Ok(())
+    }
+
+    fn write_request_head(&mut self, method: &str, path: &str, body: &[u8]) -> io::Result<()> {
         let head = format!(
             "{method} {path} HTTP/1.1\r\nHost: spotnoise\r\nContent-Length: {}\r\n\r\n",
             body.len()
         );
         self.writer.write_all(head.as_bytes())?;
         self.writer.write_all(body)?;
-        self.writer.flush()?;
+        self.writer.flush()
+    }
 
+    /// Reads a response's status line and headers (not its body).
+    fn read_reply_head(&mut self) -> io::Result<(u16, Vec<(String, String)>)> {
         let mut status_line = String::new();
         if self.reader.read_line(&mut status_line)? == 0 {
             return Err(io::Error::new(
@@ -125,7 +178,6 @@ impl ServiceClient {
                 )
             })?;
         let mut headers = Vec::new();
-        let mut content_length = 0usize;
         loop {
             let mut line = String::new();
             if self.reader.read_line(&mut line)? == 0 {
@@ -139,14 +191,23 @@ impl ServiceClient {
                 break;
             }
             if let Some((name, value)) = line.split_once(':') {
-                let name = name.to_ascii_lowercase();
-                let value = value.trim().to_string();
-                if name == "content-length" {
-                    content_length = value.parse().map_err(|_| {
-                        io::Error::new(io::ErrorKind::InvalidData, "bad content-length")
-                    })?;
-                }
-                headers.push((name, value));
+                headers.push((name.to_ascii_lowercase(), value.trim().to_string()));
+            }
+        }
+        Ok((status, headers))
+    }
+
+    /// Sends one request and reads the full (fixed-length) response.
+    pub fn request(&mut self, method: &str, path: &str, body: &[u8]) -> io::Result<HttpReply> {
+        self.check_synced()?;
+        self.write_request_head(method, path, body)?;
+        let (status, headers) = self.read_reply_head()?;
+        let mut content_length = 0usize;
+        for (name, value) in &headers {
+            if name == "content-length" {
+                content_length = value.parse().map_err(|_| {
+                    io::Error::new(io::ErrorKind::InvalidData, "bad content-length")
+                })?;
             }
         }
         let mut body = vec![0u8; content_length];
@@ -236,5 +297,116 @@ impl ServiceClient {
     pub fn shutdown(&mut self) -> Result<(), ClientError> {
         Self::expect_success(self.request("POST", "/shutdown", b"")?)?;
         Ok(())
+    }
+
+    /// Opens a frame stream: `GET /sessions/<id>/stream?from=N&count=k`.
+    /// Frames arrive through [`FrameStream::next_frame`] as the server
+    /// synthesizes them. Read the stream to its end (`Ok(None)`) — a
+    /// [`FrameStream`] dropped early leaves undrained chunks in the
+    /// connection, and the client marks itself desynced (every later
+    /// request errors; reconnect to recover).
+    pub fn stream_frames(
+        &mut self,
+        session: &str,
+        from: u64,
+        count: u64,
+    ) -> Result<FrameStream<'_>, ClientError> {
+        self.check_synced()?;
+        let path = format!("/sessions/{session}/stream?from={from}&count={count}");
+        self.write_request_head("GET", &path, b"")?;
+        let (status, headers) = self.read_reply_head()?;
+        if status != 200 {
+            // Error responses are fixed-length; drain the body to keep the
+            // connection in sync, then map the status.
+            let mut content_length = 0usize;
+            for (name, value) in &headers {
+                if name == "content-length" {
+                    content_length = value.parse().unwrap_or(0);
+                }
+            }
+            let mut body = vec![0u8; content_length];
+            self.reader.read_exact(&mut body)?;
+            return Err(
+                match Self::expect_success(HttpReply {
+                    status,
+                    headers,
+                    body,
+                }) {
+                    Err(err) => err,
+                    Ok(reply) => ClientError::Http(reply.status, "unexpected stream status".into()),
+                },
+            );
+        }
+        let chunked = headers.iter().any(|(name, value)| {
+            name == "transfer-encoding" && value.eq_ignore_ascii_case("chunked")
+        });
+        if !chunked {
+            return Err(ClientError::Http(
+                status,
+                "stream response is not chunked".into(),
+            ));
+        }
+        Ok(FrameStream {
+            client: self,
+            finished: false,
+        })
+    }
+}
+
+/// One frame read off a [`FrameStream`].
+#[derive(Debug, Clone)]
+pub struct StreamedFrame {
+    /// The frame index the record carries (the live frontier's index when
+    /// `skipped` is set).
+    pub frame: u64,
+    /// Little-endian `f32` texels.
+    pub bytes: Vec<u8>,
+    /// Whether the server served the frame from its cache.
+    pub cached: bool,
+    /// Whether the server skipped this (fallen-behind) subscriber forward
+    /// to the shared channel's live frontier.
+    pub skipped: bool,
+}
+
+/// A frame stream being read off a [`ServiceClient`] connection. Drain it
+/// to `Ok(None)`; dropping it early desyncs the client.
+pub struct FrameStream<'a> {
+    client: &'a mut ServiceClient,
+    finished: bool,
+}
+
+impl FrameStream<'_> {
+    /// Reads the next frame record; `Ok(None)` is the terminal chunk — the
+    /// stream is complete and the connection is reusable.
+    pub fn next_frame(&mut self) -> Result<Option<StreamedFrame>, ClientError> {
+        if self.finished {
+            return Ok(None);
+        }
+        let Some(chunk) = read_chunk(&mut self.client.reader)? else {
+            self.finished = true;
+            return Ok(None);
+        };
+        let record = FrameRecord::decode_header(&chunk)?;
+        let body = &chunk[FRAME_RECORD_HEADER..];
+        if body.len() != record.len as usize {
+            return Err(ClientError::Io(io::Error::new(
+                io::ErrorKind::InvalidData,
+                "frame record length disagrees with its chunk",
+            )));
+        }
+        Ok(Some(StreamedFrame {
+            frame: record.frame,
+            bytes: body.to_vec(),
+            cached: record.cached,
+            skipped: record.skipped,
+        }))
+    }
+}
+
+impl Drop for FrameStream<'_> {
+    fn drop(&mut self) {
+        if !self.finished {
+            self.client.desynced = true;
+        }
     }
 }

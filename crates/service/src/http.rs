@@ -3,7 +3,11 @@
 //! The container this workspace builds in has no registry access, so there
 //! is no hyper/axum to lean on; the service speaks just enough HTTP/1.1 for
 //! its API: request-line + headers + `Content-Length` bodies in,
-//! fixed-length responses with keep-alive out. Request size is capped so a
+//! fixed-length responses with keep-alive out — plus chunked
+//! `Transfer-Encoding` *responses* for the frame-streaming endpoint (one
+//! chunk per [`FrameRecord`], terminal zero-length chunk, connection
+//! reusable afterwards). Chunked *requests* stay rejected: they are a
+//! request-smuggling vector for this parser. Request size is capped so a
 //! misbehaving client cannot balloon memory.
 
 use spotnoise::json::Json;
@@ -262,6 +266,185 @@ impl Response {
     }
 }
 
+/// Upper bound on a single response chunk a client will accept. The largest
+/// legitimate chunk is one frame record: a 2048² `f32` texture (16 MiB)
+/// plus the record header.
+const MAX_CHUNK_BYTES: usize = 32 << 20;
+
+/// Writes the head of a chunked streaming response. After this, the body is
+/// a sequence of [`write_chunk`] / [`write_frame_record`] calls closed by
+/// [`finish_chunked`]; the connection stays framed, so `keep_alive` works
+/// exactly as for fixed-length responses.
+pub fn write_stream_head(
+    out: &mut impl Write,
+    status: u16,
+    headers: &[(String, String)],
+    keep_alive: bool,
+) -> io::Result<()> {
+    let mut head = format!(
+        "HTTP/1.1 {} {}\r\nContent-Type: application/octet-stream\r\nTransfer-Encoding: chunked\r\nConnection: {}\r\n",
+        status,
+        status_text(status),
+        if keep_alive { "keep-alive" } else { "close" },
+    );
+    for (name, value) in headers {
+        head.push_str(name);
+        head.push_str(": ");
+        head.push_str(value);
+        head.push_str("\r\n");
+    }
+    head.push_str("\r\n");
+    out.write_all(head.as_bytes())?;
+    out.flush()
+}
+
+/// Writes one chunk whose data is the concatenation of `parts` — the
+/// multi-part form exists so a frame record (tiny header + megabytes of
+/// `Arc`-shared body) is written straight from its two slices with **no**
+/// intermediate copy of the frame bytes.
+pub fn write_chunk_parts(out: &mut impl Write, parts: &[&[u8]]) -> io::Result<()> {
+    let len: usize = parts.iter().map(|p| p.len()).sum();
+    write!(out, "{len:x}\r\n")?;
+    for part in parts {
+        out.write_all(part)?;
+    }
+    out.write_all(b"\r\n")?;
+    out.flush()
+}
+
+/// Writes one chunk.
+pub fn write_chunk(out: &mut impl Write, data: &[u8]) -> io::Result<()> {
+    write_chunk_parts(out, &[data])
+}
+
+/// Writes the terminal zero-length chunk that ends a chunked body (no
+/// trailers), leaving the connection framed for the next request.
+pub fn finish_chunked(out: &mut impl Write) -> io::Result<()> {
+    out.write_all(b"0\r\n\r\n")?;
+    out.flush()
+}
+
+/// Reads one chunk of a chunked response body. `Ok(None)` is the terminal
+/// zero-length chunk — the body is complete and the connection is back in
+/// sync for the next request.
+pub fn read_chunk(reader: &mut impl BufRead) -> io::Result<Option<Vec<u8>>> {
+    let mut line = String::new();
+    read_line_capped(reader, 128, &mut line)?;
+    // Tolerate chunk extensions (`;`-separated) even though this server
+    // never writes them.
+    let size_text = line.trim_end().split(';').next().unwrap_or("").trim();
+    let len = usize::from_str_radix(size_text, 16).map_err(|_| {
+        io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("bad chunk size {size_text:?}"),
+        )
+    })?;
+    if len > MAX_CHUNK_BYTES {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            "chunk too large",
+        ));
+    }
+    if len == 0 {
+        // Terminal chunk: consume (empty) trailer lines up to the blank.
+        loop {
+            let mut trailer = String::new();
+            if read_line_capped(reader, 1024, &mut trailer)? == 0 {
+                return Err(io::Error::new(
+                    io::ErrorKind::UnexpectedEof,
+                    "connection closed in chunk trailers",
+                ));
+            }
+            if trailer.trim_end().is_empty() {
+                return Ok(None);
+            }
+        }
+    }
+    let mut data = vec![0u8; len];
+    reader.read_exact(&mut data)?;
+    let mut crlf = [0u8; 2];
+    reader.read_exact(&mut crlf)?;
+    if &crlf != b"\r\n" {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            "chunk not CRLF-terminated",
+        ));
+    }
+    Ok(Some(data))
+}
+
+/// Size of the fixed header that prefixes every streamed frame record.
+pub const FRAME_RECORD_HEADER: usize = 16;
+
+/// The in-stream framing of one streamed frame: a 16-byte header —
+/// flags `u32` LE (bit 0 = served from cache, bit 1 = skipped to the live
+/// frontier), frame index `u64` LE, body length `u32` LE — followed by the
+/// frame body. Each record is exactly one HTTP chunk.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FrameRecord {
+    /// The frame index this record carries.
+    pub frame: u64,
+    /// Body length in bytes.
+    pub len: u32,
+    /// Whether the frame was served from the cache.
+    pub cached: bool,
+    /// Whether a fallen-behind subscriber was skipped to the live frontier
+    /// (the carried index is the frontier's, not the requested one).
+    pub skipped: bool,
+}
+
+impl FrameRecord {
+    /// Encodes the fixed header.
+    pub fn encode_header(&self) -> [u8; FRAME_RECORD_HEADER] {
+        let mut h = [0u8; FRAME_RECORD_HEADER];
+        let mut flags = 0u32;
+        if self.cached {
+            flags |= 1;
+        }
+        if self.skipped {
+            flags |= 2;
+        }
+        h[0..4].copy_from_slice(&flags.to_le_bytes());
+        h[4..12].copy_from_slice(&self.frame.to_le_bytes());
+        h[12..16].copy_from_slice(&self.len.to_le_bytes());
+        h
+    }
+
+    /// Decodes the fixed header from the front of a chunk.
+    pub fn decode_header(bytes: &[u8]) -> io::Result<FrameRecord> {
+        if bytes.len() < FRAME_RECORD_HEADER {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                "frame record shorter than its header",
+            ));
+        }
+        let flags = u32::from_le_bytes(bytes[0..4].try_into().expect("4 bytes"));
+        if flags & !0b11 != 0 {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("unknown frame record flags {flags:#x}"),
+            ));
+        }
+        Ok(FrameRecord {
+            frame: u64::from_le_bytes(bytes[4..12].try_into().expect("8 bytes")),
+            len: u32::from_le_bytes(bytes[12..16].try_into().expect("4 bytes")),
+            cached: flags & 1 != 0,
+            skipped: flags & 2 != 0,
+        })
+    }
+}
+
+/// Writes one frame record as one chunk: header + body, the body straight
+/// from its shared buffer (zero copies on the delivery path).
+pub fn write_frame_record(
+    out: &mut impl Write,
+    record: &FrameRecord,
+    body: &[u8],
+) -> io::Result<()> {
+    debug_assert_eq!(record.len as usize, body.len());
+    write_chunk_parts(out, &[&record.encode_header(), body])
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -389,5 +572,99 @@ mod tests {
         let resp = Response::error(503, "busy", "queue at watermark");
         let parsed = Json::parse(std::str::from_utf8(&resp.body).unwrap()).unwrap();
         assert_eq!(parsed.get("error").and_then(Json::as_str), Some("busy"));
+    }
+
+    #[test]
+    fn chunks_round_trip_through_writer_and_reader() {
+        let mut wire = Vec::new();
+        write_chunk(&mut wire, b"hello").unwrap();
+        write_chunk_parts(&mut wire, &[b"wor", b"ld"]).unwrap();
+        write_chunk(&mut wire, &[0u8; 300]).unwrap();
+        finish_chunked(&mut wire).unwrap();
+        // The multi-part write frames as ONE chunk (the zero-copy record
+        // shape), and sizes are hex.
+        assert!(wire.starts_with(b"5\r\nhello\r\n5\r\nworld\r\n12c\r\n"));
+        let mut reader = BufReader::new(&wire[..]);
+        assert_eq!(read_chunk(&mut reader).unwrap().unwrap(), b"hello");
+        assert_eq!(read_chunk(&mut reader).unwrap().unwrap(), b"world");
+        assert_eq!(read_chunk(&mut reader).unwrap().unwrap(), vec![0u8; 300]);
+        assert!(read_chunk(&mut reader).unwrap().is_none(), "terminal chunk");
+        // The stream is back in sync: nothing left to read.
+        assert!(read_chunk(&mut reader).is_err());
+    }
+
+    #[test]
+    fn terminal_chunk_is_exactly_zero_crlf_crlf() {
+        let mut wire = Vec::new();
+        finish_chunked(&mut wire).unwrap();
+        assert_eq!(wire, b"0\r\n\r\n");
+        let mut reader = BufReader::new(&wire[..]);
+        assert!(read_chunk(&mut reader).unwrap().is_none());
+    }
+
+    #[test]
+    fn malformed_chunks_are_errors() {
+        // Bad size line.
+        let mut r = BufReader::new(&b"zz\r\nab\r\n"[..]);
+        assert!(read_chunk(&mut r).is_err());
+        // Chunk data not CRLF-terminated desyncs — refused.
+        let mut r = BufReader::new(&b"2\r\nabXX"[..]);
+        assert!(read_chunk(&mut r).is_err());
+        // Truncated mid-data.
+        let mut r = BufReader::new(&b"a\r\nab"[..]);
+        assert!(read_chunk(&mut r).is_err());
+        // Absurd size is rejected before any allocation.
+        let mut r = BufReader::new(&b"fffffffff\r\n"[..]);
+        assert!(read_chunk(&mut r).is_err());
+    }
+
+    #[test]
+    fn frame_records_round_trip_as_single_chunks() {
+        let body = vec![7u8; 64];
+        let record = FrameRecord {
+            frame: 42,
+            len: body.len() as u32,
+            cached: true,
+            skipped: false,
+        };
+        let mut wire = Vec::new();
+        write_frame_record(&mut wire, &record, &body).unwrap();
+        finish_chunked(&mut wire).unwrap();
+        let mut reader = BufReader::new(&wire[..]);
+        let chunk = read_chunk(&mut reader).unwrap().unwrap();
+        assert_eq!(chunk.len(), FRAME_RECORD_HEADER + body.len());
+        let decoded = FrameRecord::decode_header(&chunk).unwrap();
+        assert_eq!(decoded, record);
+        assert_eq!(&chunk[FRAME_RECORD_HEADER..], &body[..]);
+        assert!(read_chunk(&mut reader).unwrap().is_none());
+        // Both flag bits survive; unknown bits are refused.
+        let skipped = FrameRecord {
+            frame: u64::MAX,
+            len: 0,
+            cached: false,
+            skipped: true,
+        };
+        assert_eq!(
+            FrameRecord::decode_header(&skipped.encode_header()).unwrap(),
+            skipped
+        );
+        let mut bad = skipped.encode_header();
+        bad[0] |= 0x80;
+        assert!(FrameRecord::decode_header(&bad).is_err());
+        assert!(FrameRecord::decode_header(&[0u8; 8]).is_err());
+    }
+
+    #[test]
+    fn stream_head_declares_chunked_and_no_content_length() {
+        let mut out = Vec::new();
+        let headers = vec![("X-Stream-From".to_string(), "3".to_string())];
+        write_stream_head(&mut out, 200, &headers, true).unwrap();
+        let text = String::from_utf8_lossy(&out);
+        assert!(text.starts_with("HTTP/1.1 200 OK\r\n"));
+        assert!(text.contains("Transfer-Encoding: chunked\r\n"));
+        assert!(text.contains("X-Stream-From: 3\r\n"));
+        assert!(text.contains("Connection: keep-alive\r\n"));
+        assert!(!text.contains("Content-Length"));
+        assert!(text.ends_with("\r\n\r\n"));
     }
 }

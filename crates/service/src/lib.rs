@@ -10,6 +10,11 @@
 //! * [`session`] — the session registry: one
 //!   [`Pipeline`](spotnoise::pipeline::Pipeline) per session, keyed ids,
 //!   create/advance/steer/close, idle eviction;
+//! * [`channel`] — shared-field broadcast: one advected spot population and
+//!   one synthesis clock per distinct `(field, config, seed)` feeding every
+//!   subscribed session, so synthesis cost is O(fields) while delivery is a
+//!   fan-out of cached `Arc` frames (steering a shared session forks it
+//!   into a private one);
 //! * [`cache`] — an LRU frame cache keyed by
 //!   `(field hash, config hash, seed, frame index)`, so repeated or
 //!   steered-back requests skip synthesis entirely;
@@ -46,6 +51,7 @@
 #![warn(missing_docs)]
 
 pub mod cache;
+pub mod channel;
 pub mod client;
 pub mod http;
 pub mod queue;
@@ -54,8 +60,9 @@ pub mod session;
 pub mod spec;
 
 pub use cache::{FrameCache, FrameKey};
-pub use client::{ClientError, FetchedFrame, ServiceClient};
+pub use channel::{ChannelKey, ChannelRegistry, ChannelSubscription, ChannelTotals, FieldChannel};
+pub use client::{ClientError, FetchedFrame, FrameStream, ServiceClient, StreamedFrame};
 pub use queue::{AdmissionConfig, AdmissionError, FrameQueue, QueueStats};
 pub use server::{serve, FrameResult, Service, ServiceError, ServiceHandle, ServiceOptions};
-pub use session::{Session, SessionRegistry};
+pub use session::{ServedFrame, Session, SessionRegistry};
 pub use spec::{FieldSpec, SessionSpec};

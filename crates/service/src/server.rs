@@ -10,7 +10,11 @@
 //! queue past its watermark — excess requests are shed with `503 Busy`.
 
 use crate::cache::FrameCache;
-use crate::http::{read_request, Request, Response};
+use crate::channel::ChannelRegistry;
+use crate::http::{
+    finish_chunked, read_request, write_frame_record, write_stream_head, FrameRecord, Request,
+    Response,
+};
 use crate::queue::{AdmissionConfig, AdmissionError, FrameQueue};
 use crate::session::{
     format_session_id, parse_session_id, InFlightGuard, RegistryError, RenderError, Session,
@@ -52,6 +56,12 @@ pub struct ServiceOptions {
     /// case the client sees a 500 while the worker still finishes (and
     /// caches) the job.
     pub reply_timeout: Duration,
+    /// Frames a shared channel pre-renders past each served request, so the
+    /// subscribers behind the frontier-advancing one fan out of the cache.
+    pub channel_lookahead: u64,
+    /// Cap on frames a single `GET .../stream` request may push (requests
+    /// asking for more are clamped).
+    pub max_stream_frames: u64,
 }
 
 impl Default for ServiceOptions {
@@ -64,6 +74,8 @@ impl Default for ServiceOptions {
             idle_timeout: Duration::from_secs(300),
             max_advances_per_request: 512,
             reply_timeout: Duration::from_secs(60),
+            channel_lookahead: 2,
+            max_stream_frames: 256,
         }
     }
 }
@@ -88,10 +100,14 @@ pub enum ServiceError {
 pub struct FrameResult {
     /// Little-endian `f32` texels, row-major from the bottom row.
     pub bytes: Arc<Vec<u8>>,
-    /// The frame index served.
+    /// The frame index served. Equals the requested index except when a
+    /// fallen-behind shared subscriber was skipped to the live frontier.
     pub frame: u64,
     /// Whether the frame came out of the cache.
     pub cached: bool,
+    /// Whether the serve skipped a fallen-behind shared subscriber forward
+    /// to the channel's live frontier.
+    pub skipped: bool,
 }
 
 struct FrameJob {
@@ -119,12 +135,16 @@ struct ServiceCounters {
     advect_us: AtomicU64,
     synthesize_us: AtomicU64,
     render_us: AtomicU64,
+    streams_started: AtomicU64,
+    frames_streamed: AtomicU64,
 }
 
 /// The shared state of a running synthesis server.
 pub struct Service {
     options: ServiceOptions,
     registry: Mutex<SessionRegistry>,
+    /// Shared-field broadcast channels, keyed by `(field, config, seed)`.
+    channels: Mutex<ChannelRegistry>,
     cache: Mutex<FrameCache>,
     queue: FrameQueue<FrameJob>,
     /// Service-wide frame-buffer arena and pipe-worker pool, shared by all
@@ -163,6 +183,10 @@ impl Service {
                 options.idle_timeout,
                 pools.clone(),
             )),
+            channels: Mutex::new(ChannelRegistry::new(
+                pools.clone(),
+                options.channel_lookahead,
+            )),
             cache: Mutex::new(FrameCache::new(options.cache_bytes)),
             queue: FrameQueue::new(options.admission),
             pools,
@@ -189,17 +213,42 @@ impl Service {
         self.shutdown.load(Ordering::SeqCst)
     }
 
-    /// Creates a session and returns its id.
+    /// Creates a session and returns its id. A spec with `shared: true`
+    /// subscribes the session to the broadcast channel for its
+    /// `(field, config, seed)` — creating the channel if this is its first
+    /// viewer — instead of giving it a private pipeline.
     pub fn create_session(&self, spec: SessionSpec) -> Result<u64, ServiceError> {
         if self.is_shutting_down() {
             return Err(ServiceError::ShuttingDown);
         }
+        // Subscribe before touching the registry lock (never hold both).
+        let subscription = spec.shared.then(|| {
+            self.channels
+                .lock()
+                .expect("channels poisoned")
+                .subscribe(&spec)
+        });
         let mut registry = self.registry.lock().expect("registry poisoned");
         registry.evict_idle();
-        match registry.create(spec) {
+        let created = match subscription {
+            Some(sub) => registry.create_shared(spec, sub),
+            None => registry.create(spec),
+        };
+        drop(registry);
+        // Eviction above (and a shed create: `create_shared` drops the
+        // subscription on the cap error) may have unsubscribed channels —
+        // retire the ones nobody watches any more.
+        self.sweep_channels();
+        match created {
             Ok((id, _)) => Ok(id),
             Err(RegistryError::TooManySessions) => Err(ServiceError::Busy("sessions")),
         }
+    }
+
+    /// Retires broadcast channels with no subscribers left (their counters
+    /// fold into the `/stats` totals).
+    fn sweep_channels(&self) {
+        self.channels.lock().expect("channels poisoned").sweep();
     }
 
     /// Steers a session to a new field (restarting its animation clock).
@@ -214,9 +263,11 @@ impl Service {
         Ok(())
     }
 
-    /// Closes a session.
+    /// Closes a session (retiring its broadcast channel if it was the last
+    /// subscriber).
     pub fn close_session(&self, id: u64) -> Result<(), ServiceError> {
         if self.registry.lock().expect("registry poisoned").close(id) {
+            self.sweep_channels();
             Ok(())
         } else {
             Err(ServiceError::NotFound)
@@ -237,25 +288,36 @@ impl Service {
             .expect("registry poisoned")
             .get(id)
             .ok_or(ServiceError::NotFound)?;
-        let (key, guard) = {
+        let (key, guard, queue_id) = {
             let mut s = session.lock().expect("session poisoned");
             s.touch();
+            // A shared session's synthesis jobs queue under its *channel's*
+            // id: the channel is one fair peer of the private sessions, no
+            // matter how many subscribers it feeds.
+            let queue_id = s.channel().map_or(id, |c| c.queue_id());
             // Mark the prospective job in-flight *before* the cache check
             // and submission: from here until the worker finishes, idle
             // eviction must not reap the session.
-            (s.key_for(frame), s.begin_job())
+            (s.key_for(frame), s.begin_job(), queue_id)
         };
         if let Some(bytes) = self.cache.lock().expect("cache poisoned").lookup(key) {
-            session.lock().expect("session poisoned").note_served(frame);
+            let mut s = session.lock().expect("session poisoned");
+            s.note_served(frame);
+            // A cached serve on a shared session is the broadcast fan-out
+            // path: count the delivery on its channel.
+            if let Some(channel) = s.channel() {
+                channel.note_delivered();
+            }
             return Ok(FrameResult {
                 bytes,
                 frame,
                 cached: true,
+                skipped: false,
             });
         }
         let (tx, rx) = mpsc::channel();
         match self.queue.submit(
-            id,
+            queue_id,
             FrameJob {
                 frame,
                 session: Arc::clone(&session),
@@ -273,10 +335,31 @@ impl Service {
             Err(mpsc::RecvTimeoutError::Timeout) => Err(ServiceError::Internal("reply timeout")),
             Err(mpsc::RecvTimeoutError::Disconnected) => Err(ServiceError::Internal("job dropped")),
         };
-        if outcome.is_ok() {
-            session.lock().expect("session poisoned").note_served(frame);
+        if let Ok(result) = &outcome {
+            // Note the frame actually served (a skipped shared serve lands
+            // on the frontier, not the requested index), so `advance`
+            // continues from what the client really saw.
+            session
+                .lock()
+                .expect("session poisoned")
+                .note_served(result.frame);
         }
         outcome
+    }
+
+    /// Like [`Service::fetch_frame`], but retries `Busy` sheds (bounded by
+    /// the reply timeout) instead of surfacing them — the streaming
+    /// endpoint's loop cannot hand a 503 to a client mid-stream.
+    fn fetch_frame_retrying(&self, id: u64, frame: u64) -> Result<FrameResult, ServiceError> {
+        let deadline = Instant::now() + self.options.reply_timeout;
+        loop {
+            match self.fetch_frame(id, frame) {
+                Err(ServiceError::Busy(_)) if Instant::now() < deadline => {
+                    std::thread::sleep(Duration::from_millis(1));
+                }
+                outcome => return outcome,
+            }
+        }
     }
 
     /// Renders and returns the session's next frame: the one after the most
@@ -314,10 +397,17 @@ impl Service {
         // rendered it while this job queued.
         let key = s.key_for(job.frame);
         if let Some(bytes) = self.cache.lock().expect("cache poisoned").peek(key) {
+            // For shared sessions this is the common fan-out case: the
+            // channel (driven by a racing subscriber) rendered the frame
+            // while this job queued. Count the delivery.
+            if let Some(channel) = s.channel() {
+                channel.note_delivered();
+            }
             return Ok(FrameResult {
                 bytes,
                 frame: job.frame,
                 cached: true,
+                skipped: false,
             });
         }
         let rendered = s.render_frame(
@@ -348,10 +438,11 @@ impl Service {
             },
         );
         match rendered {
-            Ok(bytes) => Ok(FrameResult {
-                bytes,
-                frame: job.frame,
+            Ok(served) => Ok(FrameResult {
+                bytes: served.bytes,
+                frame: served.frame,
                 cached: false,
+                skipped: served.skipped,
             }),
             Err(RenderError::TooFarAhead { needed, max }) => Err(ServiceError::BadRequest(
                 format!("frame needs {needed} synthesis steps, above the per-request cap of {max}"),
@@ -373,6 +464,7 @@ impl Service {
             cache.stats(),
         );
         drop(cache);
+        let channel_totals = self.channels.lock().expect("channels poisoned").totals();
         let q = self.queue.stats();
         let frames = self.counters.frames_rendered.load(Ordering::Relaxed);
         let synthesize_us = self.counters.synthesize_us.load(Ordering::Relaxed);
@@ -419,6 +511,29 @@ impl Service {
                         Json::num(self.counters.render_us.load(Ordering::Relaxed) as f64),
                     ),
                     ("mean_synthesize_us", Json::num(mean_synthesize_us)),
+                ]),
+            ),
+            (
+                "channels",
+                Json::object([
+                    ("live", Json::num(channel_totals.live as f64)),
+                    ("created", Json::num(channel_totals.created as f64)),
+                    ("subscribers", Json::num(channel_totals.subscribers as f64)),
+                    (
+                        "peak_subscribers",
+                        Json::num(channel_totals.peak_subscribers as f64),
+                    ),
+                    ("delivered", Json::num(channel_totals.delivered as f64)),
+                    ("synthesized", Json::num(channel_totals.synthesized as f64)),
+                    ("skips", Json::num(channel_totals.skips as f64)),
+                    (
+                        "delivery_ratio",
+                        Json::num(if channel_totals.synthesized > 0 {
+                            channel_totals.delivered as f64 / channel_totals.synthesized as f64
+                        } else {
+                            0.0
+                        }),
+                    ),
                 ]),
             ),
             (
@@ -475,10 +590,20 @@ impl Service {
             ),
             (
                 "http",
-                Json::object([(
-                    "requests",
-                    Json::num(self.counters.http_requests.load(Ordering::Relaxed) as f64),
-                )]),
+                Json::object([
+                    (
+                        "requests",
+                        Json::num(self.counters.http_requests.load(Ordering::Relaxed) as f64),
+                    ),
+                    (
+                        "streams",
+                        Json::num(self.counters.streams_started.load(Ordering::Relaxed) as f64),
+                    ),
+                    (
+                        "streamed_frames",
+                        Json::num(self.counters.frames_streamed.load(Ordering::Relaxed) as f64),
+                    ),
+                ]),
             ),
         ])
     }
@@ -511,9 +636,14 @@ impl Service {
     }
 
     fn frame_response(result: &FrameResult) -> Response {
-        Response::shared(200, Arc::clone(&result.bytes))
+        let response = Response::shared(200, Arc::clone(&result.bytes))
             .with_header("X-Frame-Cache", if result.cached { "hit" } else { "miss" })
-            .with_header("X-Frame-Index", result.frame.to_string())
+            .with_header("X-Frame-Index", result.frame.to_string());
+        if result.skipped {
+            response.with_header("X-Frame-Skipped", "1")
+        } else {
+            response
+        }
     }
 
     fn session_info_response(&self, status: u16, id: u64) -> Response {
@@ -548,6 +678,7 @@ impl Service {
                     ]),
                 ),
                 ("dt", Json::num(spec.dt)),
+                ("shared", Json::Bool(s.is_shared())),
                 ("frame_bytes", Json::num(spec.frame_bytes() as f64)),
                 ("head_frame", Json::num(s.head_frame() as f64)),
                 ("frames_rendered", Json::num(s.frames_rendered() as f64)),
@@ -574,6 +705,7 @@ impl Service {
                     .lock()
                     .expect("registry poisoned")
                     .evict_idle();
+                self.sweep_channels();
                 Response::json(200, self.stats_json())
             }
             ("POST", ["shutdown"]) => {
@@ -644,6 +776,130 @@ impl Service {
             _ => Response::error(404, "not_found", "unknown path"),
         }
     }
+
+    /// Serves one `GET /session/<id>/stream?from=N&count=k` request: pushes
+    /// up to `count` frames as one chunked response, each frame one chunk
+    /// ([`FrameRecord`] header + body straight from the shared buffer).
+    ///
+    /// The first frame is fetched *before* the head is written, so early
+    /// failures (unknown session, bad index) still map to real HTTP
+    /// statuses. Mid-stream, `Busy` sheds are retried (bounded by the reply
+    /// timeout) and other errors end the stream cleanly at the terminal
+    /// chunk — the frames already pushed stand, and the connection stays
+    /// framed for the next request. On a shared session that falls behind
+    /// the broadcast frontier, the skip semantics show through here: the
+    /// served record carries the frontier's index and the stream continues
+    /// from there, so a slow subscriber loses frames, never stalls the
+    /// channel.
+    fn handle_stream(
+        &self,
+        out: &mut impl std::io::Write,
+        stream: StreamRequest,
+        keep_alive: bool,
+    ) -> std::io::Result<()> {
+        self.counters.http_requests.fetch_add(1, Ordering::Relaxed);
+        let count = stream.count.clamp(1, self.options.max_stream_frames.max(1));
+        let mut result = match self.fetch_frame_retrying(stream.id, stream.from) {
+            Ok(result) => result,
+            Err(err) => return Self::error_response(&err).write_to(out, keep_alive),
+        };
+        self.counters
+            .streams_started
+            .fetch_add(1, Ordering::Relaxed);
+        let headers = vec![
+            ("X-Stream-From".to_string(), stream.from.to_string()),
+            ("X-Stream-Count".to_string(), count.to_string()),
+        ];
+        write_stream_head(out, 200, &headers, keep_alive)?;
+        let mut sent = 0u64;
+        loop {
+            let record = FrameRecord {
+                frame: result.frame,
+                len: result.bytes.len() as u32,
+                cached: result.cached,
+                skipped: result.skipped,
+            };
+            write_frame_record(out, &record, &result.bytes)?;
+            self.counters
+                .frames_streamed
+                .fetch_add(1, Ordering::Relaxed);
+            sent += 1;
+            if sent >= count {
+                break;
+            }
+            match self.fetch_frame_retrying(stream.id, result.frame.saturating_add(1)) {
+                Ok(next) => result = next,
+                // The status line is long gone: end the stream at the
+                // frames already delivered.
+                Err(_) => break,
+            }
+        }
+        finish_chunked(out)
+    }
+}
+
+/// A parsed frame-stream request.
+struct StreamRequest {
+    id: u64,
+    from: u64,
+    count: u64,
+}
+
+/// Recognizes `GET /sessions/<id>/stream[?from=N&count=k]`. Returns `None`
+/// for every other request (which goes through [`Service::route`] as
+/// usual), `Some(Err(response))` for a malformed stream request, and
+/// `Some(Ok(...))` for a well-formed one.
+fn parse_stream_request(request: &Request) -> Option<Result<StreamRequest, Response>> {
+    if request.method != "GET" {
+        return None;
+    }
+    let (path, query) = match request.path.split_once('?') {
+        Some((path, query)) => (path, query),
+        None => (request.path.as_str(), ""),
+    };
+    let segments: Vec<&str> = path.split('/').filter(|s| !s.is_empty()).collect();
+    let ["sessions", sid, "stream"] = segments.as_slice() else {
+        return None;
+    };
+    let Some(id) = parse_session_id(sid) else {
+        return Some(Err(Service::error_response(&ServiceError::NotFound)));
+    };
+    let mut from = 0u64;
+    let mut count = u64::MAX; // clamped to max_stream_frames by the handler
+    for pair in query.split('&').filter(|p| !p.is_empty()) {
+        let (key, value) = pair.split_once('=').unwrap_or((pair, ""));
+        let parsed = match value.parse::<u64>() {
+            Ok(n) => n,
+            Err(_) => {
+                return Some(Err(Response::error(
+                    400,
+                    "bad_request",
+                    &format!("stream query {key}={value:?} not a number"),
+                )))
+            }
+        };
+        match key {
+            "from" => from = parsed,
+            "count" => {
+                if parsed == 0 {
+                    return Some(Err(Response::error(
+                        400,
+                        "bad_request",
+                        "stream count must be at least 1",
+                    )));
+                }
+                count = parsed;
+            }
+            other => {
+                return Some(Err(Response::error(
+                    400,
+                    "bad_request",
+                    &format!("unknown stream query key {other:?}"),
+                )))
+            }
+        }
+    }
+    Some(Ok(StreamRequest { id, from, count }))
 }
 
 /// How long shutdown waits for in-flight connection threads to finish
@@ -769,6 +1025,31 @@ fn handle_connection(service: Arc<Service>, stream: TcpStream) {
             Err(_) => break,
         };
         let keep_alive = request.keep_alive && !service.is_shutting_down();
+        // Frame streams bypass route(): their response is written
+        // incrementally as frames synthesize, not built up front.
+        match parse_stream_request(&request) {
+            Some(Ok(stream)) => {
+                if service
+                    .handle_stream(&mut writer, stream, keep_alive)
+                    .is_err()
+                    || !keep_alive
+                {
+                    break;
+                }
+                continue;
+            }
+            Some(Err(response)) => {
+                service
+                    .counters
+                    .http_requests
+                    .fetch_add(1, Ordering::Relaxed);
+                if response.write_to(&mut writer, keep_alive).is_err() || !keep_alive {
+                    break;
+                }
+                continue;
+            }
+            None => {}
+        }
         let response = service.route(&request);
         if response.write_to(&mut writer, keep_alive).is_err() || !keep_alive {
             break;

@@ -12,8 +12,16 @@
 //!
 //! The [`SessionRegistry`] owns the sessions, hands out keyed ids, enforces
 //! a session cap and evicts sessions that have been idle too long.
+//!
+//! A session's *frames* need not come from a pipeline it owns: a session
+//! created in shared mode subscribes to a
+//! [`FieldChannel`](crate::channel::FieldChannel) instead (its [`Backing`]
+//! is the subscription, not a pipeline), and its frames come off the
+//! channel's shared synthesis clock — usually straight out of the frame
+//! cache. Steering a shared session forks it back into a private one.
 
 use crate::cache::FrameKey;
+use crate::channel::{ChannelSubscription, FieldChannel};
 use crate::spec::{service_domain, FieldSpec, SessionSpec};
 use flowfield::VectorField;
 use softpipe::machine::MachineConfig;
@@ -63,11 +71,43 @@ impl std::fmt::Display for RenderError {
     }
 }
 
+/// A frame served by a session or a channel: the payload plus how it was
+/// produced.
+#[derive(Debug, Clone)]
+pub struct ServedFrame {
+    /// Little-endian `f32` texels, row-major from the bottom row.
+    pub bytes: Arc<Vec<u8>>,
+    /// The frame index actually served. Equals the requested index except
+    /// when a fallen-behind shared subscriber was skipped to the live
+    /// frontier.
+    pub frame: u64,
+    /// True when the serve skipped a fallen-behind subscriber forward to
+    /// the channel's live frontier instead of rewinding the shared clock.
+    pub skipped: bool,
+}
+
+/// A private session's own synthesis state. Boxed inside [`Backing`]: a
+/// pipeline is hundreds of bytes, and a shared session should not carry
+/// that as dead weight in its enum footprint.
+struct PrivateBacking {
+    field: Box<dyn VectorField + Send + Sync>,
+    pipeline: Pipeline,
+}
+
+/// How a session's frames are produced.
+enum Backing {
+    /// The session owns its field and pipeline (the classic per-session
+    /// mode; every synthesis step is this session's own cost).
+    Private(Box<PrivateBacking>),
+    /// The session subscribes to a shared [`FieldChannel`]: it owns no
+    /// pipeline, and its frames come off the channel's shared clock.
+    Shared(ChannelSubscription),
+}
+
 /// One client's running visualization.
 pub struct Session {
     spec: SessionSpec,
-    field: Box<dyn VectorField + Send + Sync>,
-    pipeline: Pipeline,
+    backing: Backing,
     /// The shared pools the pipeline is (re)attached to — kept so steer and
     /// rewind rebuilds stay on the shared buffers and warm pipe workers.
     shared: SharedPools,
@@ -92,7 +132,11 @@ pub struct Session {
     next_advance: u64,
 }
 
-fn build_pipeline(spec: &SessionSpec, shared: &SharedPools) -> Pipeline {
+/// Builds the synthesis pipeline for a spec on the given pools — the one
+/// construction path for private sessions *and* broadcast channels, which is
+/// what makes a channel's frames structurally bit-identical to a private
+/// session's.
+pub(crate) fn build_pipeline(spec: &SessionSpec, shared: &SharedPools) -> Pipeline {
     let machine = MachineConfig::new(spec.processors, spec.pipes);
     let mut pipeline = Pipeline::new(
         spec.config,
@@ -115,6 +159,26 @@ fn build_pipeline(spec: &SessionSpec, shared: &SharedPools) -> Pipeline {
         pipeline.set_pipe_pool(Some(Arc::clone(pool)));
     }
     pipeline
+}
+
+/// One synthesis step: advances the pipeline over `field` by `dt`,
+/// serializes the texture into the wire format, and recycles the frame
+/// buffer back into the pipeline's arena (the last link of the steady-state
+/// zero-allocation loop). Shared between private-session renders and
+/// channel serves so both modes produce byte-identical frames by
+/// construction.
+pub(crate) fn advance_pipeline(
+    pipeline: &mut Pipeline,
+    field: &dyn VectorField,
+    dt: f64,
+) -> (Arc<Vec<u8>>, StageTimings) {
+    let out = pipeline.advance(field, dt, 0);
+    let bytes = Arc::new(texture_bytes(&out.texture));
+    let timings = out.metrics.timings;
+    if let Some(arena) = pipeline.frame_arena() {
+        arena.recycle_texture(out.texture);
+    }
+    (bytes, timings)
 }
 
 /// Serializes a texture as little-endian `f32` bytes, row-major from the
@@ -148,9 +212,26 @@ impl Session {
 
     /// Creates a session whose pipeline composes on the given shared pools.
     pub fn with_pools(spec: SessionSpec, shared: SharedPools) -> Self {
-        Session {
+        let backing = Backing::Private(Box::new(PrivateBacking {
             field: spec.field.build(),
             pipeline: build_pipeline(&spec, &shared),
+        }));
+        Session::with_backing(spec, shared, backing)
+    }
+
+    /// Creates a session backed by a shared-channel subscription: the
+    /// session owns no pipeline, its frames come off the channel's clock.
+    pub fn subscribed(
+        spec: SessionSpec,
+        shared: SharedPools,
+        subscription: ChannelSubscription,
+    ) -> Self {
+        Session::with_backing(spec, shared, Backing::Shared(subscription))
+    }
+
+    fn with_backing(spec: SessionSpec, shared: SharedPools, backing: Backing) -> Self {
+        Session {
+            backing,
             shared,
             in_flight: Arc::new(AtomicUsize::new(0)),
             field_key: spec.field.cache_key(),
@@ -162,6 +243,20 @@ impl Session {
             next_advance: 0,
             spec,
         }
+    }
+
+    /// The channel a shared session subscribes to (`None` for private
+    /// sessions).
+    pub fn channel(&self) -> Option<&Arc<FieldChannel>> {
+        match &self.backing {
+            Backing::Shared(sub) => Some(sub.channel()),
+            Backing::Private(_) => None,
+        }
+    }
+
+    /// True when the session's frames come off a shared channel.
+    pub fn is_shared(&self) -> bool {
+        matches!(self.backing, Backing::Shared(_))
     }
 
     /// Marks one frame job as admitted for this session; the returned guard
@@ -194,9 +289,13 @@ impl Session {
         }
     }
 
-    /// The index the next natural advance would render.
+    /// The index the next natural advance would render (for shared
+    /// sessions: the channel's live frontier).
     pub fn head_frame(&self) -> u64 {
-        self.pipeline.frames()
+        match &self.backing {
+            Backing::Private(private) => private.pipeline.frames(),
+            Backing::Shared(sub) => sub.channel().head(),
+        }
     }
 
     /// The frame index `advance` serves next: one past the most recently
@@ -243,11 +342,22 @@ impl Session {
     /// clock from the seed. Frames rendered under the previous binding stay
     /// in the cache under their own keys, so steering back re-serves them
     /// without synthesis.
+    ///
+    /// Steering a *shared* session forks it off its channel into a private
+    /// one: the broadcast keeps running unperturbed for the other
+    /// subscribers (a shared clock can't be steered by one viewer), and the
+    /// steering session gets its own pipeline from here on.
     pub fn steer(&mut self, field: FieldSpec) {
         self.spec.field = field;
-        self.field = field.build();
+        self.spec.shared = false;
         self.field_key = field.cache_key();
-        self.pipeline = build_pipeline(&self.spec, &self.shared);
+        // Replacing the backing drops a shared session's subscription —
+        // the channel-registry sweep retires the channel once the last
+        // subscriber is gone.
+        self.backing = Backing::Private(Box::new(PrivateBacking {
+            field: field.build(),
+            pipeline: build_pipeline(&self.spec, &self.shared),
+        }));
         self.steers += 1;
         self.next_advance = 0;
         self.touch();
@@ -256,48 +366,64 @@ impl Session {
     /// Renders frame `index`, replaying from the seed when the session is
     /// already past it. Every frame synthesized on the way (the requested
     /// one included) is handed to `on_frame` with its cache key and stage
-    /// timings, so look-ahead work is never wasted. Returns the requested
-    /// frame's bytes.
+    /// timings, so look-ahead work is never wasted.
+    ///
+    /// A *shared* session delegates to its channel's clock instead: the
+    /// channel never rewinds, so a request behind the frontier that missed
+    /// the cache is skipped forward to the live frontier
+    /// ([`ServedFrame::skipped`]).
     pub fn render_frame(
         &mut self,
         index: u64,
         max_advances: u64,
         mut on_frame: impl FnMut(FrameKey, &Arc<Vec<u8>>, &StageTimings),
-    ) -> Result<Arc<Vec<u8>>, RenderError> {
+    ) -> Result<ServedFrame, RenderError> {
         self.touch();
-        if index < self.pipeline.frames() {
-            // The session is past the requested frame: replay from the seed.
-            self.pipeline = build_pipeline(&self.spec, &self.shared);
-            self.rewinds += 1;
-        }
-        // The rewind above guarantees frames() <= index, so this subtraction
-        // cannot wrap; comparing the off-by-one form (`needed - 1 >= max`)
-        // keeps `index == u64::MAX` from overflowing `needed` itself and
-        // sneaking past the cap into an effectively unbounded render loop.
-        let advances_after_first = index - self.pipeline.frames();
-        if advances_after_first >= max_advances {
-            return Err(RenderError::TooFarAhead {
-                needed: advances_after_first.saturating_add(1),
-                max: max_advances,
-            });
-        }
-        let mut last = None;
-        while self.pipeline.frames() <= index {
-            let frame_index = self.pipeline.frames();
-            let out = self.pipeline.advance(self.field.as_ref(), self.spec.dt, 0);
-            self.frames_rendered += 1;
-            let bytes = Arc::new(texture_bytes(&out.texture));
-            on_frame(self.key_for(frame_index), &bytes, &out.metrics.timings);
-            // The texture has been serialized into the response/cache bytes;
-            // hand its buffer back to the pipeline's arena so the next frame
-            // renders into it instead of allocating — the last link of the
-            // steady-state zero-allocation loop.
-            if let Some(arena) = self.pipeline.frame_arena() {
-                arena.recycle_texture(out.texture);
+        let (field_key, config_key, seed) =
+            (self.field_key, self.config_key, self.spec.config.seed);
+        match &mut self.backing {
+            Backing::Shared(sub) => sub.channel().serve(index, max_advances, on_frame),
+            Backing::Private(private) => {
+                let PrivateBacking { field, pipeline } = &mut **private;
+                if index < pipeline.frames() {
+                    // The session is past the requested frame: replay from
+                    // the seed.
+                    *pipeline = build_pipeline(&self.spec, &self.shared);
+                    self.rewinds += 1;
+                }
+                // The rewind above guarantees frames() <= index, so this
+                // subtraction cannot wrap; comparing the off-by-one form
+                // (`needed - 1 >= max`) keeps `index == u64::MAX` from
+                // overflowing `needed` itself and sneaking past the cap into
+                // an effectively unbounded render loop.
+                let advances_after_first = index - pipeline.frames();
+                if advances_after_first >= max_advances {
+                    return Err(RenderError::TooFarAhead {
+                        needed: advances_after_first.saturating_add(1),
+                        max: max_advances,
+                    });
+                }
+                let mut last = None;
+                while pipeline.frames() <= index {
+                    let frame_index = pipeline.frames();
+                    let (bytes, timings) = advance_pipeline(pipeline, field.as_ref(), self.spec.dt);
+                    self.frames_rendered += 1;
+                    let key = FrameKey {
+                        field: field_key,
+                        config: config_key,
+                        seed,
+                        frame: frame_index,
+                    };
+                    on_frame(key, &bytes, &timings);
+                    last = Some(bytes);
+                }
+                Ok(ServedFrame {
+                    bytes: last.expect("loop ran at least once"),
+                    frame: index,
+                    skipped: false,
+                })
             }
-            last = Some(bytes);
         }
-        Ok(last.expect("loop ran at least once"))
     }
 }
 
@@ -366,7 +492,7 @@ impl SessionRegistry {
         }
     }
 
-    /// Creates a session, returning its id and handle.
+    /// Creates a private session, returning its id and handle.
     pub fn create(
         &mut self,
         spec: SessionSpec,
@@ -374,9 +500,27 @@ impl SessionRegistry {
         if self.sessions.len() >= self.max_sessions {
             return Err(RegistryError::TooManySessions);
         }
+        self.insert(Session::with_pools(spec, self.shared.clone()))
+    }
+
+    /// Creates a session subscribed to a shared channel. On a cap rejection
+    /// the subscription is dropped (its `Drop` unsubscribes), so a shed
+    /// create never leaks a channel membership.
+    pub fn create_shared(
+        &mut self,
+        spec: SessionSpec,
+        subscription: ChannelSubscription,
+    ) -> Result<(u64, Arc<Mutex<Session>>), RegistryError> {
+        if self.sessions.len() >= self.max_sessions {
+            return Err(RegistryError::TooManySessions);
+        }
+        self.insert(Session::subscribed(spec, self.shared.clone(), subscription))
+    }
+
+    fn insert(&mut self, session: Session) -> Result<(u64, Arc<Mutex<Session>>), RegistryError> {
         let id = self.next_id;
         self.next_id += 1;
-        let session = Arc::new(Mutex::new(Session::with_pools(spec, self.shared.clone())));
+        let session = Arc::new(Mutex::new(session));
         self.sessions.insert(id, Arc::clone(&session));
         self.created += 1;
         Ok((id, session))
@@ -471,12 +615,13 @@ mod tests {
         let f0a = a.render_frame(0, 16, |_, _, _| {}).unwrap();
         let f1a = a.render_frame(1, 16, |_, _, _| {}).unwrap();
         let f1b = b.render_frame(1, 16, |_, _, _| {}).unwrap();
-        assert_eq!(&*f1a, &*f1b, "same spec, same frame, same bytes");
+        assert_eq!(f1a.bytes, f1b.bytes, "same spec, same frame, same bytes");
+        assert_eq!((f1a.frame, f1a.skipped), (1, false));
         // Rewind: ask a for frame 0 again — replayed from the seed.
         let f0a2 = a.render_frame(0, 16, |_, _, _| {}).unwrap();
-        assert_eq!(&*f0a, &*f0a2);
+        assert_eq!(f0a.bytes, f0a2.bytes);
         assert_eq!(a.rewinds(), 1);
-        assert!(f0a != f1a, "successive frames differ");
+        assert!(f0a.bytes != f1a.bytes, "successive frames differ");
     }
 
     #[test]
@@ -543,12 +688,15 @@ mod tests {
         let steered_key = s.key_for(0);
         assert_ne!(original, steered_key);
         let f0_steered = s.render_frame(0, 16, |_, _, _| {}).unwrap();
-        assert!(*f0 != *f0_steered, "different field, different frame");
+        assert!(
+            f0.bytes != f0_steered.bytes,
+            "different field, different frame"
+        );
         // Steering back restores the original key (the cache-hit scenario).
         s.steer(SessionSpec::default().field);
         assert_eq!(s.key_for(0), original);
         let f0_back = s.render_frame(0, 16, |_, _, _| {}).unwrap();
-        assert_eq!(&*f0, &*f0_back);
+        assert_eq!(f0.bytes, f0_back.bytes);
         assert_eq!(s.steers(), 2);
     }
 

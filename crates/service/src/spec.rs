@@ -288,6 +288,12 @@ pub struct SessionSpec {
     pub pipes: usize,
     /// Advection time step between successive frames.
     pub dt: f64,
+    /// Subscribe to the shared broadcast channel for this `(field, config,
+    /// seed)` instead of owning a private pipeline. Deliberately **not**
+    /// part of [`SessionSpec::config_cache_key`]: shared and private
+    /// sessions of the same spec render identical texels and must share
+    /// frame-cache entries.
+    pub shared: bool,
 }
 
 impl Default for SessionSpec {
@@ -298,6 +304,7 @@ impl Default for SessionSpec {
             processors: 1,
             pipes: 1,
             dt: 0.05,
+            shared: false,
         }
     }
 }
@@ -326,6 +333,9 @@ impl SessionSpec {
         }
         if let Some(dt) = value.get("dt") {
             spec.dt = dt.as_f64().ok_or("dt not a number")?;
+        }
+        if let Some(shared) = value.get("shared") {
+            spec.shared = shared.as_bool().ok_or("shared not a boolean")?;
         }
         spec.validate()?;
         Ok(spec)
@@ -508,6 +518,19 @@ mod tests {
         assert!(SessionSpec::from_body(br#"{"config": {"sampling": 3}}"#).is_err());
         assert_eq!(sampling_mode_name(SamplingMode::Exact), "exact");
         assert_eq!(sampling_mode_name(SamplingMode::Footprint), "footprint");
+    }
+
+    #[test]
+    fn shared_flag_parses_without_perturbing_the_cache_key() {
+        let shared = SessionSpec::from_body(br#"{"shared": true}"#).unwrap();
+        assert!(shared.shared);
+        let private = SessionSpec::default();
+        assert!(!private.shared);
+        // Shared and private sessions of the same spec render identical
+        // texels — they must land on the same frame-cache keys.
+        assert_eq!(shared.config_cache_key(), private.config_cache_key());
+        assert_eq!(shared.field.cache_key(), private.field.cache_key());
+        assert!(SessionSpec::from_body(br#"{"shared": 1}"#).is_err());
     }
 
     #[test]

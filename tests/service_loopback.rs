@@ -316,6 +316,241 @@ fn unframed_post_body_gets_411_and_a_closed_connection() {
     handle.join();
 }
 
+/// Same spec as [`session_body`], but subscribed to the shared broadcast
+/// channel for its `(field, config, seed)` instead of owning a pipeline.
+fn shared_session_body(seed: u64, omega: f64) -> String {
+    let body = session_body(seed, omega);
+    format!("{}, \"shared\": true}}", &body[..body.len() - 1])
+}
+
+#[test]
+fn streamed_frames_round_trip_chunked_and_keep_the_connection_reusable() {
+    let handle = serve("127.0.0.1:0", ServiceOptions::default()).expect("bind loopback");
+    let mut client = ServiceClient::connect(handle.addr()).expect("connect");
+    let session = client
+        .create_session(&session_body(31, 1.0))
+        .expect("create session");
+
+    // Stream frames 0..4: each arrives as one chunked FrameRecord, in
+    // order, bit-identical to direct synthesis.
+    let mut stream = client.stream_frames(&session, 0, 4).expect("open stream");
+    for expected_index in 0..4u64 {
+        let frame = stream
+            .next_frame()
+            .expect("stream read")
+            .expect("stream ended early");
+        assert_eq!(frame.frame, expected_index);
+        assert!(!frame.skipped, "private session streams never skip");
+        assert_eq!(
+            frame.bytes,
+            direct_frame_bytes(31, 1.0, expected_index),
+            "streamed frame {expected_index} diverged from direct synthesize_dnc"
+        );
+    }
+    // The terminal chunk ends the stream...
+    assert!(stream.next_frame().expect("terminal chunk").is_none());
+    drop(stream);
+
+    // ...and leaves the keep-alive connection usable for ordinary requests.
+    let replay = client.fetch_frame(&session, 2).expect("post-stream fetch");
+    assert!(replay.cache_hit, "streamed frame must be cached");
+    assert_eq!(replay.bytes, direct_frame_bytes(31, 1.0, 2));
+
+    let stats = client.stats().expect("stats");
+    let http = stats.get("http").expect("http stats");
+    assert!(http.get("streams").and_then(Json::as_f64).unwrap() >= 1.0);
+    assert!(http.get("streamed_frames").and_then(Json::as_f64).unwrap() >= 4.0);
+    handle.shutdown();
+}
+
+#[test]
+fn abandoned_stream_desyncs_the_client_and_a_reconnect_resumes() {
+    let handle = serve("127.0.0.1:0", ServiceOptions::default()).expect("bind loopback");
+    let addr = handle.addr();
+    let mut client = ServiceClient::connect(addr).expect("connect");
+    let session = client
+        .create_session(&session_body(47, 1.0))
+        .expect("create session");
+
+    // Read two of four frames, then abandon the stream mid-flight.
+    let mut last_seen = 0;
+    {
+        let mut stream = client.stream_frames(&session, 0, 4).expect("open stream");
+        for _ in 0..2 {
+            let frame = stream
+                .next_frame()
+                .expect("stream read")
+                .expect("stream ended early");
+            last_seen = frame.frame;
+        }
+    }
+    assert_eq!(last_seen, 1);
+
+    // The undrained chunks make the connection unusable: the client must
+    // refuse further requests instead of misreading stream data as a head.
+    assert!(
+        matches!(client.fetch_frame(&session, 0), Err(ClientError::Io(_))),
+        "desynced client accepted a request"
+    );
+    drop(client);
+
+    // A fresh connection resumes the stream at the right frame index.
+    let mut client = ServiceClient::connect(addr).expect("reconnect");
+    let mut stream = client
+        .stream_frames(&session, last_seen + 1, 2)
+        .expect("resume stream");
+    for expected_index in 2..4u64 {
+        let frame = stream
+            .next_frame()
+            .expect("stream read")
+            .expect("stream ended early");
+        assert_eq!(frame.frame, expected_index, "resume started at wrong frame");
+        assert_eq!(frame.bytes, direct_frame_bytes(47, 1.0, expected_index));
+    }
+    assert!(stream.next_frame().expect("terminal chunk").is_none());
+    drop(stream);
+    handle.shutdown();
+}
+
+#[test]
+fn shared_subscribers_see_identical_frames_and_synthesis_stays_o_fields() {
+    let handle = serve("127.0.0.1:0", ServiceOptions::default()).expect("bind loopback");
+    let lookahead = handle.service().options().channel_lookahead;
+    let mut client = ServiceClient::connect(handle.addr()).expect("connect");
+
+    // Eight subscribers of one shared field: synthesis must scale with the
+    // field count (one), not the subscriber count.
+    let subscribers = 8u64;
+    let frames = 4u64;
+    let sessions: Vec<String> = (0..subscribers)
+        .map(|_| {
+            client
+                .create_session(&shared_session_body(61, 1.0))
+                .expect("create shared session")
+        })
+        .collect();
+    for session in &sessions {
+        for index in 0..frames {
+            let fetched = client.fetch_frame(session, index).expect("fetch frame");
+            assert_eq!(fetched.frame, index);
+            // Byte-exact across every subscriber AND identical to what a
+            // private per-session pipeline would have synthesized.
+            assert_eq!(
+                fetched.bytes,
+                direct_frame_bytes(61, 1.0, index),
+                "shared frame {index} diverged from the per-session path"
+            );
+        }
+    }
+
+    let stats = client.stats().expect("stats");
+    let channels = stats.get("channels").expect("channel stats");
+    let stat = |key: &str| channels.get(key).and_then(Json::as_f64).unwrap();
+    assert_eq!(stat("live"), 1.0, "one field spec must make one channel");
+    assert_eq!(stat("subscribers"), subscribers as f64);
+    let synthesized = stat("synthesized");
+    let delivered = stat("delivered");
+    // O(fields): at most the requested frames plus look-ahead overshoot,
+    // regardless of how many subscribers asked.
+    assert!(
+        synthesized <= (frames + 2 * lookahead) as f64,
+        "synthesized {synthesized} frames for {subscribers} subscribers — \
+         synthesis is scaling with sessions, not fields"
+    );
+    assert_eq!(delivered, (subscribers * frames) as f64);
+    assert!(delivered / synthesized >= 4.0, "fan-out ratio collapsed");
+    // The worker-side render counter agrees: every synthesized frame was
+    // rendered exactly once.
+    let rendered = stats
+        .get("frames")
+        .and_then(|f| f.get("rendered"))
+        .and_then(Json::as_f64)
+        .unwrap();
+    assert_eq!(rendered, synthesized);
+    handle.shutdown();
+}
+
+#[test]
+fn shared_delivery_hands_out_the_same_arc_and_steering_forks_private() {
+    use spotnoise::json::Json;
+    use spotnoise_service::{FieldSpec, SessionSpec};
+
+    let handle = serve("127.0.0.1:0", ServiceOptions::default()).expect("bind loopback");
+    let service = handle.service();
+    let spec = |seed| {
+        SessionSpec::from_body(shared_session_body(seed, 1.0).as_bytes()).expect("parse spec")
+    };
+    let a = service.create_session(spec(73)).expect("create a");
+    let b = service.create_session(spec(73)).expect("create b");
+
+    // Delivery is fan-out of the *same* allocation: no deep copies.
+    let first = service.fetch_frame(a, 0).expect("frame via a");
+    let second = service.fetch_frame(b, 0).expect("frame via b");
+    assert!(!first.cached, "first subscriber must synthesize");
+    assert!(second.cached, "second subscriber must ride the broadcast");
+    assert!(
+        std::sync::Arc::ptr_eq(&first.bytes, &second.bytes),
+        "shared delivery deep-copied the frame body"
+    );
+
+    // Steering a shared session forks it into a private one: the channel
+    // loses the subscriber and the steered session diverges.
+    let field = FieldSpec::from_json(
+        &Json::parse(r#"{"kind": "vortex", "omega": 3.0, "cx": 0.5, "cy": 0.5}"#).unwrap(),
+    )
+    .expect("parse field");
+    service.steer(b, field).expect("steer b");
+    let forked = service.fetch_frame(b, 0).expect("frame after fork");
+    assert_ne!(
+        *forked.bytes, *first.bytes,
+        "steered session still serving the shared field"
+    );
+    let totals = service.stats_json();
+    let subscribers = totals
+        .get("channels")
+        .and_then(|c| c.get("subscribers"))
+        .and_then(Json::as_f64)
+        .unwrap();
+    assert_eq!(
+        subscribers, 1.0,
+        "fork did not unsubscribe from the channel"
+    );
+    // The unforked subscriber still sees the original field.
+    let still = service.fetch_frame(a, 0).expect("frame via a again");
+    assert_eq!(*still.bytes, *first.bytes);
+    handle.shutdown();
+}
+
+#[test]
+fn a_stalled_server_surfaces_as_timed_out_not_a_broken_connection() {
+    // A listener that accepts and then never answers: the client's read
+    // deadline must fire as the distinct TimedOut error.
+    let listener = std::net::TcpListener::bind("127.0.0.1:0").expect("bind");
+    let addr = listener.local_addr().expect("addr");
+    let (release_tx, release_rx) = std::sync::mpsc::channel::<()>();
+    let holder = std::thread::spawn(move || {
+        let accepted = listener.accept().map(|(stream, _)| stream);
+        // Hold the socket open (no reply) until the test is done asserting.
+        let _ = release_rx.recv();
+        drop(accepted);
+    });
+
+    let mut client =
+        ServiceClient::connect_with_read_timeout(addr, Some(Duration::from_millis(50)))
+            .expect("connect");
+    let started = std::time::Instant::now();
+    assert!(
+        matches!(client.fetch_frame("nobody", 0), Err(ClientError::TimedOut)),
+        "read deadline did not surface as TimedOut"
+    );
+    assert!(
+        started.elapsed() < Duration::from_secs(10),
+        "deadline took implausibly long to fire"
+    );
+    release_tx.send(()).expect("release holder");
+    holder.join().expect("holder thread");
+}
+
 #[test]
 fn advance_endpoint_and_shutdown_are_clean() {
     let handle = serve("127.0.0.1:0", ServiceOptions::default()).expect("bind loopback");
