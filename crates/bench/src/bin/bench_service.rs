@@ -12,7 +12,10 @@
 //!
 //! `--quick` shrinks the workload for CI smoke runs. `--check` re-reads the
 //! written artifact and asserts the service-level SLOs hold: six sweep
-//! cases, cache-hot p50 at least 5× below cache-cold at every concurrency,
+//! cases, each with ordered p50 ≤ p90 ≤ p99 percentiles and — on the
+//! cache-hot path — a p99 within 64× of its p50 (a wider tail means
+//! something stalls the pure-cache-hit common case),
+//! cache-hot p50 at least 5× below cache-cold at every concurrency,
 //! broadcast fan-out delivering more frames than it synthesizes (≥ 10× with
 //! 64+ subscribers) at a steady-state gap within 2× of the hot single-client
 //! p50, and overload shed with `Busy` while the queue never grew past its
@@ -66,12 +69,24 @@ fn check_artifact(path: &PathBuf) -> Result<String, String> {
             .to_string();
         let concurrency = field(case, "concurrency")? as usize;
         let p50_us = field(case, "p50_us")?;
+        let p90_us = field(case, "p90_us")?;
         let p99_us = field(case, "p99_us")?;
         let fps = field(case, "frames_per_second")?;
         let hit_rate = field(case, "cache_hit_rate")?;
-        if p50_us <= 0.0 || p99_us < p50_us {
+        if p50_us <= 0.0 || p90_us < p50_us || p99_us < p90_us {
             return Err(format!(
-                "case {name}: implausible latencies p50={p50_us} p99={p99_us}"
+                "case {name}: implausible latencies p50={p50_us} p90={p90_us} p99={p99_us}"
+            ));
+        }
+        // The hot path serves pure cache hits; a p99 orders of magnitude
+        // above its p50 means something stalls the common case (a lock
+        // convoy, a blocking accept, telemetry overhead). The bound is
+        // deliberately loose — scheduling jitter on a loaded CI box is
+        // real — but catches the pathological regressions.
+        if mode == "hot" && p99_us > 64.0 * p50_us {
+            return Err(format!(
+                "case {name}: hot p99 {p99_us:.1}us is {:.0}x its p50 {p50_us:.1}us (limit 64x)",
+                p99_us / p50_us
             ));
         }
         if fps <= 0.0 {

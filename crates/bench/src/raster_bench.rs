@@ -642,6 +642,107 @@ fn pipe_pool_case(
     }
 }
 
+/// Measures the frame-lifecycle tracing overhead on the interactive hot
+/// path: two identical divide-and-conquer pipelines advance in lockstep,
+/// the reference with tracing disabled and the "optimized" leg recording
+/// advect/synthesize/raster-group/gather/render spans into a ring
+/// [`spotnoise::telemetry::TraceSink`]. The speedup is therefore
+/// `untraced / traced ≈ 1 / (1 + overhead)` — near parity by design — and
+/// banking it turns the ratchet into an overhead budget: if tracing ever
+/// becomes expensive on the hot path, the measured ratio falls below the
+/// committed floor and CI fails. Output equality is asserted first, and the
+/// traced pipeline is asserted to actually record spans (a silently
+/// disabled sink would bank a meaningless parity).
+fn telemetry_trace_overhead_case() -> BenchCase {
+    use softpipe::machine::MachineConfig;
+    use spotnoise::config::SynthesisConfig;
+    use spotnoise::pipeline::{ExecutionMode, Pipeline};
+    use spotnoise::telemetry::{TraceMode, TraceSink, DEFAULT_TRACE_CAPACITY};
+
+    let domain = flowfield::Rect::new(Vec2::ZERO, Vec2::new(1.0, 1.0));
+    let field = flowfield::analytic::Vortex {
+        omega: 1.0,
+        center: domain.center(),
+        domain,
+    };
+    // The service's interactive shape: small frames, where per-frame fixed
+    // costs (which is what span recording adds) weigh the most.
+    let cfg = SynthesisConfig {
+        texture_size: 64,
+        spot_count: 200,
+        spot_radius: 0.03,
+        ..SynthesisConfig::small_test()
+    };
+    let machine = MachineConfig::new(2, 2);
+    let mode = ExecutionMode::DivideAndConquer(machine);
+    let build = |traced: bool| {
+        let mut p = Pipeline::new(cfg, mode, domain);
+        p.set_display_enabled(false);
+        if traced {
+            p.set_trace_sink(TraceSink::with_mode(
+                TraceMode::Ring,
+                DEFAULT_TRACE_CAPACITY,
+            ));
+        }
+        p
+    };
+
+    // Parity check on fresh pipelines: tracing must be invisible in the
+    // texels, and the traced leg must actually be recording.
+    let mut traced = build(true);
+    let mut plain = build(false);
+    let mut fragments = 0;
+    for _ in 0..3 {
+        let a = traced.advance(&field, 0.05, 0);
+        let b = plain.advance(&field, 0.05, 0);
+        assert_eq!(
+            a.texture.absolute_difference(&b.texture),
+            0.0,
+            "telemetry_trace_overhead: traced frames diverged from untraced"
+        );
+        fragments = a.dnc.as_ref().map_or(0, |d| d.total_pipe_work().fragments);
+        if let Some(arena) = traced.frame_arena() {
+            arena.recycle_texture(a.texture);
+        }
+        if let Some(arena) = plain.frame_arena() {
+            arena.recycle_texture(b.texture);
+        }
+    }
+    assert!(
+        traced.trace_sink().recorded() > 0,
+        "telemetry_trace_overhead: traced pipeline recorded no spans"
+    );
+
+    let mut traced = build(true);
+    let mut plain = build(false);
+    let (reference_ns, optimized) = time_pair_best(
+        9,
+        24,
+        || {
+            let out = plain.advance(&field, 0.05, 0);
+            let texture = std::hint::black_box(out.texture);
+            if let Some(arena) = plain.frame_arena() {
+                arena.recycle_texture(texture);
+            }
+        },
+        || {
+            let out = traced.advance(&field, 0.05, 0);
+            let texture = std::hint::black_box(out.texture);
+            if let Some(arena) = traced.frame_arena() {
+                arena.recycle_texture(texture);
+            }
+        },
+    );
+    BenchCase {
+        name: "telemetry_trace_overhead",
+        description: "dnc frame production, lifecycle tracing ring-enabled vs off \
+             (64x64, 200 spots, 2 pipes); speedup ~ 1/(1 + tracing overhead)",
+        fragments_per_op: fragments,
+        reference_ns_per_op: reference_ns,
+        optimized_ns_per_op: optimized,
+    }
+}
+
 fn gather_case() -> BenchCase {
     // Four full-coverage 512² partials, as a 4-pipe machine produces.
     let partials: Vec<Texture> = (0..4)
@@ -924,6 +1025,10 @@ pub fn run_raster_bench_filtered(filter: Option<&str>) -> RasterBenchReport {
                     2,
                 )
             }),
+        ),
+        (
+            "telemetry_trace_overhead",
+            Box::new(telemetry_trace_overhead_case),
         ),
     ];
 

@@ -21,6 +21,7 @@
 //! feed `BENCH_service.json` (schema `bench_service/v1`).
 
 use crate::json::Json;
+use spotnoise::telemetry::Histogram;
 use spotnoise_service::{serve, AdmissionConfig, ServiceClient, ServiceOptions};
 use std::net::SocketAddr;
 use std::sync::{Arc, Barrier};
@@ -111,6 +112,8 @@ pub struct ServiceCase {
     pub requests: usize,
     /// Median request latency in microseconds.
     pub p50_us: f64,
+    /// 90th-percentile request latency in microseconds.
+    pub p90_us: f64,
     /// 99th-percentile request latency in microseconds.
     pub p99_us: f64,
     /// Mean request latency in microseconds.
@@ -145,6 +148,8 @@ pub struct FanoutResult {
     /// microseconds (the first frame of each stream — which pays the
     /// initial synthesis — is excluded).
     pub p50_us: f64,
+    /// 90th-percentile steady-state inter-frame gap in microseconds.
+    pub p90_us: f64,
     /// 99th-percentile steady-state inter-frame gap in microseconds.
     pub p99_us: f64,
     /// Aggregate delivered frames per second over the phase's wall time.
@@ -188,33 +193,25 @@ pub struct ServiceBenchReport {
     pub overload: OverloadResult,
 }
 
-/// Nearest-rank percentile of an unsorted latency sample.
-fn percentile_us(latencies: &mut [f64], q: f64) -> f64 {
-    if latencies.is_empty() {
-        return 0.0;
-    }
-    latencies.sort_by(|a, b| a.partial_cmp(b).expect("finite latencies"));
-    let rank = ((q / 100.0) * latencies.len() as f64).ceil() as usize;
-    latencies[rank.clamp(1, latencies.len()) - 1]
-}
-
 struct ClientOutcome {
-    latencies_us: Vec<f64>,
     hits: u64,
     busy_retries: u64,
 }
 
 /// One client's request loop: fetch `frames` in order on `session`,
-/// retrying shed requests until served.
+/// retrying shed requests until served. Latencies go straight into the
+/// case's shared lock-free [`Histogram`] — the same structure the server's
+/// `/metrics` percentiles come from, recorded concurrently from every
+/// client thread with no aggregation pass afterwards.
 fn run_client(
     addr: SocketAddr,
     session: String,
     frames: Vec<u64>,
     barrier: Arc<Barrier>,
+    latencies: Arc<Histogram>,
 ) -> ClientOutcome {
     let mut client = ServiceClient::connect(addr).expect("connect bench client");
     let mut outcome = ClientOutcome {
-        latencies_us: Vec::with_capacity(frames.len()),
         hits: 0,
         busy_retries: 0,
     };
@@ -224,9 +221,7 @@ fn run_client(
         loop {
             match client.fetch_frame(&session, frame) {
                 Ok(fetched) => {
-                    outcome
-                        .latencies_us
-                        .push(start.elapsed().as_secs_f64() * 1e6);
+                    latencies.record_duration(start.elapsed());
                     if fetched.cache_hit {
                         outcome.hits += 1;
                     }
@@ -276,13 +271,15 @@ fn run_case(
     };
 
     let barrier = Arc::new(Barrier::new(concurrency + 1));
+    let latencies = Arc::new(Histogram::new());
     let workers: Vec<_> = sessions
         .iter()
         .map(|session| {
             let barrier = Arc::clone(&barrier);
             let session = session.clone();
+            let latencies = Arc::clone(&latencies);
             let frames: Vec<u64> = (0..requests as u64).collect();
-            std::thread::spawn(move || run_client(addr, session, frames, barrier))
+            std::thread::spawn(move || run_client(addr, session, frames, barrier, latencies))
         })
         .collect();
     barrier.wait();
@@ -293,24 +290,19 @@ fn run_case(
         .collect();
     let wall = started.elapsed().as_secs_f64();
 
-    let mut latencies: Vec<f64> = outcomes
-        .iter()
-        .flat_map(|o| o.latencies_us.iter().copied())
-        .collect();
-    let total = latencies.len();
+    let snap = latencies.snapshot();
+    let total = snap.count as usize;
     let hits: u64 = outcomes.iter().map(|o| o.hits).sum();
     let busy_retries: u64 = outcomes.iter().map(|o| o.busy_retries).sum();
-    let mean_us = latencies.iter().sum::<f64>() / total.max(1) as f64;
-    let p50_us = percentile_us(&mut latencies, 50.0);
-    let p99_us = percentile_us(&mut latencies, 99.0);
     ServiceCase {
         name: format!("{mode}_c{concurrency}"),
         mode,
         concurrency,
         requests: total,
-        p50_us,
-        p99_us,
-        mean_us,
+        p50_us: snap.percentile(50.0) as f64,
+        p90_us: snap.percentile(90.0) as f64,
+        p99_us: snap.percentile(99.0) as f64,
+        mean_us: snap.mean(),
         frames_per_second: if wall > 0.0 { total as f64 / wall } else { 0.0 },
         cache_hit_rate: if total > 0 {
             hits as f64 / total as f64
@@ -322,9 +314,9 @@ fn run_case(
 }
 
 /// One fan-out subscriber: create a shared session for `seed` and stream
-/// `frames` frames, recording steady-state inter-frame gaps.
+/// `frames` frames, recording steady-state inter-frame gaps into the
+/// phase's shared histogram.
 struct SubscriberOutcome {
-    gaps_us: Vec<f64>,
     delivered: u64,
     skipped: u64,
 }
@@ -334,11 +326,11 @@ fn run_subscriber(
     body: String,
     frames: u64,
     barrier: Arc<Barrier>,
+    gaps: Arc<Histogram>,
 ) -> SubscriberOutcome {
     let mut client = ServiceClient::connect(addr).expect("connect fanout subscriber");
     let session = client.create_session(&body).expect("create shared session");
     let mut outcome = SubscriberOutcome {
-        gaps_us: Vec::with_capacity(frames.saturating_sub(1) as usize),
         delivered: 0,
         skipped: 0,
     };
@@ -352,7 +344,7 @@ fn run_subscriber(
         // The first frame pays the stream's initial synthesis (or cache
         // warm-up); everything after it is the steady-state fan-out path.
         if outcome.delivered > 0 {
-            outcome.gaps_us.push((now - last).as_secs_f64() * 1e6);
+            gaps.record_duration(now - last);
         }
         last = now;
         outcome.delivered += 1;
@@ -383,13 +375,15 @@ fn run_fanout(opts: &ServiceBenchOptions) -> FanoutResult {
     .expect("bind fanout server");
     let addr = handle.addr();
     let barrier = Arc::new(Barrier::new(subscribers + 1));
+    let gaps = Arc::new(Histogram::new());
     let workers: Vec<_> = (0..subscribers)
         .map(|i| {
             // Subscriber i watches field (i % fields): distinct seeds make
             // distinct broadcast channels, same-seed subscribers share one.
             let body = opts.shared_session_body(7_000 + (i % fields) as u64);
             let barrier = Arc::clone(&barrier);
-            std::thread::spawn(move || run_subscriber(addr, body, frames, barrier))
+            let gaps = Arc::clone(&gaps);
+            std::thread::spawn(move || run_subscriber(addr, body, frames, barrier, gaps))
         })
         .collect();
     barrier.wait();
@@ -415,10 +409,7 @@ fn run_fanout(opts: &ServiceBenchOptions) -> FanoutResult {
 
     let delivered: u64 = outcomes.iter().map(|o| o.delivered).sum();
     let skipped: u64 = outcomes.iter().map(|o| o.skipped).sum();
-    let mut gaps: Vec<f64> = outcomes
-        .iter()
-        .flat_map(|o| o.gaps_us.iter().copied())
-        .collect();
+    let gap_snap = gaps.snapshot();
     FanoutResult {
         fields,
         subscribers,
@@ -431,8 +422,9 @@ fn run_fanout(opts: &ServiceBenchOptions) -> FanoutResult {
         } else {
             0.0
         },
-        p50_us: percentile_us(&mut gaps, 50.0),
-        p99_us: percentile_us(&mut gaps, 99.0),
+        p50_us: gap_snap.percentile(50.0) as f64,
+        p90_us: gap_snap.percentile(90.0) as f64,
+        p99_us: gap_snap.percentile(99.0) as f64,
         frames_per_second: if wall > 0.0 {
             delivered as f64 / wall
         } else {
@@ -557,16 +549,17 @@ pub fn format_report(report: &ServiceBenchReport) -> String {
         report.options.requests_per_client,
     ));
     out.push_str(&format!(
-        "{:<10} {:>5} {:>9} {:>12} {:>12} {:>12} {:>10} {:>6}\n",
-        "case", "conc", "requests", "p50", "p99", "frames/s", "hit rate", "busy"
+        "{:<10} {:>5} {:>9} {:>12} {:>12} {:>12} {:>12} {:>10} {:>6}\n",
+        "case", "conc", "requests", "p50", "p90", "p99", "frames/s", "hit rate", "busy"
     ));
     for case in &report.cases {
         out.push_str(&format!(
-            "{:<10} {:>5} {:>9} {:>9.1} us {:>9.1} us {:>12.1} {:>9.0}% {:>6}\n",
+            "{:<10} {:>5} {:>9} {:>9.1} us {:>9.1} us {:>9.1} us {:>12.1} {:>9.0}% {:>6}\n",
             case.name,
             case.concurrency,
             case.requests,
             case.p50_us,
+            case.p90_us,
             case.p99_us,
             case.frames_per_second,
             case.cache_hit_rate * 100.0,
@@ -650,6 +643,7 @@ fn report_json_value(report: &ServiceBenchReport) -> Json {
                     ("concurrency", Json::num(c.concurrency as f64)),
                     ("requests", Json::num(c.requests as f64)),
                     ("p50_us", Json::num(c.p50_us)),
+                    ("p90_us", Json::num(c.p90_us)),
                     ("p99_us", Json::num(c.p99_us)),
                     ("mean_us", Json::num(c.mean_us)),
                     ("frames_per_second", Json::num(c.frames_per_second)),
@@ -672,6 +666,7 @@ fn report_json_value(report: &ServiceBenchReport) -> Json {
                 ("synthesized", Json::num(f.synthesized as f64)),
                 ("delivery_ratio", Json::num(f.delivery_ratio)),
                 ("p50_us", Json::num(f.p50_us)),
+                ("p90_us", Json::num(f.p90_us)),
                 ("p99_us", Json::num(f.p99_us)),
                 ("frames_per_second", Json::num(f.frames_per_second)),
             ]),
@@ -694,8 +689,19 @@ fn report_json_value(report: &ServiceBenchReport) -> Json {
 mod tests {
     use super::*;
 
+    /// Nearest-rank percentile of an unsorted sample — the sorted-Vec
+    /// oracle the histogram percentiles replaced.
+    fn percentile_us(latencies: &mut [f64], q: f64) -> f64 {
+        if latencies.is_empty() {
+            return 0.0;
+        }
+        latencies.sort_by(|a, b| a.partial_cmp(b).expect("finite latencies"));
+        let rank = ((q / 100.0) * latencies.len() as f64).ceil() as usize;
+        latencies[rank.clamp(1, latencies.len()) - 1]
+    }
+
     #[test]
-    fn percentile_nearest_rank() {
+    fn percentile_oracle_nearest_rank() {
         let mut l = vec![5.0, 1.0, 3.0, 2.0, 4.0];
         assert_eq!(percentile_us(&mut l, 50.0), 3.0);
         assert_eq!(percentile_us(&mut l, 99.0), 5.0);
@@ -703,6 +709,31 @@ mod tests {
         assert_eq!(percentile_us(&mut [][..].to_vec(), 50.0), 0.0);
         let mut one = vec![7.0];
         assert_eq!(percentile_us(&mut one, 50.0), 7.0);
+    }
+
+    #[test]
+    fn histogram_percentiles_track_the_sorted_vec_oracle() {
+        // A spread resembling a latency distribution: dense low values,
+        // sparse tail. The log-bucketed histogram must land within one
+        // bucket (~2 * 2^-5 relative width) of the exact nearest-rank
+        // answer at every headline quantile.
+        let samples: Vec<u64> = (0..500)
+            .map(|i: u64| 40 + i * 7 + (i % 13) * 1000)
+            .collect();
+        let h = Histogram::new();
+        for &v in &samples {
+            h.record(v);
+        }
+        let snap = h.snapshot();
+        let mut oracle_input: Vec<f64> = samples.iter().map(|&v| v as f64).collect();
+        for q in [50.0, 90.0, 99.0] {
+            let exact = percentile_us(&mut oracle_input, q);
+            let approx = snap.percentile(q) as f64;
+            assert!(
+                (approx - exact).abs() <= exact * 0.08 + 1.0,
+                "p{q}: histogram {approx} vs oracle {exact}"
+            );
+        }
     }
 
     #[test]
@@ -719,6 +750,7 @@ mod tests {
                 concurrency: 1,
                 requests: 8,
                 p50_us: 1000.0,
+                p90_us: 1500.0,
                 p99_us: 2000.0,
                 mean_us: 1100.0,
                 frames_per_second: 900.0,
@@ -734,6 +766,7 @@ mod tests {
                 synthesized: 20,
                 delivery_ratio: 6.4,
                 p50_us: 150.0,
+                p90_us: 500.0,
                 p99_us: 900.0,
                 frames_per_second: 5000.0,
             },

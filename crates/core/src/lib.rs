@@ -29,6 +29,8 @@
 //! * [`pipeline`] — the interactive four-step pipeline,
 //! * [`perfmodel`] — equations 2.1 / 3.2 and the simulated-Onyx2 predictions,
 //! * [`metrics`] — throughput, stage-timing and cache instrumentation,
+//! * [`telemetry`] — lock-free latency histograms and the frame-lifecycle
+//!   trace ring (`SPOTNOISE_TRACE`),
 //! * [`hash`] — stable content hashing for frame-cache keys,
 //! * [`json`] — the registry-free JSON value type used by the benchmark
 //!   artifacts and the synthesis service.
@@ -68,6 +70,7 @@ pub mod quality;
 pub mod scheduler;
 pub mod spot;
 pub mod synth;
+pub mod telemetry;
 
 pub use advect::{PositionMode, SpotAnimator};
 pub use config::{SpotKind, SynthesisConfig};

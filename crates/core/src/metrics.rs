@@ -45,6 +45,15 @@ impl StageTimings {
             0.0
         }
     }
+
+    /// Adds another frame's stage times into this accumulator (saturating,
+    /// so long-lived per-session totals can never wrap).
+    pub fn accumulate(&mut self, other: &StageTimings) {
+        self.read_us = self.read_us.saturating_add(other.read_us);
+        self.advect_us = self.advect_us.saturating_add(other.advect_us);
+        self.synthesize_us = self.synthesize_us.saturating_add(other.synthesize_us);
+        self.render_us = self.render_us.saturating_add(other.render_us);
+    }
 }
 
 /// Measures a closure and returns its result together with the elapsed
@@ -54,6 +63,13 @@ pub fn timed<T>(f: impl FnOnce() -> T) -> (T, u64) {
     let out = f();
     (out, start.elapsed().as_micros() as u64)
 }
+
+/// Hard cap on the instants a [`ThroughputMeter`] retains. Without it, a
+/// long window combined with fast ticks grows the Vec without bound (the
+/// window-based retain only drops instants *older* than the window); with
+/// it, memory is flat and the rate estimate degrades gracefully to "over
+/// the retained span" instead of "over the window".
+pub const THROUGHPUT_METER_MAX_RETAINED: usize = 4096;
 
 /// A sliding frame-rate meter for interactive sessions.
 #[derive(Debug, Clone)]
@@ -78,6 +94,10 @@ impl ThroughputMeter {
         let cutoff = now.checked_sub(self.window);
         if let Some(cutoff) = cutoff {
             self.frames.retain(|t| *t >= cutoff);
+        }
+        if self.frames.len() > THROUGHPUT_METER_MAX_RETAINED {
+            let excess = self.frames.len() - THROUGHPUT_METER_MAX_RETAINED;
+            self.frames.drain(..excess);
         }
     }
 
@@ -214,6 +234,50 @@ mod tests {
         // Five immediate ticks give a very high (but finite or zero) rate;
         // the meter must not panic or return NaN.
         assert!(m.textures_per_second().is_finite());
+    }
+
+    #[test]
+    fn throughput_meter_caps_retained_instants() {
+        // A huge window never expires anything; the hard cap must bound the
+        // Vec regardless.
+        let mut m = ThroughputMeter::new(Duration::from_secs(100_000));
+        for _ in 0..(THROUGHPUT_METER_MAX_RETAINED + 5_000) {
+            m.tick();
+        }
+        assert_eq!(m.frames_in_window(), THROUGHPUT_METER_MAX_RETAINED);
+        assert!(m.textures_per_second().is_finite());
+    }
+
+    #[test]
+    fn stage_timings_accumulate_and_saturate() {
+        let mut total = StageTimings::default();
+        let frame = StageTimings {
+            read_us: 1,
+            advect_us: 2,
+            synthesize_us: 3,
+            render_us: 4,
+        };
+        total.accumulate(&frame);
+        total.accumulate(&frame);
+        assert_eq!(
+            total,
+            StageTimings {
+                read_us: 2,
+                advect_us: 4,
+                synthesize_us: 6,
+                render_us: 8,
+            }
+        );
+        let mut near_max = StageTimings {
+            advect_us: u64::MAX - 1,
+            ..StageTimings::default()
+        };
+        near_max.accumulate(&frame);
+        assert_eq!(
+            near_max.advect_us,
+            u64::MAX,
+            "saturates instead of wrapping"
+        );
     }
 
     #[test]

@@ -16,16 +16,18 @@
 
 use crate::advect::{PositionMode, SpotAnimator};
 use crate::config::SynthesisConfig;
-use crate::dnc::{synthesize_dnc_with_arena, DncReport};
+use crate::dnc::{synthesize_dnc_with_telemetry, DncReport};
 use crate::filter::standard_postprocess;
 use crate::metrics::{timed, FrameMetrics, StageTimings};
 use crate::scheduler::SchedulerOptions;
 use crate::synth::{synthesize_sequential, SynthesisContext};
+use crate::telemetry::{TraceSink, TraceStage};
 use flowfield::particles::ParticleOptions;
 use flowfield::{Rect, VectorField};
 use softpipe::machine::MachineConfig;
 use softpipe::{FrameArena, PipePool, Texture};
 use std::sync::Arc;
+use std::time::{Duration, Instant};
 
 /// How the texture-synthesis step is executed.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -66,6 +68,10 @@ pub struct Pipeline {
     /// so the spot texture and pyramid survive across frames.
     ctx: Option<SynthesisContext>,
     frames: u64,
+    /// Frame-lifecycle trace sink: per-stage spans (advect, synthesize,
+    /// render) plus the per-group spans the scheduler records through it.
+    /// Disabled by default — recording is one branch per stage.
+    sink: TraceSink,
 }
 
 /// Whether pipelines (and the service) pool pipe workers by default. The
@@ -95,6 +101,7 @@ impl Pipeline {
             pool,
             ctx: None,
             frames: 0,
+            sink: TraceSink::disabled(),
         }
     }
 
@@ -181,6 +188,19 @@ impl Pipeline {
         self.arena.as_ref()
     }
 
+    /// Installs a frame-lifecycle trace sink: [`Pipeline::advance`] records
+    /// advect/synthesize/render spans through it, and the divide-and-conquer
+    /// executor records per-group raster and gather spans. The default
+    /// (disabled) sink records nothing at one branch per stage.
+    pub fn set_trace_sink(&mut self, sink: TraceSink) {
+        self.sink = sink;
+    }
+
+    /// The pipeline's trace sink.
+    pub fn trace_sink(&self) -> &TraceSink {
+        &self.sink
+    }
+
     /// Selects how the divide-and-conquer executor schedules work over its
     /// process groups (static split vs dynamic spot queue, tile
     /// oversubscription). Ignored in sequential mode.
@@ -222,7 +242,13 @@ impl Pipeline {
     /// application; pass 0 when not relevant.
     pub fn advance(&mut self, field: &dyn VectorField, dt: f64, read_us: u64) -> FrameOutput {
         // Step 2: particle advection.
+        let advect_start = Instant::now();
         let (_, advect_us) = timed(|| self.animator.advance(field, dt));
+        self.sink.record(
+            TraceStage::Advect,
+            advect_start,
+            Duration::from_micros(advect_us),
+        );
         let spots = self.animator.spots();
 
         // Step 3: texture synthesis.
@@ -231,7 +257,9 @@ impl Pipeline {
         let sched = self.sched;
         let arena = self.arena.as_ref();
         let pool = self.pool.as_ref();
+        let sink = &self.sink;
         let ctx_slot = &mut self.ctx;
+        let synthesize_start = Instant::now();
         let ((texture, dnc), synthesize_us) = timed(|| match mode {
             ExecutionMode::Sequential => {
                 let out = synthesize_sequential(field, &spots, &cfg);
@@ -249,8 +277,8 @@ impl Pipeline {
                     }
                     None => ctx_slot.insert(SynthesisContext::new(field, &cfg)),
                 };
-                let out = synthesize_dnc_with_arena(
-                    field, &spots, &cfg, &machine, ctx, &sched, arena, pool,
+                let out = synthesize_dnc_with_telemetry(
+                    field, &spots, &cfg, &machine, ctx, &sched, arena, pool, sink,
                 );
                 // Texture and report separate without cloning: the frame
                 // keeps the texture once instead of once per struct.
@@ -258,11 +286,17 @@ impl Pipeline {
                 (texture, Some(report))
             }
         });
+        self.sink.record(
+            TraceStage::Synthesize,
+            synthesize_start,
+            Duration::from_micros(synthesize_us),
+        );
 
         // Step 4: display post-processing (skipped entirely when display
         // production is disabled — raw-texture servers never read it).
         let postprocess = self.postprocess;
         let produce_display = self.display;
+        let render_start = Instant::now();
         let (display, render_us) = timed(|| {
             if !produce_display {
                 Texture::new(1, 1)
@@ -272,6 +306,11 @@ impl Pipeline {
                 texture.normalized()
             }
         });
+        self.sink.record(
+            TraceStage::Render,
+            render_start,
+            Duration::from_micros(render_us),
+        );
 
         self.frames += 1;
         let timings = StageTimings {

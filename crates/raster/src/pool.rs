@@ -29,6 +29,13 @@ use crate::pipe::{GraphicsPipe, PipeOutput, RenderCommand};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+/// Callback invoked after every [`PipePool::checkout`] with `(reused, wait)`:
+/// whether the checkout was served from a shelf, and how long it took (lock
+/// wait + reset-or-spawn). Lets layers above the raster crate observe pool
+/// behaviour without this crate depending on their telemetry types.
+pub type CheckoutObserver = Arc<dyn Fn(bool, Duration) + Send + Sync>;
 
 /// Default cap on idle pipes retained by a pool (total, over all shelves).
 /// One pipe per process group of a typical machine shape; pools serving many
@@ -65,6 +72,8 @@ pub struct PipePool {
     spawned: AtomicU64,
     reused: AtomicU64,
     retired: AtomicU64,
+    /// Optional checkout observer (see [`CheckoutObserver`]).
+    observer: Mutex<Option<CheckoutObserver>>,
 }
 
 impl std::fmt::Debug for PipePool {
@@ -101,7 +110,15 @@ impl PipePool {
             spawned: AtomicU64::new(0),
             reused: AtomicU64::new(0),
             retired: AtomicU64::new(0),
+            observer: Mutex::new(None),
         }
+    }
+
+    /// Installs (or clears) the checkout observer. At most one is active; the
+    /// service installs one that feeds its checkout-latency histogram and
+    /// trace sink.
+    pub fn set_observer(&self, observer: Option<CheckoutObserver>) {
+        *self.observer.lock().expect("pipe pool poisoned") = observer;
     }
 
     /// The arena pooled workers were configured with.
@@ -122,6 +139,7 @@ impl PipePool {
         height: usize,
         bus: Option<BusTracker>,
     ) -> PooledPipe {
+        let start = Instant::now();
         let key = (width, height, group);
         let shelved = self
             .shelves
@@ -129,6 +147,7 @@ impl PipePool {
             .expect("pipe pool poisoned")
             .get_mut(&key)
             .and_then(Vec::pop);
+        let was_reused = shelved.is_some();
         let mut pipe = match shelved {
             Some(pipe) => {
                 self.reused.fetch_add(1, Ordering::Relaxed);
@@ -143,6 +162,10 @@ impl PipePool {
             }
         };
         pipe.set_bus(bus);
+        let observer = self.observer.lock().expect("pipe pool poisoned").clone();
+        if let Some(observer) = observer {
+            observer(was_reused, start.elapsed());
+        }
         PooledPipe {
             pipe: Some(pipe),
             pool: Arc::clone(self),
@@ -332,6 +355,24 @@ mod tests {
         // And the swept target is genuinely clean outside the new spot.
         assert_eq!(second.texture.texel(16, 16), 0.0);
         assert!(second.texture.texel(24, 16) > 0.0);
+    }
+
+    #[test]
+    fn checkout_observer_sees_reuse_flag_and_wait() {
+        let pool = Arc::new(PipePool::new(None));
+        let seen: Arc<Mutex<Vec<bool>>> = Arc::new(Mutex::new(Vec::new()));
+        let sink = Arc::clone(&seen);
+        pool.set_observer(Some(Arc::new(move |reused, wait| {
+            assert!(wait >= Duration::ZERO);
+            sink.lock().unwrap().push(reused);
+        })));
+        drop(pool.checkout(0, 32, 32, None));
+        drop(pool.checkout(0, 32, 32, None));
+        assert_eq!(*seen.lock().unwrap(), vec![false, true]);
+        // Clearing the observer stops the callbacks.
+        pool.set_observer(None);
+        drop(pool.checkout(0, 32, 32, None));
+        assert_eq!(seen.lock().unwrap().len(), 2);
     }
 
     #[test]

@@ -9,8 +9,10 @@
 //! [`spotnoise::metrics::CacheStats`] on the `/stats` endpoint.
 
 use spotnoise::metrics::CacheStats;
+use spotnoise::telemetry::{self, TraceSink, TraceStage};
 use std::collections::{BTreeMap, HashMap};
 use std::sync::Arc;
+use std::time::Instant;
 
 /// The identity of one rendered frame.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -51,6 +53,8 @@ pub struct FrameCache {
     recency: BTreeMap<u64, FrameKey>,
     tick: u64,
     stats: CacheStats,
+    /// Trace sink insertions are reported to (disabled by default).
+    trace: TraceSink,
 }
 
 impl FrameCache {
@@ -64,7 +68,14 @@ impl FrameCache {
             recency: BTreeMap::new(),
             tick: 0,
             stats: CacheStats::default(),
+            trace: TraceSink::disabled(),
         }
+    }
+
+    /// Installs the trace sink insertions report
+    /// [`CacheInsert`](TraceStage::CacheInsert) spans to.
+    pub fn set_trace_sink(&mut self, trace: TraceSink) {
+        self.trace = trace;
     }
 
     /// Number of cached frames.
@@ -142,6 +153,7 @@ impl FrameCache {
         if self.capacity_bytes == 0 {
             return;
         }
+        let insert_start = Instant::now();
         if lookahead {
             self.stats.inserted_lookahead += 1;
         }
@@ -162,6 +174,16 @@ impl FrameCache {
             self.bytes -= evicted.bytes.len();
             self.stats.evictions += 1;
         }
+        // Inserts happen on the worker that synthesized the frame, so the
+        // thread's trace context already carries the actor and frame ids;
+        // detail = 1 marks a look-ahead insertion.
+        self.trace.record_with(
+            TraceStage::CacheInsert,
+            telemetry::ctx(),
+            insert_start,
+            insert_start.elapsed(),
+            lookahead as u64,
+        );
     }
 }
 

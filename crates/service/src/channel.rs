@@ -37,9 +37,11 @@ use crate::spec::SessionSpec;
 use flowfield::VectorField;
 use spotnoise::metrics::StageTimings;
 use spotnoise::pipeline::Pipeline;
+use spotnoise::telemetry::{TraceCtx, TraceSink, TraceStage};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
+use std::time::Instant;
 
 /// Queue ids for channel-driven synthesis jobs live in the upper half of the
 /// u64 space, disjoint from session ids (which count up from 1), so channel
@@ -104,6 +106,9 @@ pub struct FieldChannel {
     synthesized: AtomicU64,
     /// Serves where a fallen-behind subscriber was skipped to the frontier.
     skips: AtomicU64,
+    /// Trace sink [`FieldChannel::serve`] reports its spans to (cloned from
+    /// the shared pools at creation).
+    trace: TraceSink,
 }
 
 impl FieldChannel {
@@ -123,6 +128,7 @@ impl FieldChannel {
             delivered: AtomicU64::new(0),
             synthesized: AtomicU64::new(0),
             skips: AtomicU64::new(0),
+            trace: pools.trace.clone(),
             spec,
         }
     }
@@ -202,6 +208,11 @@ impl FieldChannel {
         max_advances: u64,
         mut on_frame: impl FnMut(FrameKey, &Arc<Vec<u8>>, &StageTimings),
     ) -> Result<ServedFrame, RenderError> {
+        let serve_start = Instant::now();
+        let serve_ctx = TraceCtx {
+            actor: self.queue_id,
+            frame: index,
+        };
         let mut synth = self.synth.lock().expect("channel synth poisoned");
         let head = synth.pipeline.frames();
         if index < head {
@@ -213,6 +224,14 @@ impl FieldChannel {
                 .expect("head > 0 implies a latest frame");
             self.skips.fetch_add(1, Ordering::Relaxed);
             self.delivered.fetch_add(1, Ordering::Relaxed);
+            // detail = 1: the serve skipped to the live frontier.
+            self.trace.record_with(
+                TraceStage::ChannelServe,
+                serve_ctx,
+                serve_start,
+                serve_start.elapsed(),
+                1,
+            );
             return Ok(ServedFrame {
                 bytes,
                 frame,
@@ -242,6 +261,13 @@ impl FieldChannel {
             self.head.store(frame_index + 1, Ordering::SeqCst);
         }
         self.delivered.fetch_add(1, Ordering::Relaxed);
+        self.trace.record_with(
+            TraceStage::ChannelServe,
+            serve_ctx,
+            serve_start,
+            serve_start.elapsed(),
+            0,
+        );
         Ok(ServedFrame {
             bytes: requested.expect("index <= target, so the loop rendered it"),
             frame: index,

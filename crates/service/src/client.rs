@@ -293,6 +293,20 @@ impl ServiceClient {
         reply.json().map_err(|e| ClientError::Http(200, e))
     }
 
+    /// Fetches `/metrics` (Prometheus text exposition).
+    pub fn metrics(&mut self) -> Result<String, ClientError> {
+        let reply = Self::expect_success(self.request("GET", "/metrics", b"")?)?;
+        String::from_utf8(reply.body)
+            .map_err(|e| ClientError::Http(200, format!("metrics body not UTF-8: {e}")))
+    }
+
+    /// Fetches and parses `/trace?last=N` (Chrome trace-event JSON).
+    pub fn trace(&mut self, last: usize) -> Result<Json, ClientError> {
+        let path = format!("/trace?last={last}");
+        let reply = Self::expect_success(self.request("GET", &path, b"")?)?;
+        reply.json().map_err(|e| ClientError::Http(200, e))
+    }
+
     /// Asks the server to shut down.
     pub fn shutdown(&mut self) -> Result<(), ClientError> {
         Self::expect_success(self.request("POST", "/shutdown", b"")?)?;

@@ -204,6 +204,17 @@ impl Response {
         }
     }
 
+    /// A plain-text response with an explicit content type (the `/metrics`
+    /// endpoint uses the Prometheus text exposition type).
+    pub fn text(status: u16, content_type: &'static str, body: String) -> Self {
+        Response {
+            status,
+            content_type,
+            headers: Vec::new(),
+            body: Arc::new(body.into_bytes()),
+        }
+    }
+
     /// A raw binary response.
     pub fn bytes(status: u16, body: Vec<u8>) -> Self {
         Response::shared(status, Arc::new(body))

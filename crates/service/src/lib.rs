@@ -23,7 +23,9 @@
 //!   of OOMing;
 //! * [`http`] + [`server`] — a std-only HTTP/1.1 front end over
 //!   [`std::net::TcpListener`] with endpoints for session CRUD, frame fetch
-//!   (raw little-endian `f32` texture bytes) and `/stats` (JSON);
+//!   (raw little-endian `f32` texture bytes), `/stats` (JSON), `/metrics`
+//!   (Prometheus text over [`spotnoise::telemetry`] histograms) and
+//!   `/trace` (Chrome trace-event JSON from the frame-lifecycle span ring);
 //! * [`client`] — the blocking loopback client the load bench and the
 //!   integration tests drive the server with;
 //! * [`spec`] — field/session specifications and their stable content
@@ -63,6 +65,8 @@ pub use cache::{FrameCache, FrameKey};
 pub use channel::{ChannelKey, ChannelRegistry, ChannelSubscription, ChannelTotals, FieldChannel};
 pub use client::{ClientError, FetchedFrame, FrameStream, ServiceClient, StreamedFrame};
 pub use queue::{AdmissionConfig, AdmissionError, FrameQueue, QueueStats};
-pub use server::{serve, FrameResult, Service, ServiceError, ServiceHandle, ServiceOptions};
+pub use server::{
+    serve, FrameResult, Service, ServiceError, ServiceHandle, ServiceOptions, ServiceTelemetry,
+};
 pub use session::{ServedFrame, Session, SessionRegistry};
 pub use spec::{FieldSpec, SessionSpec};

@@ -14,8 +14,10 @@
 //!   chatty session cannot starve the others however many requests it has
 //!   queued.
 
+use spotnoise::telemetry::Histogram;
 use std::collections::{HashMap, VecDeque};
-use std::sync::{Condvar, Mutex};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::Instant;
 
 /// Admission-control parameters.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -65,8 +67,9 @@ pub struct QueueStats {
 }
 
 struct Inner<T> {
-    /// Waiting jobs, one FIFO per session.
-    pending: HashMap<u64, VecDeque<T>>,
+    /// Waiting jobs, one FIFO per session, each stamped with its admission
+    /// instant so `pop` can record the queue wait.
+    pending: HashMap<u64, VecDeque<(Instant, T)>>,
     /// Sessions with waiting jobs, in round-robin service order (each id
     /// appears at most once).
     rotation: VecDeque<u64>,
@@ -77,6 +80,8 @@ struct Inner<T> {
     shed_session: u64,
     completed: u64,
     closed: bool,
+    /// Optional queue-wait histogram: admission→pop latency in microseconds.
+    wait: Option<Arc<Histogram>>,
 }
 
 /// A bounded, session-fair frame-request queue.
@@ -101,9 +106,16 @@ impl<T> FrameQueue<T> {
                 shed_session: 0,
                 completed: 0,
                 closed: false,
+                wait: None,
             }),
             available: Condvar::new(),
         }
+    }
+
+    /// Installs a histogram recording each job's queue wait (admission to
+    /// [`pop`](Self::pop)) in microseconds.
+    pub fn set_wait_histogram(&self, histogram: Arc<Histogram>) {
+        self.inner.lock().expect("queue poisoned").wait = Some(histogram);
     }
 
     /// The admission parameters.
@@ -133,7 +145,7 @@ impl<T> FrameQueue<T> {
         }
         let fifo = inner.pending.entry(session).or_default();
         let newly_pending = fifo.is_empty();
-        fifo.push_back(job);
+        fifo.push_back((Instant::now(), job));
         if newly_pending {
             inner.rotation.push_back(session);
         }
@@ -155,7 +167,7 @@ impl<T> FrameQueue<T> {
                     .pending
                     .get_mut(&session)
                     .expect("rotation entry without fifo");
-                let job = fifo.pop_front().expect("empty fifo in rotation");
+                let (queued_at, job) = fifo.pop_front().expect("empty fifo in rotation");
                 if fifo.is_empty() {
                     inner.pending.remove(&session);
                 } else {
@@ -164,6 +176,9 @@ impl<T> FrameQueue<T> {
                     inner.rotation.push_back(session);
                 }
                 inner.depth -= 1;
+                if let Some(wait) = &inner.wait {
+                    wait.record_duration(queued_at.elapsed());
+                }
                 return Some((session, job));
             }
             if inner.closed {
@@ -253,6 +268,19 @@ mod tests {
         assert_eq!(q.inner.lock().unwrap().pending.len(), 0);
         assert_eq!(q.stats().depth, 0);
         assert_eq!(q.stats().shed_session, 100);
+    }
+
+    #[test]
+    fn pop_records_queue_wait_in_the_installed_histogram() {
+        let q = queue(16, 8);
+        let wait = Arc::new(Histogram::new());
+        q.set_wait_histogram(Arc::clone(&wait));
+        q.submit(1, 0).unwrap();
+        q.submit(2, 1).unwrap();
+        q.pop().unwrap();
+        q.pop().unwrap();
+        let snap = wait.snapshot();
+        assert_eq!(snap.count, 2);
     }
 
     #[test]

@@ -24,6 +24,9 @@ use crate::spec::{FieldSpec, SessionSpec};
 use softpipe::{FrameArena, PipePool};
 use spotnoise::json::Json;
 use spotnoise::pipeline::pipe_pool_default_enabled;
+use spotnoise::telemetry::{
+    self, Histogram, HistogramSnapshot, TraceCtx, TraceSink, TraceStage, DEFAULT_TRACE_CAPACITY,
+};
 use std::io::BufReader;
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -112,6 +115,9 @@ pub struct FrameResult {
 
 struct FrameJob {
     frame: u64,
+    /// When the job was submitted to the admission queue — the start of the
+    /// queue-wait trace span a worker records on pickup.
+    submitted: Instant,
     /// The session the frame is rendered on. Carried in the job — the
     /// worker never re-resolves the id through the registry, so an
     /// admitted request renders even if its session is closed or evicted
@@ -139,6 +145,43 @@ struct ServiceCounters {
     frames_streamed: AtomicU64,
 }
 
+/// The service's end-to-end telemetry: lock-free latency histograms over
+/// every hot path plus the frame-lifecycle trace sink. All histograms are
+/// in microseconds. Exposed on `/metrics` (Prometheus text), `/trace`
+/// (Chrome trace-event JSON) and folded into `/stats` as percentiles.
+pub struct ServiceTelemetry {
+    /// End-to-end [`Service::fetch_frame`] latency, all outcomes (errors
+    /// included — a shed request's latency is part of the client story).
+    pub request_us: Arc<Histogram>,
+    /// Admission-to-pop wait in the frame queue.
+    pub queue_wait_us: Arc<Histogram>,
+    /// Per-frame particle-advection stage.
+    pub advect_us: Arc<Histogram>,
+    /// Per-frame texture-synthesis stage.
+    pub synthesize_us: Arc<Histogram>,
+    /// Per-frame render stage.
+    pub render_us: Arc<Histogram>,
+    /// Pipe-pool checkout wait (lock + reset-or-spawn).
+    pub checkout_us: Arc<Histogram>,
+    /// The frame-lifecycle trace sink; mode comes from `SPOTNOISE_TRACE`
+    /// (`off` by default).
+    pub trace: TraceSink,
+}
+
+impl ServiceTelemetry {
+    fn new() -> Self {
+        ServiceTelemetry {
+            request_us: Arc::new(Histogram::new()),
+            queue_wait_us: Arc::new(Histogram::new()),
+            advect_us: Arc::new(Histogram::new()),
+            synthesize_us: Arc::new(Histogram::new()),
+            render_us: Arc::new(Histogram::new()),
+            checkout_us: Arc::new(Histogram::new()),
+            trace: TraceSink::from_env(DEFAULT_TRACE_CAPACITY),
+        }
+    }
+}
+
 /// The shared state of a running synthesis server.
 pub struct Service {
     options: ServiceOptions,
@@ -151,6 +194,7 @@ pub struct Service {
     /// sessions (both size-keyed, so mixed frame sizes never collide).
     pools: SharedPools,
     counters: ServiceCounters,
+    telemetry: ServiceTelemetry,
     shutdown: AtomicBool,
     started: Instant,
     /// The bound address, filled in by [`serve`] (used by `/shutdown` to
@@ -162,6 +206,7 @@ impl Service {
     /// Creates a service with no front end attached (the API used by unit
     /// tests and in-process embedding; [`serve`] adds the TCP front end).
     pub fn new(options: ServiceOptions) -> Arc<Service> {
+        let service_telemetry = ServiceTelemetry::new();
         let arena = Arc::new(FrameArena::new());
         // One persistent-pipe pool for the whole service, sized by the
         // session cap: every admitted session can keep one warm pipe per
@@ -173,10 +218,35 @@ impl Service {
                 options.max_sessions.saturating_mul(2).max(8),
             ))
         });
+        if let Some(pool) = &pipes {
+            // Bridge pool checkouts into the checkout histogram and the
+            // trace ring (the raster crate cannot depend on telemetry, so
+            // the pool exposes a plain observer hook instead).
+            let checkout_us = Arc::clone(&service_telemetry.checkout_us);
+            let trace = service_telemetry.trace.clone();
+            pool.set_observer(Some(Arc::new(move |reused, wait| {
+                checkout_us.record_duration(wait);
+                let start = Instant::now()
+                    .checked_sub(wait)
+                    .unwrap_or_else(Instant::now);
+                trace.record_with(
+                    TraceStage::PipeCheckout,
+                    telemetry::ctx(),
+                    start,
+                    wait,
+                    reused as u64,
+                );
+            })));
+        }
         let pools = SharedPools {
             arena: Some(arena),
             pipes,
+            trace: service_telemetry.trace.clone(),
         };
+        let queue = FrameQueue::new(options.admission);
+        queue.set_wait_histogram(Arc::clone(&service_telemetry.queue_wait_us));
+        let mut cache = FrameCache::new(options.cache_bytes);
+        cache.set_trace_sink(service_telemetry.trace.clone());
         Arc::new(Service {
             registry: Mutex::new(SessionRegistry::with_pools(
                 options.max_sessions,
@@ -187,15 +257,21 @@ impl Service {
                 pools.clone(),
                 options.channel_lookahead,
             )),
-            cache: Mutex::new(FrameCache::new(options.cache_bytes)),
-            queue: FrameQueue::new(options.admission),
+            cache: Mutex::new(cache),
+            queue,
             pools,
             counters: ServiceCounters::default(),
+            telemetry: service_telemetry,
             shutdown: AtomicBool::new(false),
             started: Instant::now(),
             addr: Mutex::new(None),
             options,
         })
+    }
+
+    /// The service's latency histograms and trace sink.
+    pub fn telemetry(&self) -> &ServiceTelemetry {
+        &self.telemetry
     }
 
     /// The service-wide pools every session's pipeline composes on.
@@ -279,6 +355,35 @@ impl Service {
     /// worker. Blocks until the frame is ready, the request is shed, or the
     /// reply timeout expires.
     pub fn fetch_frame(&self, id: u64, frame: u64) -> Result<FrameResult, ServiceError> {
+        let start = Instant::now();
+        let outcome = self.fetch_frame_inner(id, frame);
+        let elapsed = start.elapsed();
+        self.telemetry.request_us.record_duration(elapsed);
+        // detail = 1 marks a failed request.
+        self.telemetry.trace.record_with(
+            TraceStage::Request,
+            TraceCtx { actor: id, frame },
+            start,
+            elapsed,
+            outcome.is_err() as u64,
+        );
+        if let Ok(result) = &outcome {
+            // detail = 1 marks a cache-served delivery.
+            self.telemetry.trace.record_with(
+                TraceStage::Deliver,
+                TraceCtx {
+                    actor: id,
+                    frame: result.frame,
+                },
+                start,
+                elapsed,
+                result.cached as u64,
+            );
+        }
+        outcome
+    }
+
+    fn fetch_frame_inner(&self, id: u64, frame: u64) -> Result<FrameResult, ServiceError> {
         if self.is_shutting_down() {
             return Err(ServiceError::ShuttingDown);
         }
@@ -320,6 +425,7 @@ impl Service {
             queue_id,
             FrameJob {
                 frame,
+                submitted: Instant::now(),
                 session: Arc::clone(&session),
                 reply: tx,
                 _guard: guard,
@@ -379,8 +485,8 @@ impl Service {
 
     /// One synthesis worker: drains the queue until it closes.
     fn worker_loop(&self) {
-        while let Some((_session_id, job)) = self.queue.pop() {
-            let outcome = self.execute(&job);
+        while let Some((queue_sid, job)) = self.queue.pop() {
+            let outcome = self.execute(queue_sid, &job);
             // A hung-up client (timeout, disconnect) makes send fail; the
             // work is already done and cached, so that is not an error.
             let _ = job.reply.send(outcome);
@@ -388,7 +494,21 @@ impl Service {
         }
     }
 
-    fn execute(&self, job: &FrameJob) -> Result<FrameResult, ServiceError> {
+    fn execute(&self, queue_sid: u64, job: &FrameJob) -> Result<FrameResult, ServiceError> {
+        // Every span this job's synthesis emits carries the queue id (the
+        // session id, or the channel id for shared sessions) as its actor.
+        let ctx = TraceCtx {
+            actor: queue_sid,
+            frame: job.frame,
+        };
+        let _trace_ctx = telemetry::set_ctx(ctx);
+        self.telemetry.trace.record_with(
+            TraceStage::QueueWait,
+            ctx,
+            job.submitted,
+            job.submitted.elapsed(),
+            0,
+        );
         // The job carries its session handle; no registry re-lookup, so an
         // admitted request can never turn into a spurious NotFound however
         // the registry changed while the job was queued.
@@ -426,6 +546,9 @@ impl Service {
                 self.counters
                     .render_us
                     .fetch_add(timings.render_us, Ordering::Relaxed);
+                self.telemetry.advect_us.record(timings.advect_us);
+                self.telemetry.synthesize_us.record(timings.synthesize_us);
+                self.telemetry.render_us.record(timings.render_us);
                 // Frames below the requested index were rendered on the way
                 // there: count them as look-ahead insertions so /stats shows
                 // how much future-serving work the request banked.
@@ -450,11 +573,30 @@ impl Service {
         }
     }
 
-    /// The `/stats` document.
+    /// One percentile block of the `/stats` latency section.
+    fn latency_json(histogram: &Histogram) -> Json {
+        let snap = histogram.snapshot();
+        Json::object([
+            ("count", Json::num(snap.count as f64)),
+            ("mean_us", Json::num(snap.mean())),
+            ("p50_us", Json::num(snap.percentile(50.0) as f64)),
+            ("p90_us", Json::num(snap.percentile(90.0) as f64)),
+            ("p99_us", Json::num(snap.percentile(99.0) as f64)),
+            ("max_us", Json::num(snap.max as f64)),
+        ])
+    }
+
+    /// The `/stats` document. Every subsystem is snapshotted exactly once
+    /// (one lock or atomic load per counter), so each block is internally
+    /// consistent — no torn multi-counter reads within a subsystem.
     pub fn stats_json(&self) -> Json {
         let registry = self.registry.lock().expect("registry poisoned");
         let reg = registry.stats();
         let session_ids = registry.ids();
+        let handles: Vec<(u64, Arc<Mutex<Session>>)> = session_ids
+            .iter()
+            .filter_map(|&id| registry.get(id).map(|handle| (id, handle)))
+            .collect();
         drop(registry);
         let cache = self.cache.lock().expect("cache poisoned");
         let (cache_len, cache_bytes, cache_cap, cache_stats) = (
@@ -466,13 +608,51 @@ impl Service {
         drop(cache);
         let channel_totals = self.channels.lock().expect("channels poisoned").totals();
         let q = self.queue.stats();
+        // One load per counter, gathered up front: later JSON building never
+        // re-reads a counter it already reported.
         let frames = self.counters.frames_rendered.load(Ordering::Relaxed);
+        let advect_us = self.counters.advect_us.load(Ordering::Relaxed);
         let synthesize_us = self.counters.synthesize_us.load(Ordering::Relaxed);
+        let render_us = self.counters.render_us.load(Ordering::Relaxed);
+        let http_requests = self.counters.http_requests.load(Ordering::Relaxed);
+        let streams_started = self.counters.streams_started.load(Ordering::Relaxed);
+        let frames_streamed = self.counters.frames_streamed.load(Ordering::Relaxed);
         let mean_synthesize_us = if frames > 0 {
             synthesize_us as f64 / frames as f64
         } else {
             0.0
         };
+        let per_session: Vec<Json> = handles
+            .iter()
+            .map(|(id, handle)| match handle.try_lock() {
+                Ok(s) => {
+                    let totals = s.stage_totals();
+                    Json::object([
+                        ("session", Json::str(format_session_id(*id))),
+                        ("shared", Json::Bool(s.is_shared())),
+                        ("frames_rendered", Json::num(s.frames_rendered() as f64)),
+                        ("head_frame", Json::num(s.head_frame() as f64)),
+                        ("rewinds", Json::num(s.rewinds() as f64)),
+                        ("steers", Json::num(s.steers() as f64)),
+                        ("in_flight", Json::num(s.in_flight() as f64)),
+                        (
+                            "stage_us",
+                            Json::object([
+                                ("advect", Json::num(totals.advect_us as f64)),
+                                ("synthesize", Json::num(totals.synthesize_us as f64)),
+                                ("render", Json::num(totals.render_us as f64)),
+                            ]),
+                        ),
+                    ])
+                }
+                // A session mid-render holds its lock; report it busy
+                // rather than stalling /stats behind synthesis.
+                Err(_) => Json::object([
+                    ("session", Json::str(format_session_id(*id))),
+                    ("busy", Json::Bool(true)),
+                ]),
+            })
+            .collect();
         Json::object([
             ("schema", Json::str("spotnoise_service_stats/v1")),
             (
@@ -501,15 +681,9 @@ impl Service {
                 "frames",
                 Json::object([
                     ("rendered", Json::num(frames as f64)),
-                    (
-                        "advect_us_total",
-                        Json::num(self.counters.advect_us.load(Ordering::Relaxed) as f64),
-                    ),
+                    ("advect_us_total", Json::num(advect_us as f64)),
                     ("synthesize_us_total", Json::num(synthesize_us as f64)),
-                    (
-                        "render_us_total",
-                        Json::num(self.counters.render_us.load(Ordering::Relaxed) as f64),
-                    ),
+                    ("render_us_total", Json::num(render_us as f64)),
                     ("mean_synthesize_us", Json::num(mean_synthesize_us)),
                 ]),
             ),
@@ -591,19 +765,322 @@ impl Service {
             (
                 "http",
                 Json::object([
+                    ("requests", Json::num(http_requests as f64)),
+                    ("streams", Json::num(streams_started as f64)),
+                    ("streamed_frames", Json::num(frames_streamed as f64)),
+                ]),
+            ),
+            (
+                "latency",
+                Json::object([
+                    ("request", Self::latency_json(&self.telemetry.request_us)),
                     (
-                        "requests",
-                        Json::num(self.counters.http_requests.load(Ordering::Relaxed) as f64),
+                        "queue_wait",
+                        Self::latency_json(&self.telemetry.queue_wait_us),
                     ),
+                    ("advect", Self::latency_json(&self.telemetry.advect_us)),
                     (
-                        "streams",
-                        Json::num(self.counters.streams_started.load(Ordering::Relaxed) as f64),
+                        "synthesize",
+                        Self::latency_json(&self.telemetry.synthesize_us),
                     ),
+                    ("render", Self::latency_json(&self.telemetry.render_us)),
                     (
-                        "streamed_frames",
-                        Json::num(self.counters.frames_streamed.load(Ordering::Relaxed) as f64),
+                        "pipe_checkout",
+                        Self::latency_json(&self.telemetry.checkout_us),
                     ),
                 ]),
+            ),
+            ("per_session", Json::array(per_session)),
+        ])
+    }
+
+    /// The `/metrics` document: Prometheus text exposition of the latency
+    /// histograms and every service counter.
+    pub fn metrics_text(&self) -> String {
+        let mut out = String::with_capacity(8192);
+        let histograms: [(&str, &str, &Arc<Histogram>); 6] = [
+            (
+                "spotnoise_request_duration_us",
+                "End-to-end frame request latency (all outcomes)",
+                &self.telemetry.request_us,
+            ),
+            (
+                "spotnoise_queue_wait_us",
+                "Admission-to-pop wait in the frame queue",
+                &self.telemetry.queue_wait_us,
+            ),
+            (
+                "spotnoise_stage_advect_us",
+                "Per-frame particle-advection stage time",
+                &self.telemetry.advect_us,
+            ),
+            (
+                "spotnoise_stage_synthesize_us",
+                "Per-frame texture-synthesis stage time",
+                &self.telemetry.synthesize_us,
+            ),
+            (
+                "spotnoise_stage_render_us",
+                "Per-frame render stage time",
+                &self.telemetry.render_us,
+            ),
+            (
+                "spotnoise_pipe_checkout_wait_us",
+                "Pipe-pool checkout wait",
+                &self.telemetry.checkout_us,
+            ),
+        ];
+        for (name, help, histogram) in histograms {
+            write_prometheus_histogram(&mut out, name, help, &histogram.snapshot());
+        }
+        let reg = self.registry.lock().expect("registry poisoned").stats();
+        let cache = self.cache.lock().expect("cache poisoned");
+        let (cache_len, cache_bytes, cache_stats) = (cache.len(), cache.bytes(), cache.stats());
+        drop(cache);
+        let channels = self.channels.lock().expect("channels poisoned").totals();
+        let q = self.queue.stats();
+        let c = &self.counters;
+        let singles: [(&str, &str, &str, f64); 28] = [
+            // (name, type, help, value)
+            (
+                "spotnoise_http_requests_total",
+                "counter",
+                "HTTP requests handled",
+                c.http_requests.load(Ordering::Relaxed) as f64,
+            ),
+            (
+                "spotnoise_frames_rendered_total",
+                "counter",
+                "Frames synthesized",
+                c.frames_rendered.load(Ordering::Relaxed) as f64,
+            ),
+            (
+                "spotnoise_streams_started_total",
+                "counter",
+                "Frame streams started",
+                c.streams_started.load(Ordering::Relaxed) as f64,
+            ),
+            (
+                "spotnoise_frames_streamed_total",
+                "counter",
+                "Frames pushed over streams",
+                c.frames_streamed.load(Ordering::Relaxed) as f64,
+            ),
+            (
+                "spotnoise_sessions_live",
+                "gauge",
+                "Sessions currently live",
+                reg.live as f64,
+            ),
+            (
+                "spotnoise_sessions_created_total",
+                "counter",
+                "Sessions ever created",
+                reg.created as f64,
+            ),
+            (
+                "spotnoise_sessions_evicted_total",
+                "counter",
+                "Sessions removed by idle eviction",
+                reg.evicted as f64,
+            ),
+            (
+                "spotnoise_sessions_closed_total",
+                "counter",
+                "Sessions closed by clients",
+                reg.closed as f64,
+            ),
+            (
+                "spotnoise_cache_entries",
+                "gauge",
+                "Cached frames",
+                cache_len as f64,
+            ),
+            (
+                "spotnoise_cache_bytes",
+                "gauge",
+                "Bytes held by the frame cache",
+                cache_bytes as f64,
+            ),
+            (
+                "spotnoise_cache_hits_total",
+                "counter",
+                "Cache hits",
+                cache_stats.hits as f64,
+            ),
+            (
+                "spotnoise_cache_misses_total",
+                "counter",
+                "Cache misses",
+                cache_stats.misses as f64,
+            ),
+            (
+                "spotnoise_cache_insertions_total",
+                "counter",
+                "Cache insertions",
+                cache_stats.insertions as f64,
+            ),
+            (
+                "spotnoise_cache_inserted_lookahead_total",
+                "counter",
+                "Look-ahead cache insertions",
+                cache_stats.inserted_lookahead as f64,
+            ),
+            (
+                "spotnoise_cache_evictions_total",
+                "counter",
+                "Cache LRU evictions",
+                cache_stats.evictions as f64,
+            ),
+            (
+                "spotnoise_queue_depth",
+                "gauge",
+                "Jobs waiting in the frame queue",
+                q.depth as f64,
+            ),
+            (
+                "spotnoise_queue_peak_depth",
+                "gauge",
+                "Highest queue depth observed",
+                q.peak_depth as f64,
+            ),
+            (
+                "spotnoise_queue_accepted_total",
+                "counter",
+                "Jobs admitted",
+                q.accepted as f64,
+            ),
+            (
+                "spotnoise_queue_shed_busy_total",
+                "counter",
+                "Submissions shed at the watermark",
+                q.shed_busy as f64,
+            ),
+            (
+                "spotnoise_queue_shed_session_total",
+                "counter",
+                "Submissions shed at the per-session cap",
+                q.shed_session as f64,
+            ),
+            (
+                "spotnoise_queue_completed_total",
+                "counter",
+                "Jobs fully executed",
+                q.completed as f64,
+            ),
+            (
+                "spotnoise_channels_live",
+                "gauge",
+                "Broadcast channels live",
+                channels.live as f64,
+            ),
+            (
+                "spotnoise_channels_subscribers",
+                "gauge",
+                "Subscribers across live channels",
+                channels.subscribers as f64,
+            ),
+            (
+                "spotnoise_channels_delivered_total",
+                "counter",
+                "Frames delivered to channel subscribers",
+                channels.delivered as f64,
+            ),
+            (
+                "spotnoise_channels_synthesized_total",
+                "counter",
+                "Frames synthesized on channel clocks",
+                channels.synthesized as f64,
+            ),
+            (
+                "spotnoise_channels_skips_total",
+                "counter",
+                "Fallen-behind serves skipped to the frontier",
+                channels.skips as f64,
+            ),
+            (
+                "spotnoise_uptime_seconds",
+                "gauge",
+                "Seconds since service start",
+                self.started.elapsed().as_secs_f64(),
+            ),
+            (
+                "spotnoise_trace_recorded_total",
+                "counter",
+                "Trace spans recorded",
+                self.telemetry.trace.recorded() as f64,
+            ),
+        ];
+        for (name, kind, help, value) in singles {
+            write_prometheus_single(&mut out, name, kind, help, value);
+        }
+        if let Some(pool) = &self.pools.pipes {
+            let p = pool.stats();
+            let pool_metrics: [(&str, &str, &str, f64); 4] = [
+                (
+                    "spotnoise_pipes_spawned_total",
+                    "counter",
+                    "Pipe workers spawned",
+                    p.spawned as f64,
+                ),
+                (
+                    "spotnoise_pipes_reused_total",
+                    "counter",
+                    "Checkouts served by a shelved worker",
+                    p.reused as f64,
+                ),
+                (
+                    "spotnoise_pipes_retired_total",
+                    "counter",
+                    "Returned pipes dropped at capacity",
+                    p.retired as f64,
+                ),
+                (
+                    "spotnoise_pipes_idle",
+                    "gauge",
+                    "Idle pipes currently shelved",
+                    p.idle as f64,
+                ),
+            ];
+            for (name, kind, help, value) in pool_metrics {
+                write_prometheus_single(&mut out, name, kind, help, value);
+            }
+        }
+        out
+    }
+
+    /// The `/trace` document: the newest `last` spans of the trace ring as
+    /// Chrome trace-event JSON (load into `chrome://tracing` or Perfetto).
+    /// The `tid` lane is the span's actor (session or channel queue id).
+    pub fn trace_json(&self, last: usize) -> Json {
+        let events = self.telemetry.trace.recent(last);
+        Json::object([
+            ("displayTimeUnit", Json::str("ms")),
+            ("enabled", Json::Bool(self.telemetry.trace.is_enabled())),
+            (
+                "recorded",
+                Json::num(self.telemetry.trace.recorded() as f64),
+            ),
+            (
+                "traceEvents",
+                Json::array(events.iter().map(|e| {
+                    Json::object([
+                        ("name", Json::str(e.stage.name())),
+                        ("cat", Json::str("spotnoise")),
+                        ("ph", Json::str("X")),
+                        ("ts", Json::num(e.start_us as f64)),
+                        ("dur", Json::num(e.dur_us as f64)),
+                        ("pid", Json::num(1.0)),
+                        ("tid", Json::num(e.actor as f64)),
+                        (
+                            "args",
+                            Json::object([
+                                ("frame", Json::num(e.frame as f64)),
+                                ("detail", Json::num(e.detail as f64)),
+                            ]),
+                        ),
+                    ])
+                })),
             ),
         ])
     }
@@ -691,8 +1168,19 @@ impl Service {
     /// Routes one parsed request to a response.
     pub fn route(&self, request: &Request) -> Response {
         self.counters.http_requests.fetch_add(1, Ordering::Relaxed);
-        let segments: Vec<&str> = request.path.split('/').filter(|s| !s.is_empty()).collect();
+        let (path, query) = match request.path.split_once('?') {
+            Some((path, query)) => (path, query),
+            None => (request.path.as_str(), ""),
+        };
+        let segments: Vec<&str> = path.split('/').filter(|s| !s.is_empty()).collect();
         match (request.method.as_str(), segments.as_slice()) {
+            ("GET", ["metrics"]) => {
+                Response::text(200, "text/plain; version=0.0.4", self.metrics_text())
+            }
+            ("GET", ["trace"]) => match parse_trace_query(query) {
+                Err(detail) => Response::error(400, "bad_request", &detail),
+                Ok(last) => Response::json(200, self.trace_json(last)),
+            },
             ("GET", ["healthz"]) => Response::json(
                 200,
                 Json::object([
@@ -770,7 +1258,12 @@ impl Service {
                     Err(err) => Self::error_response(&err),
                 }
             }
-            (_, ["sessions", ..]) | (_, ["stats"]) | (_, ["healthz"]) | (_, ["shutdown"]) => {
+            (_, ["sessions", ..])
+            | (_, ["stats"])
+            | (_, ["healthz"])
+            | (_, ["shutdown"])
+            | (_, ["metrics"])
+            | (_, ["trace"]) => {
                 Response::error(405, "method_not_allowed", "wrong method for this path")
             }
             _ => Response::error(404, "not_found", "unknown path"),
@@ -843,6 +1336,61 @@ struct StreamRequest {
     id: u64,
     from: u64,
     count: u64,
+}
+
+/// Parses the `/trace` query string: `last=N` bounds how many of the newest
+/// spans are returned (default 256, `0` meaning "everything in the ring").
+fn parse_trace_query(query: &str) -> Result<usize, String> {
+    let mut last = 256usize;
+    for pair in query.split('&').filter(|p| !p.is_empty()) {
+        let (key, value) = pair.split_once('=').unwrap_or((pair, ""));
+        match key {
+            "last" => match value.parse::<usize>() {
+                Ok(0) => last = usize::MAX,
+                Ok(n) => last = n,
+                Err(_) => return Err(format!("trace query last={value:?} not a number")),
+            },
+            other => return Err(format!("unknown trace query key {other:?}")),
+        }
+    }
+    Ok(last)
+}
+
+/// Appends one histogram in Prometheus text exposition format: cumulative
+/// `_bucket{le=...}` lines (ending at `+Inf`), `_sum` and `_count`, plus
+/// pre-computed `_p50`/`_p90`/`_p99` gauges so scrapers that do not compute
+/// `histogram_quantile` still get the headline percentiles.
+fn write_prometheus_histogram(
+    out: &mut String,
+    name: &str,
+    help: &str,
+    snapshot: &HistogramSnapshot,
+) {
+    use std::fmt::Write as _;
+    let _ = writeln!(out, "# HELP {name} {help}");
+    let _ = writeln!(out, "# TYPE {name} histogram");
+    for (le, cumulative) in snapshot.cumulative_buckets() {
+        let _ = writeln!(out, "{name}_bucket{{le=\"{le}\"}} {cumulative}");
+    }
+    let _ = writeln!(out, "{name}_bucket{{le=\"+Inf\"}} {}", snapshot.count);
+    let _ = writeln!(out, "{name}_sum {}", snapshot.sum);
+    let _ = writeln!(out, "{name}_count {}", snapshot.count);
+    for (suffix, q) in [("p50", 50.0), ("p90", 90.0), ("p99", 99.0)] {
+        let _ = writeln!(out, "# TYPE {name}_{suffix} gauge");
+        let _ = writeln!(out, "{name}_{suffix} {}", snapshot.percentile(q));
+    }
+}
+
+/// Appends one counter or gauge in Prometheus text exposition format.
+fn write_prometheus_single(out: &mut String, name: &str, kind: &str, help: &str, value: f64) {
+    use std::fmt::Write as _;
+    let _ = writeln!(out, "# HELP {name} {help}");
+    let _ = writeln!(out, "# TYPE {name} {kind}");
+    if value.fract() == 0.0 && value.abs() < 9.0e15 {
+        let _ = writeln!(out, "{name} {}", value as i64);
+    } else {
+        let _ = writeln!(out, "{name} {value}");
+    }
 }
 
 /// Recognizes `GET /sessions/<id>/stream[?from=N&count=k]`. Returns `None`

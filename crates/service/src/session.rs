@@ -28,6 +28,7 @@ use softpipe::machine::MachineConfig;
 use softpipe::{FrameArena, PipePool};
 use spotnoise::metrics::StageTimings;
 use spotnoise::pipeline::{ExecutionMode, Pipeline};
+use spotnoise::telemetry::{self, TraceCtx, TraceSink};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
@@ -45,6 +46,9 @@ pub struct SharedPools {
     pub arena: Option<Arc<FrameArena>>,
     /// Persistent pipe-worker pool shared by all sessions.
     pub pipes: Option<Arc<PipePool>>,
+    /// Trace sink every attached pipeline reports its stage spans to (the
+    /// default disabled sink records nothing).
+    pub trace: TraceSink,
 }
 
 /// Why a frame could not be rendered.
@@ -122,6 +126,10 @@ pub struct Session {
     /// Total synthesis steps performed over the session's lifetime
     /// (monotonic across steers and rewinds).
     frames_rendered: u64,
+    /// Summed stage timings of every frame synthesized while serving this
+    /// session (shared sessions count the channel frames their serves
+    /// triggered). Feeds the per-session breakdown on `/stats`.
+    stage_totals: StageTimings,
     /// Times the pipeline was rebuilt to serve an earlier frame index.
     rewinds: u64,
     /// Times the session was steered to a (possibly new) field.
@@ -158,6 +166,7 @@ pub(crate) fn build_pipeline(spec: &SessionSpec, shared: &SharedPools) -> Pipeli
     if let Some(pool) = &shared.pipes {
         pipeline.set_pipe_pool(Some(Arc::clone(pool)));
     }
+    pipeline.set_trace_sink(shared.trace.clone());
     pipeline
 }
 
@@ -172,6 +181,12 @@ pub(crate) fn advance_pipeline(
     field: &dyn VectorField,
     dt: f64,
 ) -> (Arc<Vec<u8>>, StageTimings) {
+    // Stamp the frame index onto the thread's trace context (keeping the
+    // worker's actor id) so every span this advance emits carries it.
+    let _trace_ctx = telemetry::set_ctx(TraceCtx {
+        actor: telemetry::ctx().actor,
+        frame: pipeline.frames(),
+    });
     let out = pipeline.advance(field, dt, 0);
     let bytes = Arc::new(texture_bytes(&out.texture));
     let timings = out.metrics.timings;
@@ -238,6 +253,7 @@ impl Session {
             config_key: spec.config_cache_key(),
             last_touch: Instant::now(),
             frames_rendered: 0,
+            stage_totals: StageTimings::default(),
             rewinds: 0,
             steers: 0,
             next_advance: 0,
@@ -318,6 +334,12 @@ impl Session {
         self.frames_rendered
     }
 
+    /// Summed stage timings of every frame synthesized while serving this
+    /// session.
+    pub fn stage_totals(&self) -> StageTimings {
+        self.stage_totals
+    }
+
     /// Times the pipeline was rebuilt to serve an earlier frame.
     pub fn rewinds(&self) -> u64 {
         self.rewinds
@@ -381,8 +403,17 @@ impl Session {
         self.touch();
         let (field_key, config_key, seed) =
             (self.field_key, self.config_key, self.spec.config.seed);
-        match &mut self.backing {
-            Backing::Shared(sub) => sub.channel().serve(index, max_advances, on_frame),
+        // Accumulated locally (the shared arm's closure cannot borrow
+        // `self`), then folded into the session after the match.
+        let mut served_totals = StageTimings::default();
+        let result = match &mut self.backing {
+            Backing::Shared(sub) => {
+                sub.channel()
+                    .serve(index, max_advances, |key, bytes, timings| {
+                        served_totals.accumulate(timings);
+                        on_frame(key, bytes, timings);
+                    })
+            }
             Backing::Private(private) => {
                 let PrivateBacking { field, pipeline } = &mut **private;
                 if index < pipeline.frames() {
@@ -408,6 +439,7 @@ impl Session {
                     let frame_index = pipeline.frames();
                     let (bytes, timings) = advance_pipeline(pipeline, field.as_ref(), self.spec.dt);
                     self.frames_rendered += 1;
+                    served_totals.accumulate(&timings);
                     let key = FrameKey {
                         field: field_key,
                         config: config_key,
@@ -423,7 +455,9 @@ impl Session {
                     skipped: false,
                 })
             }
-        }
+        };
+        self.stage_totals.accumulate(&served_totals);
+        result
     }
 }
 
@@ -637,6 +671,11 @@ mod tests {
         assert_eq!(seen, vec![0, 1, 2]);
         assert_eq!(s.frames_rendered(), 3);
         assert_eq!(s.head_frame(), 3);
+        let totals = s.stage_totals();
+        assert!(
+            totals.synthesize_us > 0,
+            "stage totals accumulate per-frame timings: {totals:?}"
+        );
     }
 
     #[test]

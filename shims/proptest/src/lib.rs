@@ -2,7 +2,8 @@
 //!
 //! Supports the subset the workspace uses: the `proptest!` block macro with
 //! an optional `#![proptest_config(...)]` attribute, numeric range
-//! strategies (`lo..hi`, `lo..=hi`), and `prop_assert!`/`prop_assert_eq!`.
+//! strategies (`lo..hi`, `lo..=hi`), `collection::vec`, and
+//! `prop_assert!`/`prop_assert_eq!`.
 //! Instead of shrinking random failures, cases are generated from a
 //! deterministic per-test seed, so failures reproduce exactly across runs.
 
@@ -141,6 +142,34 @@ macro_rules! int_strategy {
 }
 
 int_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+/// Collection strategies (`proptest::collection::vec`).
+pub mod collection {
+    use crate::{Strategy, TestRng};
+    use std::ops::Range;
+
+    /// Strategy producing `Vec`s with lengths drawn from a range; built by
+    /// [`vec`].
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        len: Range<usize>,
+    }
+
+    /// `Vec` strategy drawing a length from `len`, then that many elements
+    /// from `element`.
+    pub fn vec<S: Strategy>(element: S, len: Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, len }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let n = Strategy::generate(&self.len, rng);
+            (0..n).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
 
 /// Defines property tests. Each `fn name(arg in strategy, ...) { body }`
 /// becomes a `#[test]` running the body over deterministically generated

@@ -522,6 +522,303 @@ fn shared_delivery_hands_out_the_same_arc_and_steering_forks_private() {
 }
 
 #[test]
+fn metrics_endpoint_exposes_prometheus_histograms_and_counters() {
+    let handle = serve("127.0.0.1:0", ServiceOptions::default()).expect("bind loopback");
+    let mut client = ServiceClient::connect(handle.addr()).expect("connect");
+    let session = client
+        .create_session(&session_body(203, 1.0))
+        .expect("create session");
+    let fetches = 5u64;
+    for frame in 0..fetches {
+        client.fetch_frame(&session, frame).expect("fetch frame");
+    }
+
+    // The raw reply carries the Prometheus text exposition content type.
+    let reply = client
+        .request("GET", "/metrics", b"")
+        .expect("GET /metrics");
+    assert_eq!(reply.status, 200);
+    assert_eq!(
+        reply.header("content-type"),
+        Some("text/plain; version=0.0.4")
+    );
+    let body = client.metrics().expect("metrics text");
+
+    // Golden structure of one histogram family: TYPE line, cumulative
+    // buckets ending at +Inf, _sum and _count, and the percentile gauges.
+    assert!(body.contains("# TYPE spotnoise_request_duration_us histogram"));
+    assert!(body.contains("spotnoise_request_duration_us_bucket{le=\"+Inf\"}"));
+    for suffix in ["_sum", "_count", "_p50", "_p90", "_p99"] {
+        assert!(
+            body.contains(&format!("spotnoise_request_duration_us{suffix} ")),
+            "missing spotnoise_request_duration_us{suffix}"
+        );
+    }
+    // Every stage histogram and the headline counters are present.
+    for name in [
+        "spotnoise_queue_wait_us",
+        "spotnoise_stage_advect_us",
+        "spotnoise_stage_synthesize_us",
+        "spotnoise_stage_render_us",
+        "spotnoise_http_requests_total",
+        "spotnoise_frames_rendered_total",
+        "spotnoise_sessions_live",
+        "spotnoise_cache_entries",
+        "spotnoise_queue_accepted_total",
+        "spotnoise_uptime_seconds",
+    ] {
+        assert!(body.contains(name), "missing metric {name}");
+    }
+
+    // The request histogram's bucket counts are cumulative (monotonically
+    // nondecreasing in le) and end exactly at the family count.
+    let mut last_cumulative = 0u64;
+    let mut bucket_lines = 0;
+    let mut count = None;
+    for line in body.lines() {
+        if let Some(rest) = line.strip_prefix("spotnoise_request_duration_us_bucket{le=\"") {
+            let value: u64 = rest
+                .split_whitespace()
+                .next_back()
+                .and_then(|v| v.parse().ok())
+                .expect("bucket line parses");
+            assert!(
+                value >= last_cumulative,
+                "bucket counts not cumulative: {line}"
+            );
+            last_cumulative = value;
+            bucket_lines += 1;
+        } else if let Some(rest) = line.strip_prefix("spotnoise_request_duration_us_count ") {
+            count = rest.trim().parse::<u64>().ok();
+        }
+    }
+    assert!(bucket_lines >= 2, "request histogram has no buckets");
+    let count = count.expect("request histogram count line");
+    assert!(
+        count >= fetches,
+        "request count {count} below the {fetches} frames fetched"
+    );
+    assert_eq!(last_cumulative, count, "+Inf bucket must equal _count");
+    handle.shutdown();
+}
+
+#[test]
+fn trace_endpoint_returns_chrome_trace_json_with_nested_spans() {
+    use spotnoise::telemetry::{self, TraceMode};
+
+    // Pin tracing on for the server this test boots (the env-independent
+    // override; restored below so other tests keep their default-off sinks).
+    telemetry::force_mode(Some(TraceMode::Ring));
+    let handle = serve("127.0.0.1:0", ServiceOptions::default()).expect("bind loopback");
+    telemetry::force_mode(None);
+    let mut client = ServiceClient::connect(handle.addr()).expect("connect");
+    let session = client
+        .create_session(&session_body(211, 1.0))
+        .expect("create session");
+    for frame in 0..3u64 {
+        client.fetch_frame(&session, frame).expect("fetch frame");
+    }
+
+    let doc = client.trace(512).expect("GET /trace");
+    assert_eq!(
+        doc.get("displayTimeUnit").and_then(Json::as_str),
+        Some("ms")
+    );
+    assert_eq!(doc.get("enabled").and_then(Json::as_bool), Some(true));
+    let events = doc
+        .get("traceEvents")
+        .and_then(Json::as_array)
+        .expect("traceEvents array");
+    assert!(!events.is_empty(), "ring sink recorded nothing");
+
+    #[derive(Clone, Copy)]
+    struct Span {
+        ts: f64,
+        dur: f64,
+        tid: f64,
+        frame: f64,
+    }
+    let mut by_name: std::collections::HashMap<String, Vec<Span>> =
+        std::collections::HashMap::new();
+    for event in events {
+        // Every event is a complete ("X") span with the fixed pid lane.
+        assert_eq!(event.get("ph").and_then(Json::as_str), Some("X"));
+        assert_eq!(event.get("cat").and_then(Json::as_str), Some("spotnoise"));
+        assert_eq!(event.get("pid").and_then(Json::as_f64), Some(1.0));
+        let get = |key: &str| event.get(key).and_then(Json::as_f64).expect(key);
+        let span = Span {
+            ts: get("ts"),
+            dur: get("dur"),
+            tid: get("tid"),
+            frame: event
+                .get("args")
+                .and_then(|a| a.get("frame"))
+                .and_then(Json::as_f64)
+                .expect("args.frame"),
+        };
+        assert!(span.ts >= 0.0 && span.dur >= 0.0);
+        let name = event
+            .get("name")
+            .and_then(Json::as_str)
+            .expect("span name")
+            .to_string();
+        by_name.entry(name).or_default().push(span);
+    }
+    // The lifecycle is covered end to end: admission wait, the synthesis
+    // stages, the per-group rasterization, the gather, and the delivery.
+    for stage in [
+        "request",
+        "queue_wait",
+        "advect",
+        "synthesize",
+        "raster_group",
+        "gather",
+        "render",
+        "cache_insert",
+        "deliver",
+    ] {
+        assert!(
+            by_name.contains_key(stage),
+            "no {stage} span in the trace (have: {:?})",
+            by_name.keys().collect::<Vec<_>>()
+        );
+    }
+    // Spans nest: each frame's advect span falls inside the request span
+    // that triggered it (same actor lane, same frame, one shared epoch; the
+    // +2us headroom absorbs the microsecond truncation of ts and dur).
+    let mut nested = 0;
+    for advect in &by_name["advect"] {
+        if by_name["request"].iter().any(|request| {
+            request.tid == advect.tid
+                && request.frame == advect.frame
+                && request.ts <= advect.ts
+                && advect.ts + advect.dur <= request.ts + request.dur + 2.0
+        }) {
+            nested += 1;
+        }
+    }
+    assert!(
+        nested >= 3,
+        "advect spans do not nest inside their request spans ({nested} of {})",
+        by_name["advect"].len()
+    );
+
+    // ?last=N bounds the reply, and a malformed query is a clean 400.
+    let bounded = client.trace(3).expect("bounded trace");
+    assert!(
+        bounded
+            .get("traceEvents")
+            .and_then(Json::as_array)
+            .unwrap()
+            .len()
+            <= 3
+    );
+    let bad = client
+        .request("GET", "/trace?last=abc", b"")
+        .expect("bad query");
+    assert_eq!(bad.status, 400);
+    handle.shutdown();
+}
+
+#[test]
+fn stats_stay_internally_consistent_mid_load() {
+    let handle = serve("127.0.0.1:0", ServiceOptions::default()).expect("bind loopback");
+    let addr = handle.addr();
+    let subscribers = 4u64;
+    let frames = 6u64;
+
+    // Load: four subscribers of one shared field walk the same frames
+    // concurrently while the main thread polls /stats the whole time.
+    let done = std::sync::Arc::new(std::sync::atomic::AtomicBool::new(false));
+    let workers: Vec<_> = (0..subscribers)
+        .map(|_| {
+            std::thread::spawn(move || {
+                let mut client = ServiceClient::connect(addr).expect("connect subscriber");
+                let session = client
+                    .create_session(&shared_session_body(227, 1.0))
+                    .expect("create shared session");
+                for frame in 0..frames {
+                    client.fetch_frame(&session, frame).expect("fetch frame");
+                }
+            })
+        })
+        .collect();
+
+    let mut poller = ServiceClient::connect(addr).expect("connect poller");
+    let stat = |doc: &Json, path: [&str; 2]| {
+        doc.get(path[0])
+            .and_then(|s| s.get(path[1]))
+            .and_then(Json::as_f64)
+            .unwrap_or_else(|| panic!("missing stat {}.{}", path[0], path[1]))
+    };
+    let mut last_delivered = 0.0f64;
+    let mut last_completed = 0.0f64;
+    let watcher_done = std::sync::Arc::clone(&done);
+    while !watcher_done.load(std::sync::atomic::Ordering::Relaxed) {
+        let doc = poller.stats().expect("mid-load stats");
+        // Each subsystem is snapshotted once, so even mid-load the numbers
+        // must be internally coherent — no torn multi-counter reads.
+        let accepted = stat(&doc, ["queue", "accepted"]);
+        let completed = stat(&doc, ["queue", "completed"]);
+        let depth = stat(&doc, ["queue", "depth"]);
+        let peak = stat(&doc, ["queue", "peak_depth"]);
+        assert!(
+            completed <= accepted,
+            "queue completed {completed} ahead of accepted {accepted}"
+        );
+        assert!(depth <= peak, "queue depth {depth} above its peak {peak}");
+        let delivered = stat(&doc, ["channels", "delivered"]);
+        assert!(
+            delivered >= last_delivered && completed >= last_completed,
+            "monotonic counters went backwards"
+        );
+        last_delivered = delivered;
+        last_completed = completed;
+        let live = stat(&doc, ["sessions", "live"]);
+        let created = stat(&doc, ["sessions", "created"]);
+        assert!(live <= created);
+        if workers.iter().all(|w| w.is_finished()) {
+            done.store(true, std::sync::atomic::Ordering::Relaxed);
+        }
+    }
+    for w in workers {
+        w.join().expect("subscriber panicked");
+    }
+
+    // Settled totals: every subscriber received every frame exactly once,
+    // and the queue drained completely.
+    let doc = poller.stats().expect("final stats");
+    assert_eq!(
+        stat(&doc, ["channels", "delivered"]),
+        (subscribers * frames) as f64,
+        "delivered != subscribers x frames"
+    );
+    assert_eq!(stat(&doc, ["queue", "depth"]), 0.0);
+    assert_eq!(
+        stat(&doc, ["queue", "accepted"]),
+        stat(&doc, ["queue", "completed"]),
+        "queue settled with unfinished jobs"
+    );
+    // The request-latency histogram saw every frame request, with ordered
+    // percentiles.
+    let latency = doc
+        .get("latency")
+        .and_then(|l| l.get("request"))
+        .expect("latency.request");
+    let lat = |key: &str| latency.get(key).and_then(Json::as_f64).unwrap();
+    assert!(lat("count") >= (subscribers * frames) as f64);
+    assert!(lat("p50_us") <= lat("p90_us") && lat("p90_us") <= lat("p99_us"));
+    assert!(lat("max_us") >= lat("p99_us"));
+    // Per-session rows cover every live session.
+    let per_session = doc
+        .get("per_session")
+        .and_then(Json::as_array)
+        .expect("per_session array");
+    assert_eq!(per_session.len() as f64, stat(&doc, ["sessions", "live"]));
+    handle.shutdown();
+}
+
+#[test]
 fn a_stalled_server_surfaces_as_timed_out_not_a_broken_connection() {
     // A listener that accepts and then never answers: the client's read
     // deadline must fire as the distinct TimedOut error.
