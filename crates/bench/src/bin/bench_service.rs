@@ -19,7 +19,9 @@
 //! broadcast fan-out delivering more frames than it synthesizes (≥ 10× with
 //! 64+ subscribers) at a steady-state gap within 2× of the hot single-client
 //! p50, and overload shed with `Busy` while the queue never grew past its
-//! watermark. A failed check exits non-zero.
+//! watermark — with the degradation ladder engaged first: the pre-burst
+//! snapshot must show `entered_saturated ≥ 1` and stale + degraded serves
+//! > 0 before any request was refused. A failed check exits non-zero.
 //!
 //! `--threads 1,2,4` switches to sweep mode: the whole phase list runs once
 //! per worker count — the rayon shim override and the server's synthesis
@@ -188,9 +190,26 @@ fn check_artifact(path: &PathBuf) -> Result<String, String> {
             "queue grew to depth {peak_depth}, past its watermark {watermark}"
         ));
     }
+    // The degradation ladder must engage before the server refuses work:
+    // the pre-burst snapshot has to show stale (cached-frontier) or
+    // degraded (footprint-sampled) serves — and the saturated rung itself —
+    // strictly before any request was shed with Busy.
+    let entered_saturated = o_field("entered_saturated")?;
+    let stale = o_field("stale_serves")?;
+    let degraded = o_field("degraded_serves")?;
+    if busy > 0.0 && stale + degraded <= 0.0 {
+        return Err(format!(
+            "{busy} requests were shed but the ladder never degraded a serve \
+             (stale {stale}, degraded {degraded}): shedding must be the last rung, not the first"
+        ));
+    }
+    if busy > 0.0 && entered_saturated <= 0.0 {
+        return Err("requests were shed without the gauge ever reaching saturated".to_string());
+    }
     Ok(format!(
         "{} cases, hot/cold p50 gaps [{}], fanout {ratio:.1}x over {fields} fields, \
-         overload shed {busy} of {} with queue depth <= {watermark}",
+         ladder {stale} stale + {degraded} degraded before overload shed {busy} of {} \
+         with queue depth <= {watermark}",
         cases.len(),
         speedups.join(", "),
         busy + completed,

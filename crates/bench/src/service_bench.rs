@@ -17,8 +17,11 @@
 //!
 //! A final overload phase floods a deliberately tiny server (one worker,
 //! watermark 3) far past its watermark and records how many requests were
-//! shed with `Busy` versus queued — the queue must shed, not grow. Results
-//! feed `BENCH_service.json` (schema `bench_service/v1`).
+//! shed with `Busy` versus queued — the queue must shed, not grow. Before
+//! the burst, a sustained sub-phase holds the queue at its watermark until
+//! the pressure ladder engages, and banks the stale/degraded/deadline-shed
+//! counters it produced: graceful degradation must precede outright
+//! refusal. Results feed `BENCH_service.json` (schema `bench_service/v1`).
 
 use crate::json::Json;
 use spotnoise::telemetry::Histogram;
@@ -169,6 +172,17 @@ pub struct OverloadResult {
     pub completed: usize,
     /// Highest queue depth the server ever recorded.
     pub peak_depth: usize,
+    /// Times the pressure gauge entered its saturated rung during the
+    /// sustained sub-phase — proof the ladder engaged before the burst.
+    pub entered_saturated: u64,
+    /// Cached-frontier serves handed to shared subscribers (`X-Frame-Stale`)
+    /// before the shed burst was fired.
+    pub stale_serves: u64,
+    /// Frames served from sampling-degraded sessions (`X-Frame-Degraded`)
+    /// before the shed burst was fired.
+    pub degraded_serves: u64,
+    /// Requests shed because their deadline budget was already spent.
+    pub deadline_shed: u64,
 }
 
 /// The full report.
@@ -227,7 +241,7 @@ fn run_client(
                     }
                     break;
                 }
-                Err(spotnoise_service::ClientError::Busy) => {
+                Err(spotnoise_service::ClientError::Busy { .. }) => {
                     outcome.busy_retries += 1;
                     std::thread::sleep(std::time::Duration::from_millis(2));
                 }
@@ -436,6 +450,15 @@ fn run_fanout(opts: &ServiceBenchOptions) -> FanoutResult {
 /// Floods a one-worker, watermark-3 server with simultaneous cold requests
 /// and records shed-vs-served counts. The queue must shed with `Busy`, never
 /// grow past its watermark.
+/// Reads one numeric pressure counter out of a `/stats` document.
+fn pressure_counter(stats: &Json, key: &str) -> u64 {
+    stats
+        .get("pressure")
+        .and_then(|p| p.get(key))
+        .and_then(Json::as_f64)
+        .unwrap_or(0.0) as u64
+}
+
 fn run_overload(opts: &ServiceBenchOptions) -> OverloadResult {
     let watermark = 3;
     let submitted = 12;
@@ -455,6 +478,88 @@ fn run_overload(opts: &ServiceBenchOptions) -> OverloadResult {
         "{{\"config\": {{\"texture_size\": 192, \"spot_count\": {}, \"seed\": 9}}}}",
         opts.spot_count.max(1500)
     );
+
+    // Sub-phase 1 — sustained saturation. Before the shed burst, hold the
+    // one-worker queue at its watermark long enough for the pressure gauge
+    // to reach `saturated`, and show the ladder answers with degraded
+    // content before the server ever refuses outright: exact sessions flip
+    // to footprint sampling (degraded serves) and a shared subscriber gets
+    // the cached frontier (stale serves).
+    let shared_body = format!("{}, \"shared\": true}}", &body[..body.len() - 1]);
+    let mut shared_client = ServiceClient::connect(addr).expect("connect shared client");
+    let shared = shared_client
+        .create_session(&shared_body)
+        .expect("create shared overload session");
+    // Warm the channel frontier so a stale serve has something to hand out.
+    loop {
+        match shared_client.fetch_frame(&shared, 0) {
+            Ok(_) => break,
+            Err(spotnoise_service::ClientError::Busy { .. }) => {
+                std::thread::sleep(std::time::Duration::from_millis(20));
+            }
+            Err(e) => panic!("overload frontier warm-up failed: {e}"),
+        }
+    }
+    let stop = Arc::new(std::sync::atomic::AtomicBool::new(false));
+    let pressers: Vec<_> = (0..3)
+        .map(|i| {
+            let stop = Arc::clone(&stop);
+            let body = body.replace("\"seed\": 9", &format!("\"seed\": {}", 500 + i));
+            std::thread::spawn(move || {
+                let mut client = ServiceClient::connect(addr).expect("connect presser");
+                let session = client
+                    .create_session(&body)
+                    .expect("create presser session");
+                let mut frame = 0u64;
+                while !stop.load(std::sync::atomic::Ordering::Relaxed) {
+                    match client.fetch_frame(&session, frame) {
+                        Ok(_) => frame += 1,
+                        Err(spotnoise_service::ClientError::Busy { .. }) => {
+                            std::thread::sleep(std::time::Duration::from_millis(10));
+                        }
+                        Err(e) => panic!("presser failed: {e}"),
+                    }
+                }
+            })
+        })
+        .collect();
+    // Probe the shared session past the frontier until the ladder serves a
+    // stale frontier frame and at least one degraded presser frame landed;
+    // bail out after a bounded wait so a broken ladder fails the --check
+    // gate instead of hanging the bench.
+    let mut stats_client = ServiceClient::connect(addr).expect("connect stats client");
+    let ladder_deadline = Instant::now() + std::time::Duration::from_secs(15);
+    let mut probe_frame = 1u64;
+    loop {
+        match shared_client.fetch_frame(&shared, probe_frame) {
+            Ok(fetched) if !fetched.stale => probe_frame = fetched.frame + 1,
+            Ok(_) => {}
+            Err(spotnoise_service::ClientError::Busy { .. }) => {}
+            Err(e) => panic!("shared probe failed: {e}"),
+        }
+        let stats = stats_client.stats().expect("mid-overload stats");
+        if (pressure_counter(&stats, "stale_serves") >= 1
+            && pressure_counter(&stats, "degraded_serves") >= 1)
+            || Instant::now() >= ladder_deadline
+        {
+            break;
+        }
+        std::thread::sleep(std::time::Duration::from_millis(50));
+    }
+    stop.store(true, std::sync::atomic::Ordering::Relaxed);
+    for p in pressers {
+        p.join().expect("presser panicked");
+    }
+    // Ladder counters are snapshotted *before* the burst: whatever they
+    // read here happened strictly before any burst shed below.
+    let ladder = stats_client.stats().expect("pre-burst stats");
+    let entered_saturated = pressure_counter(&ladder, "entered_saturated");
+    let stale_serves = pressure_counter(&ladder, "stale_serves");
+    let degraded_serves = pressure_counter(&ladder, "degraded_serves");
+    let deadline_shed = pressure_counter(&ladder, "deadline_shed");
+
+    // Sub-phase 2 — the shed burst: 12 simultaneous one-shot requests on
+    // fresh sessions against the watermark-3 queue.
     let sessions: Vec<String> = (0..submitted)
         .map(|i| {
             let mut c = ServiceClient::connect(addr).expect("connect overload setup");
@@ -472,7 +577,7 @@ fn run_overload(opts: &ServiceBenchOptions) -> OverloadResult {
                 barrier.wait();
                 match client.fetch_frame(&session, 0) {
                     Ok(_) => Ok(()),
-                    Err(spotnoise_service::ClientError::Busy) => Err(()),
+                    Err(spotnoise_service::ClientError::Busy { .. }) => Err(()),
                     Err(e) => panic!("overload client failed: {e}"),
                 }
             })
@@ -487,7 +592,6 @@ fn run_overload(opts: &ServiceBenchOptions) -> OverloadResult {
             Err(()) => busy += 1,
         }
     }
-    let mut stats_client = ServiceClient::connect(addr).expect("connect stats client");
     let stats = stats_client.stats().expect("overload stats");
     let peak_depth = stats
         .get("queue")
@@ -501,6 +605,10 @@ fn run_overload(opts: &ServiceBenchOptions) -> OverloadResult {
         busy,
         completed,
         peak_depth,
+        entered_saturated,
+        stale_serves,
+        degraded_serves,
+        deadline_shed,
     }
 }
 
@@ -584,6 +692,10 @@ pub fn format_report(report: &ServiceBenchReport) -> String {
     out.push_str(&format!(
         "overload: {} simultaneous requests vs watermark {}: {} busy, {} served, peak depth {}\n",
         o.submitted, o.watermark, o.busy, o.completed, o.peak_depth,
+    ));
+    out.push_str(&format!(
+        "ladder (pre-burst): saturated x{}, {} stale serves, {} degraded serves, {} deadline shed\n",
+        o.entered_saturated, o.stale_serves, o.degraded_serves, o.deadline_shed,
     ));
     out
 }
@@ -679,6 +791,10 @@ fn report_json_value(report: &ServiceBenchReport) -> Json {
                 ("busy", Json::num(o.busy as f64)),
                 ("completed", Json::num(o.completed as f64)),
                 ("peak_depth", Json::num(o.peak_depth as f64)),
+                ("entered_saturated", Json::num(o.entered_saturated as f64)),
+                ("stale_serves", Json::num(o.stale_serves as f64)),
+                ("degraded_serves", Json::num(o.degraded_serves as f64)),
+                ("deadline_shed", Json::num(o.deadline_shed as f64)),
             ]),
         ),
     ]);
@@ -776,6 +892,10 @@ mod tests {
                 busy: 8,
                 completed: 4,
                 peak_depth: 3,
+                entered_saturated: 1,
+                stale_serves: 2,
+                degraded_serves: 5,
+                deadline_shed: 0,
             },
         };
         let text = report_to_json(&report);

@@ -218,6 +218,18 @@ impl Pipeline {
         &self.cfg
     }
 
+    /// Switches the spot-sampling mode in place — the degradation hook the
+    /// service's pressure ladder uses to flip an overloaded session from
+    /// `Exact` to the cheaper `Footprint` sampling (and back on recovery)
+    /// without touching the animator: advection is sampling-independent, so
+    /// frame `n` after a flip is bit-identical to frame `n` of a session
+    /// configured that way from the start. The persistent synthesis context
+    /// adapts on the next frame's refresh (building or dropping the
+    /// footprint pyramid).
+    pub fn set_sampling(&mut self, sampling: softpipe::SamplingMode) {
+        self.cfg.sampling = sampling;
+    }
+
     /// The execution mode.
     pub fn mode(&self) -> ExecutionMode {
         self.mode
@@ -241,7 +253,10 @@ impl Pipeline {
     /// 1), which the caller measures because data production lives in the
     /// application; pass 0 when not relevant.
     pub fn advance(&mut self, field: &dyn VectorField, dt: f64, read_us: u64) -> FrameOutput {
-        // Step 2: particle advection.
+        // Step 2: particle advection. Each stage opens with a fault
+        // checkpoint (one relaxed load when chaos testing is off) so the
+        // service's containment layer can be exercised at every boundary.
+        softpipe::fault::fire("advect");
         let advect_start = Instant::now();
         let (_, advect_us) = timed(|| self.animator.advance(field, dt));
         self.sink.record(
@@ -252,6 +267,7 @@ impl Pipeline {
         let spots = self.animator.spots();
 
         // Step 3: texture synthesis.
+        softpipe::fault::fire("synthesize");
         let mode = self.mode;
         let cfg = self.cfg;
         let sched = self.sched;
@@ -294,6 +310,7 @@ impl Pipeline {
 
         // Step 4: display post-processing (skipped entirely when display
         // production is disabled — raw-texture servers never read it).
+        softpipe::fault::fire("render");
         let postprocess = self.postprocess;
         let produce_display = self.display;
         let render_start = Instant::now();
@@ -421,6 +438,43 @@ mod tests {
         assert!(mean_diff < 1e-4, "mean texel difference {mean_diff}");
         let dnc = b.dnc.expect("dnc report");
         assert!(dnc.groups.iter().all(|g| g.queue_exhausted));
+    }
+
+    #[test]
+    fn sampling_flip_mid_stream_matches_a_native_footprint_session() {
+        // The pressure ladder degrades overloaded sessions by flipping them
+        // to footprint sampling mid-stream. Advection is independent of the
+        // sampling mode, so frame n after the flip must be bit-identical to
+        // frame n of a session configured for footprint from the start —
+        // which also makes degraded frames cacheable under the footprint
+        // config key.
+        use softpipe::SamplingMode;
+        let cfg = SynthesisConfig::small_test();
+        let mut footprint_cfg = cfg;
+        footprint_cfg.sampling = SamplingMode::Footprint;
+        let machine = MachineConfig::new(2, 2);
+        let mut flipped = Pipeline::new(cfg, ExecutionMode::DivideAndConquer(machine), domain());
+        let mut native = Pipeline::new(
+            footprint_cfg,
+            ExecutionMode::DivideAndConquer(machine),
+            domain(),
+        );
+        let f = field();
+        let _ = flipped.advance(&f, 0.05, 0);
+        let _ = native.advance(&f, 0.05, 0);
+        flipped.set_sampling(SamplingMode::Footprint);
+        assert_eq!(flipped.config().sampling, SamplingMode::Footprint);
+        let a = flipped.advance(&f, 0.05, 0);
+        let b = native.advance(&f, 0.05, 0);
+        assert_eq!(a.texture.absolute_difference(&b.texture), 0.0);
+        // And flipping back restores exact sampling frames.
+        flipped.set_sampling(SamplingMode::Exact);
+        let mut exact = Pipeline::new(cfg, ExecutionMode::DivideAndConquer(machine), domain());
+        let _ = exact.advance(&f, 0.05, 0);
+        let _ = exact.advance(&f, 0.05, 0);
+        let c = flipped.advance(&f, 0.05, 0);
+        let d = exact.advance(&f, 0.05, 0);
+        assert_eq!(c.texture.absolute_difference(&d.texture), 0.0);
     }
 
     #[test]

@@ -28,9 +28,10 @@
 //! assert.
 
 use crate::pipe::RenderCommand;
+use crate::sync::lock_recover;
 use crate::texture::Texture;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Mutex;
+use std::sync::{Mutex, MutexGuard};
 
 /// Maximum buffers kept per texture size class (and for the command-vector
 /// pool); beyond this, returned buffers are dropped. A frame needs one
@@ -80,6 +81,19 @@ impl FrameArena {
         FrameArena::default()
     }
 
+    /// Takes the texture pools, recovering from poison by dropping every
+    /// pooled buffer: pooled textures are pure caches, so an empty pool is
+    /// always a valid (merely cold) state.
+    fn texture_pools(&self) -> MutexGuard<'_, Vec<SizeClass>> {
+        lock_recover(&self.textures, Vec::clear)
+    }
+
+    /// Same recovery contract as [`FrameArena::texture_pools`] for the
+    /// command-vector pool.
+    fn command_pool(&self) -> MutexGuard<'_, Vec<Vec<RenderCommand>>> {
+        lock_recover(&self.commands, Vec::clear)
+    }
+
     /// Checks out a zeroed `width` × `height` texture (the [`Texture::new`]
     /// contract), reusing a pooled allocation of the same texel count when
     /// one is available.
@@ -99,9 +113,7 @@ impl FrameArena {
     fn texture(&self, width: usize, height: usize, zero: bool) -> Texture {
         let texels = width * height;
         let pooled = self
-            .textures
-            .lock()
-            .expect("arena poisoned")
+            .texture_pools()
             .iter_mut()
             .find(|class| class.texels == texels)
             .and_then(|class| class.pool.pop());
@@ -123,7 +135,7 @@ impl FrameArena {
     /// Returns a texture to its size class's pool for a later checkout.
     pub fn recycle_texture(&self, texture: Texture) {
         let texels = texture.data().len();
-        let mut classes = self.textures.lock().expect("arena poisoned");
+        let mut classes = self.texture_pools();
         let class = match classes.iter_mut().find(|class| class.texels == texels) {
             Some(class) => class,
             None => {
@@ -141,7 +153,7 @@ impl FrameArena {
 
     /// Checks out an empty command vector with at least `capacity` slots.
     pub fn commands(&self, capacity: usize) -> Vec<RenderCommand> {
-        let pooled = self.commands.lock().expect("arena poisoned").pop();
+        let pooled = self.command_pool().pop();
         match pooled {
             Some(mut v) => {
                 self.command_reuses.fetch_add(1, Ordering::Relaxed);
@@ -162,7 +174,7 @@ impl FrameArena {
     /// themselves are dropped; only the outer allocation is retained).
     pub fn recycle_commands(&self, mut commands: Vec<RenderCommand>) {
         commands.clear();
-        let mut pool = self.commands.lock().expect("arena poisoned");
+        let mut pool = self.command_pool();
         if pool.len() < MAX_POOLED {
             pool.push(commands);
         }
@@ -170,9 +182,7 @@ impl FrameArena {
 
     /// Number of textures currently pooled, over all size classes.
     pub fn pooled_textures(&self) -> usize {
-        self.textures
-            .lock()
-            .expect("arena poisoned")
+        self.texture_pools()
             .iter()
             .map(|class| class.pool.len())
             .sum()
@@ -180,7 +190,7 @@ impl FrameArena {
 
     /// Number of distinct texture size classes currently pooled.
     pub fn texture_size_classes(&self) -> usize {
-        self.textures.lock().expect("arena poisoned").len()
+        self.texture_pools().len()
     }
 
     /// Counter snapshot.

@@ -24,7 +24,9 @@
 //! * [`simd`] — explicit SSE2/AVX2/NEON kernels behind runtime dispatch,
 //! * [`bus`] — host-to-graphics bus traffic accounting,
 //! * [`cost`] — the Onyx2-calibrated cost model,
-//! * [`machine`] — the workstation model (processors, pipes, assignment).
+//! * [`machine`] — the workstation model (processors, pipes, assignment),
+//! * [`fault`] — chaos-testing fault injection (`SPOTNOISE_FAULT`),
+//! * [`sync`] — poison-recovering lock helpers used across the stack.
 
 #![warn(missing_docs)]
 
@@ -33,6 +35,7 @@ pub mod blend;
 pub mod bus;
 pub mod compose;
 pub mod cost;
+pub mod fault;
 pub mod framebuffer;
 pub mod machine;
 pub mod mesh;
@@ -41,6 +44,7 @@ pub mod pool;
 pub mod raster;
 pub mod simd;
 pub mod state;
+pub mod sync;
 pub mod texture;
 
 pub use arena::{ArenaStats, FrameArena};
@@ -48,6 +52,7 @@ pub use blend::BlendMode;
 pub use bus::{BusStats, BusTracker, Traffic};
 pub use compose::{compose_tiles, gather_additive, ComposeResult, PixelTile, StreamingGather};
 pub use cost::{CostModel, CpuWork, PipeWork};
+pub use fault::{FaultKind, FaultPlan, FaultRule};
 pub use framebuffer::{Framebuffer, Rgb};
 pub use machine::MachineConfig;
 pub use mesh::TexturedMesh;

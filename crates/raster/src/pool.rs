@@ -26,6 +26,7 @@
 use crate::arena::FrameArena;
 use crate::bus::BusTracker;
 use crate::pipe::{GraphicsPipe, PipeOutput, RenderCommand};
+use crate::sync::lock_recover;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
@@ -56,6 +57,10 @@ pub struct PoolStats {
     pub reused: u64,
     /// Returned pipes dropped (joined) because the pool was at capacity.
     pub retired: u64,
+    /// Returned pipes dropped because a command panicked on their worker —
+    /// a poisoned pipe never goes back on a shelf; the next checkout for
+    /// its key spawns a fresh worker in its place.
+    pub discarded: u64,
     /// Idle pipes currently shelved.
     pub idle: usize,
 }
@@ -72,6 +77,7 @@ pub struct PipePool {
     spawned: AtomicU64,
     reused: AtomicU64,
     retired: AtomicU64,
+    discarded: AtomicU64,
     /// Optional checkout observer (see [`CheckoutObserver`]).
     observer: Mutex<Option<CheckoutObserver>>,
 }
@@ -110,15 +116,26 @@ impl PipePool {
             spawned: AtomicU64::new(0),
             reused: AtomicU64::new(0),
             retired: AtomicU64::new(0),
+            discarded: AtomicU64::new(0),
             observer: Mutex::new(None),
         }
+    }
+
+    /// Takes the shelf map, recovering from poison by dropping every idle
+    /// pipe: a panic while the map was held can leave a half-performed
+    /// pop/push, and starting from empty shelves trades warm workers for
+    /// certainty (the next checkouts simply respawn).
+    fn shelves(&self) -> std::sync::MutexGuard<'_, HashMap<ShelfKey, Vec<GraphicsPipe>>> {
+        lock_recover(&self.shelves, HashMap::clear)
     }
 
     /// Installs (or clears) the checkout observer. At most one is active; the
     /// service installs one that feeds its checkout-latency histogram and
     /// trace sink.
     pub fn set_observer(&self, observer: Option<CheckoutObserver>) {
-        *self.observer.lock().expect("pipe pool poisoned") = observer;
+        // The observer slot is a single `Option` — always whole, so poison
+        // recovery needs no revalidation here.
+        *lock_recover(&self.observer, |_| {}) = observer;
     }
 
     /// The arena pooled workers were configured with.
@@ -141,12 +158,7 @@ impl PipePool {
     ) -> PooledPipe {
         let start = Instant::now();
         let key = (width, height, group);
-        let shelved = self
-            .shelves
-            .lock()
-            .expect("pipe pool poisoned")
-            .get_mut(&key)
-            .and_then(Vec::pop);
+        let shelved = self.shelves().get_mut(&key).and_then(Vec::pop);
         let was_reused = shelved.is_some();
         let mut pipe = match shelved {
             Some(pipe) => {
@@ -162,7 +174,7 @@ impl PipePool {
             }
         };
         pipe.set_bus(bus);
-        let observer = self.observer.lock().expect("pipe pool poisoned").clone();
+        let observer = lock_recover(&self.observer, |_| {}).clone();
         if let Some(observer) = observer {
             observer(was_reused, start.elapsed());
         }
@@ -173,10 +185,18 @@ impl PipePool {
         }
     }
 
-    /// Returns a pipe to its shelf (or retires it when the pool is full).
+    /// Returns a pipe to its shelf (or retires it when the pool is full). A
+    /// poisoned pipe — one whose worker panicked mid-frame — is discarded
+    /// instead: its target and session state are suspect, so the next
+    /// checkout for this key respawns a fresh worker.
     fn check_in(&self, key: ShelfKey, mut pipe: GraphicsPipe) {
+        if pipe.is_poisoned() {
+            self.discarded.fetch_add(1, Ordering::Relaxed);
+            drop(pipe);
+            return;
+        }
         pipe.set_bus(None);
-        let mut shelves = self.shelves.lock().expect("pipe pool poisoned");
+        let mut shelves = self.shelves();
         let idle: usize = shelves.values().map(Vec::len).sum();
         if idle < self.max_idle {
             shelves.entry(key).or_default().push(pipe);
@@ -194,13 +214,8 @@ impl PipePool {
             spawned: self.spawned.load(Ordering::Relaxed),
             reused: self.reused.load(Ordering::Relaxed),
             retired: self.retired.load(Ordering::Relaxed),
-            idle: self
-                .shelves
-                .lock()
-                .expect("pipe pool poisoned")
-                .values()
-                .map(Vec::len)
-                .sum(),
+            discarded: self.discarded.load(Ordering::Relaxed),
+            idle: self.shelves().values().map(Vec::len).sum(),
         }
     }
 }

@@ -1,0 +1,102 @@
+//! Poison-recovering lock helpers.
+//!
+//! Every shared structure in the pool/arena/queue/cache/channel stack used
+//! to take its mutex with `.lock().expect("... poisoned")`, which turns one
+//! panicking render thread into a cascade that kills every other session
+//! touching the same structure. These helpers recover instead: on poison
+//! they [`Mutex::clear_poison`] the lock, take the guard out of the
+//! [`std::sync::PoisonError`], and run a caller-supplied *revalidation*
+//! closure that restores the protected state to a consistent (possibly
+//! conservatively emptied) shape before anyone else observes it.
+//!
+//! Revalidation is mandatory by construction — the closure parameter is
+//! what distinguishes "we thought about what a half-updated value looks
+//! like here" from blindly ignoring poison. Callers whose invariants hold
+//! for every individually-written field (e.g. an `Option<Arc<_>>` slot)
+//! pass `|_| {}` and say so at the call site.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Condvar, Mutex, MutexGuard};
+use std::time::Duration;
+
+/// Process-wide count of poison recoveries, for `/stats` and the chaos
+/// suite's "no poison escapes" assertion.
+static RECOVERIES: AtomicU64 = AtomicU64::new(0);
+
+/// Number of lock-poison recoveries performed so far (monotonic).
+pub fn recoveries() -> u64 {
+    RECOVERIES.load(Ordering::Relaxed)
+}
+
+/// Locks `mutex`, recovering from poison by clearing the flag and running
+/// `revalidate` on the protected value before returning the guard.
+pub fn lock_recover<'a, T>(
+    mutex: &'a Mutex<T>,
+    revalidate: impl FnOnce(&mut T),
+) -> MutexGuard<'a, T> {
+    match mutex.lock() {
+        Ok(guard) => guard,
+        Err(poisoned) => {
+            RECOVERIES.fetch_add(1, Ordering::Relaxed);
+            mutex.clear_poison();
+            let mut guard = poisoned.into_inner();
+            revalidate(&mut guard);
+            guard
+        }
+    }
+}
+
+/// [`Condvar::wait_timeout`] with the same poison-recovery contract as
+/// [`lock_recover`]: the mutex the guard came from must be supplied so the
+/// poison flag can be cleared. Returns the reacquired guard and whether the
+/// wait timed out.
+pub fn wait_timeout_recover<'a, T>(
+    condvar: &Condvar,
+    guard: MutexGuard<'a, T>,
+    mutex: &'a Mutex<T>,
+    timeout: Duration,
+    revalidate: impl FnOnce(&mut T),
+) -> (MutexGuard<'a, T>, bool) {
+    match condvar.wait_timeout(guard, timeout) {
+        Ok((guard, timed_out)) => (guard, timed_out.timed_out()),
+        Err(poisoned) => {
+            RECOVERIES.fetch_add(1, Ordering::Relaxed);
+            mutex.clear_poison();
+            let (mut guard, timed_out) = poisoned.into_inner();
+            revalidate(&mut guard);
+            (guard, timed_out.timed_out())
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn poisoned_lock_is_recovered_and_revalidated() {
+        let shared = Arc::new(Mutex::new(vec![1, 2, 3]));
+        let poisoner = Arc::clone(&shared);
+        let _ = std::thread::spawn(move || {
+            let _guard = poisoner.lock().unwrap();
+            panic!("poison the lock");
+        })
+        .join();
+        assert!(shared.lock().is_err(), "lock should start poisoned");
+
+        let before = recoveries();
+        let guard = lock_recover(&shared, |v| v.clear());
+        assert!(guard.is_empty(), "revalidation ran");
+        drop(guard);
+        assert_eq!(recoveries(), before + 1);
+        assert!(shared.lock().is_ok(), "poison flag cleared for later users");
+    }
+
+    #[test]
+    fn healthy_lock_skips_revalidation() {
+        let mutex = Mutex::new(7u32);
+        let guard = lock_recover(&mutex, |_| unreachable!("lock is healthy"));
+        assert_eq!(*guard, 7);
+    }
+}

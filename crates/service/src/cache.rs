@@ -103,6 +103,33 @@ impl FrameCache {
         self.stats
     }
 
+    /// Restores the cache's derived state after a panic may have left an
+    /// update half-applied (the poison-recovery hook for the mutex the
+    /// service wraps this cache in): the entry map is the ground truth, so
+    /// the byte total, the recency index and the tick cursor are all
+    /// recomputed from it, then the byte budget is re-enforced. Duplicate
+    /// ticks (possible if a panic hit between the two map updates) collapse
+    /// to one recency slot, in which case the orphaned entries are dropped
+    /// to keep the two structures in lockstep.
+    pub fn revalidate(&mut self) {
+        let mut recency: BTreeMap<u64, FrameKey> = BTreeMap::new();
+        for (key, entry) in &self.entries {
+            recency.insert(entry.tick, *key);
+        }
+        self.entries
+            .retain(|key, entry| recency.get(&entry.tick) == Some(key));
+        self.bytes = self.entries.values().map(|e| e.bytes.len()).sum();
+        self.tick = recency.keys().next_back().copied().unwrap_or(0) + 1;
+        self.recency = recency;
+        while self.bytes > self.capacity_bytes {
+            let (&oldest, &victim) = self.recency.iter().next().expect("recency in sync");
+            self.recency.remove(&oldest);
+            let evicted = self.entries.remove(&victim).expect("entries in sync");
+            self.bytes -= evicted.bytes.len();
+            self.stats.evictions += 1;
+        }
+    }
+
     /// Counted lookup: the front-door check for a requested frame. A hit
     /// refreshes the entry's recency.
     pub fn lookup(&mut self, key: FrameKey) -> Option<Arc<Vec<u8>>> {
@@ -302,6 +329,33 @@ mod tests {
         // All three entries are equally real cache entries.
         assert!(c.peek(key(0)).is_some());
         assert!(c.peek(key(2)).is_some());
+    }
+
+    #[test]
+    fn revalidate_rebuilds_derived_state_from_the_entries() {
+        let mut c = FrameCache::new(32);
+        for f in 0..3 {
+            c.insert(key(f), bytes(f as u8));
+        }
+        // Simulate a panic that corrupted the derived bookkeeping.
+        c.bytes = 9999;
+        c.recency.clear();
+        c.tick = 0;
+        c.revalidate();
+        assert_eq!(c.bytes(), 24);
+        assert_eq!(c.len(), 3);
+        // The cache is fully functional again: lookups hit, inserts evict.
+        assert!(c.lookup(key(0)).is_some());
+        c.insert(key(3), bytes(3));
+        assert!(c.bytes() <= 32);
+        // Over-budget state left by a torn insert is re-enforced too.
+        let mut c = FrameCache::new(16);
+        c.insert(key(0), bytes(0));
+        c.insert(key(1), bytes(1));
+        c.capacity_bytes = 8;
+        c.revalidate();
+        assert!(c.bytes() <= 8);
+        assert_eq!(c.len(), 1);
     }
 
     #[test]

@@ -35,12 +35,13 @@ use crate::cache::FrameKey;
 use crate::session::{advance_pipeline, build_pipeline, RenderError, ServedFrame, SharedPools};
 use crate::spec::SessionSpec;
 use flowfield::VectorField;
+use softpipe::sync::lock_recover;
 use spotnoise::metrics::StageTimings;
 use spotnoise::pipeline::Pipeline;
 use spotnoise::telemetry::{TraceCtx, TraceSink, TraceStage};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, MutexGuard};
 use std::time::Instant;
 
 /// Queue ids for channel-driven synthesis jobs live in the upper half of the
@@ -88,7 +89,13 @@ pub struct FieldChannel {
     key: ChannelKey,
     queue_id: u64,
     spec: SessionSpec,
-    lookahead: u64,
+    /// Look-ahead window, shared with the owning registry so the pressure
+    /// ladder can shut speculative synthesis off across every live channel
+    /// with one store.
+    lookahead: Arc<AtomicU64>,
+    /// The pools the synth pipeline composes on — kept so a poisoned synth
+    /// lock can rebuild the pipeline on the same warm buffers and workers.
+    pools: SharedPools,
     synth: Mutex<ChannelSynth>,
     /// One past the most recently synthesized frame (mirrors
     /// `synth.pipeline.frames()` so readers never need the synth lock).
@@ -112,11 +119,17 @@ pub struct FieldChannel {
 }
 
 impl FieldChannel {
-    fn new(spec: SessionSpec, pools: &SharedPools, queue_id: u64, lookahead: u64) -> Self {
+    fn new(
+        spec: SessionSpec,
+        pools: &SharedPools,
+        queue_id: u64,
+        lookahead: Arc<AtomicU64>,
+    ) -> Self {
         FieldChannel {
             key: ChannelKey::of(&spec),
             queue_id,
             lookahead,
+            pools: pools.clone(),
             synth: Mutex::new(ChannelSynth {
                 field: spec.field.build(),
                 pipeline: build_pipeline(&spec, pools),
@@ -131,6 +144,37 @@ impl FieldChannel {
             trace: pools.trace.clone(),
             spec,
         }
+    }
+
+    /// Locks the synthesis state, recovering from poison by rebuilding the
+    /// field and pipeline from the spec. The rebuilt clock restarts at the
+    /// seed and replays deterministically — every re-synthesized frame is
+    /// bit-identical to its first rendering and lands on the same cache
+    /// keys, so subscribers at worst see already-cached frames re-served
+    /// while the clock catches back up.
+    fn synth(&self) -> MutexGuard<'_, ChannelSynth> {
+        lock_recover(&self.synth, |synth| {
+            *synth = ChannelSynth {
+                field: self.spec.field.build(),
+                pipeline: build_pipeline(&self.spec, &self.pools),
+            };
+            // Keep the published head mirroring the (rebuilt) pipeline.
+            self.head.store(0, Ordering::SeqCst);
+        })
+    }
+
+    /// Locks the frontier slot. No revalidation needed on poison: the slot
+    /// is a single `Option` that is only ever wholesale-replaced, so both
+    /// states a panic can leave behind are valid.
+    fn latest_slot(&self) -> MutexGuard<'_, Option<(u64, Arc<Vec<u8>>)>> {
+        lock_recover(&self.latest, |_| {})
+    }
+
+    /// The most recently synthesized frame and its index — the frontier a
+    /// saturated server hands to shared subscribers as a *stale* serve
+    /// instead of queueing synthesis work.
+    pub fn latest_frame(&self) -> Option<(u64, Arc<Vec<u8>>)> {
+        self.latest_slot().clone()
     }
 
     /// The channel's identity key.
@@ -213,13 +257,11 @@ impl FieldChannel {
             actor: self.queue_id,
             frame: index,
         };
-        let mut synth = self.synth.lock().expect("channel synth poisoned");
+        let mut synth = self.synth();
         let head = synth.pipeline.frames();
         if index < head {
             let (frame, bytes) = self
-                .latest
-                .lock()
-                .expect("channel latest poisoned")
+                .latest_slot()
                 .clone()
                 .expect("head > 0 implies a latest frame");
             self.skips.fetch_add(1, Ordering::Relaxed);
@@ -245,7 +287,7 @@ impl FieldChannel {
                 max: max_advances,
             });
         }
-        let target = index.saturating_add(self.lookahead);
+        let target = index.saturating_add(self.lookahead.load(Ordering::Relaxed));
         let mut requested = None;
         while synth.pipeline.frames() <= target {
             let frame_index = synth.pipeline.frames();
@@ -256,8 +298,7 @@ impl FieldChannel {
             if frame_index == index {
                 requested = Some(Arc::clone(&bytes));
             }
-            *self.latest.lock().expect("channel latest poisoned") =
-                Some((frame_index, Arc::clone(&bytes)));
+            *self.latest_slot() = Some((frame_index, Arc::clone(&bytes)));
             self.head.store(frame_index + 1, Ordering::SeqCst);
         }
         self.delivered.fetch_add(1, Ordering::Relaxed);
@@ -350,7 +391,9 @@ impl ChannelTotals {
 pub struct ChannelRegistry {
     channels: HashMap<ChannelKey, Arc<FieldChannel>>,
     pools: SharedPools,
-    lookahead: u64,
+    /// Look-ahead window shared with every channel this registry created,
+    /// so [`ChannelRegistry::set_lookahead`] retargets them all at once.
+    lookahead: Arc<AtomicU64>,
     next_seq: u64,
     created: u64,
     /// Counters of retired channels, folded into [`ChannelRegistry::totals`].
@@ -364,11 +407,23 @@ impl ChannelRegistry {
         ChannelRegistry {
             channels: HashMap::new(),
             pools,
-            lookahead,
+            lookahead: Arc::new(AtomicU64::new(lookahead)),
             next_seq: 0,
             created: 0,
             retired: ChannelTotals::default(),
         }
+    }
+
+    /// The current look-ahead window.
+    pub fn lookahead(&self) -> u64 {
+        self.lookahead.load(Ordering::Relaxed)
+    }
+
+    /// Retargets the look-ahead window of every channel, live and future —
+    /// the pressure ladder sets it to 0 under load (no speculative
+    /// synthesis) and restores it on recovery.
+    pub fn set_lookahead(&self, frames: u64) {
+        self.lookahead.store(frames, Ordering::Relaxed);
     }
 
     /// Subscribes to the channel for `spec`, creating it if no session is
@@ -385,7 +440,7 @@ impl ChannelRegistry {
                     *spec,
                     &self.pools,
                     queue_id,
-                    self.lookahead,
+                    Arc::clone(&self.lookahead),
                 ));
                 self.channels.insert(key, Arc::clone(&channel));
                 channel
@@ -552,6 +607,54 @@ mod tests {
         let served = sub.channel().serve(15, 16, |_, _, _| {}).unwrap();
         assert_eq!(served.frame, 15);
         assert_eq!(sub.channel().head(), 20);
+    }
+
+    #[test]
+    fn lookahead_retargets_every_live_channel() {
+        let mut r = registry(3);
+        let sub = r.subscribe(&quick_spec(1));
+        assert_eq!(r.lookahead(), 3);
+        // Pressure ladder shuts speculation off: the next serve renders
+        // only the requested frame.
+        r.set_lookahead(0);
+        sub.channel().serve(0, 16, |_, _, _| {}).unwrap();
+        assert_eq!(sub.channel().head(), 1, "no speculative frames rendered");
+        // Recovery restores the window.
+        r.set_lookahead(3);
+        sub.channel().serve(1, 16, |_, _, _| {}).unwrap();
+        assert_eq!(sub.channel().head(), 5);
+    }
+
+    #[test]
+    fn latest_frame_exposes_the_frontier_for_stale_serves() {
+        let mut r = registry(0);
+        let sub = r.subscribe(&quick_spec(1));
+        assert!(sub.channel().latest_frame().is_none());
+        let served = sub.channel().serve(2, 16, |_, _, _| {}).unwrap();
+        let (frame, bytes) = sub.channel().latest_frame().unwrap();
+        assert_eq!(frame, 2);
+        assert_eq!(bytes, served.bytes);
+    }
+
+    #[test]
+    fn poisoned_synth_rebuilds_and_replays_bit_identically() {
+        let mut r = registry(0);
+        let sub = r.subscribe(&quick_spec(5));
+        let before = sub.channel().serve(1, 16, |_, _, _| {}).unwrap();
+        // Poison the synth lock the way a panicking render would.
+        let channel = Arc::clone(sub.channel());
+        let _ = std::thread::spawn(move || {
+            let _guard = channel.synth.lock().unwrap();
+            panic!("poison the channel synth");
+        })
+        .join();
+        assert!(sub.channel().synth.lock().is_err(), "lock starts poisoned");
+        // The next serve recovers: the clock restarts at the seed and
+        // replays, so the same frame index yields the same bytes.
+        let after = sub.channel().serve(1, 16, |_, _, _| {}).unwrap();
+        assert_eq!(before.bytes, after.bytes, "replay must be bit-identical");
+        assert!(!after.skipped);
+        assert_eq!(sub.channel().head(), 2);
     }
 
     #[test]

@@ -53,8 +53,13 @@ pub enum ClientError {
     /// replied — distinct from [`ClientError::Io`] so callers can retry or
     /// reconnect instead of treating a slow server as a broken one.
     TimedOut,
-    /// The server shed the request (`503` with a `busy` error).
-    Busy,
+    /// The server shed the request (`503`: busy, deadline shed, or
+    /// shutting down), carrying the parsed `Retry-After` hint when the
+    /// server sent one.
+    Busy {
+        /// How long the server asked the client to wait before retrying.
+        retry_after: Option<Duration>,
+    },
     /// The server does not know the session (`404`).
     NotFound,
     /// Any other non-success status.
@@ -66,7 +71,7 @@ impl std::fmt::Display for ClientError {
         match self {
             ClientError::Io(e) => write!(f, "io: {e}"),
             ClientError::TimedOut => write!(f, "read deadline expired"),
-            ClientError::Busy => write!(f, "server busy"),
+            ClientError::Busy { .. } => write!(f, "server busy"),
             ClientError::NotFound => write!(f, "not found"),
             ClientError::Http(status, body) => write!(f, "http {status}: {body}"),
         }
@@ -93,6 +98,53 @@ pub struct FetchedFrame {
     pub frame: u64,
     /// Whether the server served it from its cache (`X-Frame-Cache`).
     pub cache_hit: bool,
+    /// Whether a saturated server served the channel's cached frontier
+    /// instead of the requested index (`X-Frame-Stale`).
+    pub stale: bool,
+    /// Whether the frame was rendered under pressure-degraded footprint
+    /// sampling (`X-Frame-Degraded`).
+    pub degraded: bool,
+}
+
+/// Backoff parameters for [`ServiceClient::fetch_frame_with_retry`]:
+/// jittered exponential backoff on `Busy`/`TimedOut`, honouring the
+/// server's `Retry-After` hint when it is longer than the computed backoff.
+#[derive(Debug, Clone, Copy)]
+pub struct RetryPolicy {
+    /// Maximum attempts, the first request included (minimum 1).
+    pub attempts: u32,
+    /// Backoff before the first retry; each later retry doubles it.
+    pub base: Duration,
+    /// Upper bound any single backoff is clamped to (before jitter).
+    pub cap: Duration,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            attempts: 5,
+            base: Duration::from_millis(10),
+            cap: Duration::from_secs(1),
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// The backoff before retry number `attempt` (0-based): exponential
+    /// from `base`, clamped to `cap`, then scaled by a jitter factor in
+    /// [0.5, 1.0) so a shed burst of clients does not retry in lockstep.
+    fn backoff(&self, attempt: u32, rng: &mut u64) -> Duration {
+        let exp = self
+            .base
+            .saturating_mul(1u32 << attempt.min(16))
+            .min(self.cap);
+        // xorshift64*: cheap, seedable, good enough to spread retries.
+        *rng ^= *rng << 13;
+        *rng ^= *rng >> 7;
+        *rng ^= *rng << 17;
+        let unit = (rng.wrapping_mul(0x2545_F491_4F6C_DD1D) >> 11) as f64 / (1u64 << 53) as f64;
+        exp.mul_f64(0.5 + unit / 2.0)
+    }
 }
 
 /// One keep-alive connection to a running service.
@@ -103,6 +155,10 @@ pub struct ServiceClient {
     /// undrained chunks are still in the connection, so any further request
     /// would read stream data as its response head. Reconnect to recover.
     desynced: bool,
+    /// The address and read deadline the connection was opened with, kept
+    /// so [`ServiceClient::reconnect`] can rebuild it in place.
+    addr: SocketAddr,
+    read_timeout: Option<Duration>,
 }
 
 /// The default blocking-read deadline ([`ServiceClient::connect`]).
@@ -129,13 +185,25 @@ impl ServiceClient {
             reader,
             writer: stream,
             desynced: false,
+            addr,
+            read_timeout: timeout,
         })
     }
 
     /// Changes the blocking-read deadline of the live connection (`None`
     /// blocks forever).
     pub fn set_read_timeout(&mut self, timeout: Option<Duration>) -> io::Result<()> {
+        self.read_timeout = timeout;
         self.writer.set_read_timeout(timeout)
+    }
+
+    /// Drops the connection and opens a fresh one to the same address with
+    /// the same read deadline. This is the recovery path for
+    /// [`ClientError::TimedOut`] (the late reply would desync the old
+    /// keep-alive connection) and for a desynced client.
+    pub fn reconnect(&mut self) -> io::Result<()> {
+        *self = Self::connect_with_read_timeout(self.addr, self.read_timeout)?;
+        Ok(())
     }
 
     fn check_synced(&self) -> io::Result<()> {
@@ -148,11 +216,19 @@ impl ServiceClient {
         Ok(())
     }
 
-    fn write_request_head(&mut self, method: &str, path: &str, body: &[u8]) -> io::Result<()> {
-        let head = format!(
-            "{method} {path} HTTP/1.1\r\nHost: spotnoise\r\nContent-Length: {}\r\n\r\n",
-            body.len()
-        );
+    fn write_request_head(
+        &mut self,
+        method: &str,
+        path: &str,
+        extra_headers: &[(&str, String)],
+        body: &[u8],
+    ) -> io::Result<()> {
+        use std::fmt::Write as _;
+        let mut head = format!("{method} {path} HTTP/1.1\r\nHost: spotnoise\r\n");
+        for (name, value) in extra_headers {
+            let _ = write!(head, "{name}: {value}\r\n");
+        }
+        let _ = write!(head, "Content-Length: {}\r\n\r\n", body.len());
         self.writer.write_all(head.as_bytes())?;
         self.writer.write_all(body)?;
         self.writer.flush()
@@ -199,8 +275,20 @@ impl ServiceClient {
 
     /// Sends one request and reads the full (fixed-length) response.
     pub fn request(&mut self, method: &str, path: &str, body: &[u8]) -> io::Result<HttpReply> {
+        self.request_with_headers(method, path, &[], body)
+    }
+
+    /// [`ServiceClient::request`] with extra request headers (e.g.
+    /// `X-Deadline-Ms`).
+    pub fn request_with_headers(
+        &mut self,
+        method: &str,
+        path: &str,
+        extra_headers: &[(&str, String)],
+        body: &[u8],
+    ) -> io::Result<HttpReply> {
         self.check_synced()?;
-        self.write_request_head(method, path, body)?;
+        self.write_request_head(method, path, extra_headers, body)?;
         let (status, headers) = self.read_reply_head()?;
         let mut content_length = 0usize;
         for (name, value) in &headers {
@@ -223,7 +311,12 @@ impl ServiceClient {
         match reply.status {
             200 | 201 | 204 => Ok(reply),
             404 => Err(ClientError::NotFound),
-            503 => Err(ClientError::Busy),
+            503 => Err(ClientError::Busy {
+                retry_after: reply
+                    .header("retry-after")
+                    .and_then(|v| v.trim().parse::<u64>().ok())
+                    .map(Duration::from_secs),
+            }),
             status => Err(ClientError::Http(
                 status,
                 String::from_utf8_lossy(&reply.body).into_owned(),
@@ -251,10 +344,14 @@ impl ServiceClient {
             .header("x-frame-index")
             .and_then(|v| v.parse().ok())
             .unwrap_or(0);
+        let stale = reply.header("x-frame-stale") == Some("1");
+        let degraded = reply.header("x-frame-degraded") == Some("1");
         Ok(FetchedFrame {
             bytes: reply.body,
             frame,
             cache_hit,
+            stale,
+            degraded,
         })
     }
 
@@ -263,6 +360,61 @@ impl ServiceClient {
         let path = format!("/sessions/{session}/frame/{index}");
         let reply = Self::expect_success(self.request("GET", &path, b"")?)?;
         Self::frame_from_reply(reply)
+    }
+
+    /// Fetches frame `index` with an `X-Deadline-Ms` budget: the server
+    /// sheds the request (a `Busy` error here) when the remaining budget
+    /// cannot cover its current queue wait.
+    pub fn fetch_frame_with_deadline(
+        &mut self,
+        session: &str,
+        index: u64,
+        deadline: Duration,
+    ) -> Result<FetchedFrame, ClientError> {
+        let path = format!("/sessions/{session}/frame/{index}");
+        let headers = [("X-Deadline-Ms", deadline.as_millis().to_string())];
+        let reply = Self::expect_success(self.request_with_headers("GET", &path, &headers, b"")?)?;
+        Self::frame_from_reply(reply)
+    }
+
+    /// Fetches frame `index`, retrying `Busy` sheds and read timeouts under
+    /// `policy`: jittered exponential backoff, never sleeping less than the
+    /// server's `Retry-After` hint. A timeout additionally reconnects first
+    /// — the late reply would desync the old keep-alive connection. Every
+    /// other error (and exhaustion of the attempt budget) surfaces as-is.
+    pub fn fetch_frame_with_retry(
+        &mut self,
+        session: &str,
+        index: u64,
+        policy: RetryPolicy,
+    ) -> Result<FetchedFrame, ClientError> {
+        let attempts = policy.attempts.max(1);
+        let mut rng = index
+            .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+            .wrapping_add(std::process::id() as u64)
+            | 1;
+        let mut attempt = 0;
+        loop {
+            let err = match self.fetch_frame(session, index) {
+                Ok(frame) => return Ok(frame),
+                Err(err) => err,
+            };
+            attempt += 1;
+            if attempt >= attempts {
+                return Err(err);
+            }
+            match err {
+                ClientError::Busy { retry_after } => {
+                    let backoff = policy.backoff(attempt - 1, &mut rng);
+                    std::thread::sleep(backoff.max(retry_after.unwrap_or(Duration::ZERO)));
+                }
+                ClientError::TimedOut => {
+                    self.reconnect()?;
+                    std::thread::sleep(policy.backoff(attempt - 1, &mut rng));
+                }
+                other => return Err(other),
+            }
+        }
     }
 
     /// Renders and returns the session's next natural frame.
@@ -327,7 +479,7 @@ impl ServiceClient {
     ) -> Result<FrameStream<'_>, ClientError> {
         self.check_synced()?;
         let path = format!("/sessions/{session}/stream?from={from}&count={count}");
-        self.write_request_head("GET", &path, b"")?;
+        self.write_request_head("GET", &path, &[], b"")?;
         let (status, headers) = self.read_reply_head()?;
         if status != 200 {
             // Error responses are fixed-length; drain the body to keep the
@@ -380,6 +532,10 @@ pub struct StreamedFrame {
     /// Whether the server skipped this (fallen-behind) subscriber forward
     /// to the shared channel's live frontier.
     pub skipped: bool,
+    /// Whether a saturated server served the channel's cached frontier.
+    pub stale: bool,
+    /// Whether the frame was rendered under degraded footprint sampling.
+    pub degraded: bool,
 }
 
 /// A frame stream being read off a [`ServiceClient`] connection. Drain it
@@ -413,6 +569,8 @@ impl FrameStream<'_> {
             bytes: body.to_vec(),
             cached: record.cached,
             skipped: record.skipped,
+            stale: record.stale,
+            degraded: record.degraded,
         }))
     }
 }

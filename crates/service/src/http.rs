@@ -31,6 +31,12 @@ pub struct Request {
     pub body: Vec<u8>,
     /// Whether the client asked to keep the connection open.
     pub keep_alive: bool,
+    /// Per-request deadline budget from the `X-Deadline-Ms` header: the
+    /// client's statement of how long an answer is still worth producing.
+    /// An unparseable value is treated as absent rather than rejected — a
+    /// deadline is advisory, and refusing the request it rides on would
+    /// invert its purpose.
+    pub deadline_ms: Option<u64>,
 }
 
 /// Reads one `\n`-terminated line, refusing to buffer more than `cap`
@@ -86,6 +92,7 @@ pub fn read_request<R: Read>(reader: &mut BufReader<R>) -> io::Result<Option<Req
     };
 
     let mut content_length: Option<usize> = None;
+    let mut deadline_ms: Option<u64> = None;
     let mut chunked = false;
     // HTTP/1.1 defaults to keep-alive; HTTP/1.0 to close.
     let mut keep_alive = version != "HTTP/1.0";
@@ -123,6 +130,8 @@ pub fn read_request<R: Read>(reader: &mut BufReader<R>) -> io::Result<Option<Req
                 keep_alive = !value.eq_ignore_ascii_case("close");
             } else if name.eq_ignore_ascii_case("transfer-encoding") {
                 chunked = true;
+            } else if name.eq_ignore_ascii_case("x-deadline-ms") {
+                deadline_ms = value.parse().ok();
             }
         }
     }
@@ -158,6 +167,7 @@ pub fn read_request<R: Read>(reader: &mut BufReader<R>) -> io::Result<Option<Req
         path,
         body,
         keep_alive,
+        deadline_ms,
     }))
 }
 
@@ -389,8 +399,10 @@ pub const FRAME_RECORD_HEADER: usize = 16;
 
 /// The in-stream framing of one streamed frame: a 16-byte header —
 /// flags `u32` LE (bit 0 = served from cache, bit 1 = skipped to the live
-/// frontier), frame index `u64` LE, body length `u32` LE — followed by the
-/// frame body. Each record is exactly one HTTP chunk.
+/// frontier, bit 2 = stale frontier re-serve under saturation, bit 3 =
+/// rendered with degraded sampling), frame index `u64` LE, body length
+/// `u32` LE — followed by the frame body. Each record is exactly one HTTP
+/// chunk.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct FrameRecord {
     /// The frame index this record carries.
@@ -402,6 +414,13 @@ pub struct FrameRecord {
     /// Whether a fallen-behind subscriber was skipped to the live frontier
     /// (the carried index is the frontier's, not the requested one).
     pub skipped: bool,
+    /// Whether a saturated server re-served the channel's cached frontier
+    /// instead of synthesizing (the pressure ladder's stale-serve rung; the
+    /// carried index is the frontier's).
+    pub stale: bool,
+    /// Whether the frame was rendered with pressure-degraded (footprint)
+    /// sampling instead of the session's requested exact mode.
+    pub degraded: bool,
 }
 
 impl FrameRecord {
@@ -414,6 +433,12 @@ impl FrameRecord {
         }
         if self.skipped {
             flags |= 2;
+        }
+        if self.stale {
+            flags |= 4;
+        }
+        if self.degraded {
+            flags |= 8;
         }
         h[0..4].copy_from_slice(&flags.to_le_bytes());
         h[4..12].copy_from_slice(&self.frame.to_le_bytes());
@@ -430,7 +455,7 @@ impl FrameRecord {
             ));
         }
         let flags = u32::from_le_bytes(bytes[0..4].try_into().expect("4 bytes"));
-        if flags & !0b11 != 0 {
+        if flags & !0b1111 != 0 {
             return Err(io::Error::new(
                 io::ErrorKind::InvalidData,
                 format!("unknown frame record flags {flags:#x}"),
@@ -441,6 +466,8 @@ impl FrameRecord {
             len: u32::from_le_bytes(bytes[12..16].try_into().expect("4 bytes")),
             cached: flags & 1 != 0,
             skipped: flags & 2 != 0,
+            stale: flags & 4 != 0,
+            degraded: flags & 8 != 0,
         })
     }
 }
@@ -566,6 +593,32 @@ mod tests {
     }
 
     #[test]
+    fn deadline_header_parses_and_bad_values_are_ignored() {
+        let raw = b"GET /f HTTP/1.1\r\nX-Deadline-Ms: 250\r\n\r\n";
+        let req = read_request(&mut BufReader::new(&raw[..]))
+            .unwrap()
+            .unwrap();
+        assert_eq!(req.deadline_ms, Some(250));
+        // Case-insensitive, like every other header.
+        let raw = b"GET /f HTTP/1.1\r\nx-deadline-ms: 9\r\n\r\n";
+        let req = read_request(&mut BufReader::new(&raw[..]))
+            .unwrap()
+            .unwrap();
+        assert_eq!(req.deadline_ms, Some(9));
+        // Advisory header: garbage is dropped, the request still parses.
+        let raw = b"GET /f HTTP/1.1\r\nX-Deadline-Ms: soon\r\n\r\n";
+        let req = read_request(&mut BufReader::new(&raw[..]))
+            .unwrap()
+            .unwrap();
+        assert_eq!(req.deadline_ms, None);
+        let raw = b"GET /f HTTP/1.1\r\n\r\n";
+        let req = read_request(&mut BufReader::new(&raw[..]))
+            .unwrap()
+            .unwrap();
+        assert_eq!(req.deadline_ms, None);
+    }
+
+    #[test]
     fn response_serializes_with_length_and_headers() {
         let resp = Response::bytes(200, vec![1, 2, 3]).with_header("X-Frame-Cache", "hit");
         let mut out = Vec::new();
@@ -637,6 +690,8 @@ mod tests {
             len: body.len() as u32,
             cached: true,
             skipped: false,
+            stale: false,
+            degraded: false,
         };
         let mut wire = Vec::new();
         write_frame_record(&mut wire, &record, &body).unwrap();
@@ -648,12 +703,14 @@ mod tests {
         assert_eq!(decoded, record);
         assert_eq!(&chunk[FRAME_RECORD_HEADER..], &body[..]);
         assert!(read_chunk(&mut reader).unwrap().is_none());
-        // Both flag bits survive; unknown bits are refused.
+        // All flag bits survive; unknown bits are refused.
         let skipped = FrameRecord {
             frame: u64::MAX,
             len: 0,
             cached: false,
             skipped: true,
+            stale: true,
+            degraded: true,
         };
         assert_eq!(
             FrameRecord::decode_header(&skipped.encode_header()).unwrap(),

@@ -21,6 +21,11 @@
 //! * [`queue`] — admission control: bounded depth, per-session fairness,
 //!   shed-with-`503 Busy` beyond a watermark so overload degrades instead
 //!   of OOMing;
+//! * [`pressure`] — the graceful-degradation ladder: a tri-state
+//!   [`PressureGauge`](pressure::PressureGauge) over queue depth and
+//!   queue-wait latency that disables channel look-ahead when elevated and
+//!   serves stale frontiers / drops to footprint sampling when saturated,
+//!   so overload degrades *quality* before it degrades *availability*;
 //! * [`http`] + [`server`] — a std-only HTTP/1.1 front end over
 //!   [`std::net::TcpListener`] with endpoints for session CRUD, frame fetch
 //!   (raw little-endian `f32` texture bytes), `/stats` (JSON), `/metrics`
@@ -56,6 +61,7 @@ pub mod cache;
 pub mod channel;
 pub mod client;
 pub mod http;
+pub mod pressure;
 pub mod queue;
 pub mod server;
 pub mod session;
@@ -63,7 +69,10 @@ pub mod spec;
 
 pub use cache::{FrameCache, FrameKey};
 pub use channel::{ChannelKey, ChannelRegistry, ChannelSubscription, ChannelTotals, FieldChannel};
-pub use client::{ClientError, FetchedFrame, FrameStream, ServiceClient, StreamedFrame};
+pub use client::{
+    ClientError, FetchedFrame, FrameStream, RetryPolicy, ServiceClient, StreamedFrame,
+};
+pub use pressure::{PressureConfig, PressureCounters, PressureGauge, PressureState};
 pub use queue::{AdmissionConfig, AdmissionError, FrameQueue, QueueStats};
 pub use server::{
     serve, FrameResult, Service, ServiceError, ServiceHandle, ServiceOptions, ServiceTelemetry,

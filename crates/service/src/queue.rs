@@ -14,10 +14,11 @@
 //!   chatty session cannot starve the others however many requests it has
 //!   queued.
 
+use softpipe::sync::{lock_recover, wait_timeout_recover};
 use spotnoise::telemetry::Histogram;
 use std::collections::{HashMap, VecDeque};
-use std::sync::{Arc, Condvar, Mutex};
-use std::time::Instant;
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+use std::time::{Duration, Instant};
 
 /// Admission-control parameters.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -84,6 +85,19 @@ struct Inner<T> {
     wait: Option<Arc<Histogram>>,
 }
 
+/// Re-derives the queue's redundant state from the ground truth (the
+/// per-session FIFOs) after a panic poisoned the lock: rotation order and
+/// the cached depth are both recomputable, so a poisoned queue heals to a
+/// consistent (if arbitrarily re-ordered) state instead of taking the
+/// server down. Monotonic counters are left as they were — a panic
+/// mid-update can at worst lose the single increment that was in flight.
+fn revalidate_inner<T>(inner: &mut Inner<T>) {
+    inner.pending.retain(|_, fifo| !fifo.is_empty());
+    inner.rotation = inner.pending.keys().copied().collect();
+    inner.depth = inner.pending.values().map(VecDeque::len).sum();
+    inner.peak_depth = inner.peak_depth.max(inner.depth);
+}
+
 /// A bounded, session-fair frame-request queue.
 pub struct FrameQueue<T> {
     config: AdmissionConfig,
@@ -112,10 +126,16 @@ impl<T> FrameQueue<T> {
         }
     }
 
+    /// Locks the queue state, recovering from poison by re-deriving the
+    /// redundant bookkeeping from the per-session FIFOs.
+    fn locked(&self) -> MutexGuard<'_, Inner<T>> {
+        lock_recover(&self.inner, revalidate_inner)
+    }
+
     /// Installs a histogram recording each job's queue wait (admission to
     /// [`pop`](Self::pop)) in microseconds.
     pub fn set_wait_histogram(&self, histogram: Arc<Histogram>) {
-        self.inner.lock().expect("queue poisoned").wait = Some(histogram);
+        self.locked().wait = Some(histogram);
     }
 
     /// The admission parameters.
@@ -126,7 +146,7 @@ impl<T> FrameQueue<T> {
     /// Submits a job for `session`, shedding beyond the watermark or the
     /// session's fair share.
     pub fn submit(&self, session: u64, job: T) -> Result<(), AdmissionError> {
-        let mut inner = self.inner.lock().expect("queue poisoned");
+        let mut inner = self.locked();
         if inner.closed {
             return Err(AdmissionError::Closed);
         }
@@ -160,7 +180,7 @@ impl<T> FrameQueue<T> {
     /// Blocks until a job is available and returns it with its session id,
     /// or `None` once the queue is closed and drained (worker exit signal).
     pub fn pop(&self) -> Option<(u64, T)> {
-        let mut inner = self.inner.lock().expect("queue poisoned");
+        let mut inner = self.locked();
         loop {
             if let Some(session) = inner.rotation.pop_front() {
                 let fifo = inner
@@ -176,7 +196,14 @@ impl<T> FrameQueue<T> {
                     inner.rotation.push_back(session);
                 }
                 inner.depth -= 1;
-                if let Some(wait) = &inner.wait {
+                let wait = inner.wait.clone();
+                drop(inner);
+                // The queue fault site, deliberately outside the lock (an
+                // injected panic must not poison it) and before the wait is
+                // recorded (an injected delay shows up as queue pressure,
+                // which is what the chaos suite steers the ladder with).
+                softpipe::fault::fire("queue");
+                if let Some(wait) = wait {
                     wait.record_duration(queued_at.elapsed());
                 }
                 return Some((session, job));
@@ -184,26 +211,36 @@ impl<T> FrameQueue<T> {
             if inner.closed {
                 return None;
             }
-            inner = self.available.wait(inner).expect("queue poisoned");
+            // A bounded wait instead of an open-ended one: recovery from a
+            // poisoned condvar re-checks the queue at worst one interval
+            // later, and close() still short-circuits via notify_all.
+            let (guard, _timed_out) = wait_timeout_recover(
+                &self.available,
+                inner,
+                &self.inner,
+                Duration::from_millis(100),
+                revalidate_inner,
+            );
+            inner = guard;
         }
     }
 
     /// Records a fully executed job.
     pub fn complete(&self) {
-        self.inner.lock().expect("queue poisoned").completed += 1;
+        self.locked().completed += 1;
     }
 
     /// Closes the queue: further submissions fail with
     /// [`AdmissionError::Closed`]; workers drain what is left and then see
     /// `None` from [`pop`](Self::pop).
     pub fn close(&self) {
-        self.inner.lock().expect("queue poisoned").closed = true;
+        self.locked().closed = true;
         self.available.notify_all();
     }
 
     /// Counter snapshot.
     pub fn stats(&self) -> QueueStats {
-        let inner = self.inner.lock().expect("queue poisoned");
+        let inner = self.locked();
         QueueStats {
             depth: inner.depth,
             peak_depth: inner.peak_depth,

@@ -15,12 +15,14 @@ use crate::http::{
     finish_chunked, read_request, write_frame_record, write_stream_head, FrameRecord, Request,
     Response,
 };
+use crate::pressure::{PressureConfig, PressureGauge, PressureState};
 use crate::queue::{AdmissionConfig, AdmissionError, FrameQueue};
 use crate::session::{
     format_session_id, parse_session_id, InFlightGuard, RegistryError, RenderError, Session,
     SessionRegistry, SharedPools,
 };
 use crate::spec::{FieldSpec, SessionSpec};
+use softpipe::sync::lock_recover;
 use softpipe::{FrameArena, PipePool};
 use spotnoise::json::Json;
 use spotnoise::pipeline::pipe_pool_default_enabled;
@@ -29,6 +31,7 @@ use spotnoise::telemetry::{
 };
 use std::io::BufReader;
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::panic::AssertUnwindSafe;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{mpsc, Arc, Mutex};
 use std::thread::JoinHandle;
@@ -65,6 +68,14 @@ pub struct ServiceOptions {
     /// Cap on frames a single `GET .../stream` request may push (requests
     /// asking for more are clamped).
     pub max_stream_frames: u64,
+    /// Deadline applied to frame requests that carry no `X-Deadline-Ms`
+    /// header (`None` = no implicit deadline). A request whose remaining
+    /// budget is already below the queue's recent p99 wait is shed at
+    /// admission with `503` + `Retry-After` instead of queueing to miss.
+    pub default_deadline: Option<Duration>,
+    /// Thresholds and cadence of the pressure gauge driving the
+    /// graceful-degradation ladder.
+    pub pressure: PressureConfig,
 }
 
 impl Default for ServiceOptions {
@@ -79,6 +90,8 @@ impl Default for ServiceOptions {
             reply_timeout: Duration::from_secs(60),
             channel_lookahead: 2,
             max_stream_frames: 256,
+            default_deadline: None,
+            pressure: PressureConfig::default(),
         }
     }
 }
@@ -96,6 +109,13 @@ pub enum ServiceError {
     ShuttingDown,
     /// An admitted job was dropped (worker died or timed out).
     Internal(&'static str),
+    /// The session was quarantined after a panicked render; its pipeline
+    /// state can no longer be trusted. Close it and create a fresh one.
+    Quarantined,
+    /// The request's deadline cannot be met: either it expired while the
+    /// job queued, or the queue's recent p99 wait already exceeds the
+    /// remaining budget (shed at admission).
+    DeadlineExceeded,
 }
 
 /// A served frame.
@@ -111,6 +131,12 @@ pub struct FrameResult {
     /// Whether the serve skipped a fallen-behind shared subscriber forward
     /// to the channel's live frontier.
     pub skipped: bool,
+    /// Whether a saturated server served the channel's cached frontier
+    /// frame instead of synthesizing the requested index.
+    pub stale: bool,
+    /// Whether the frame was rendered under pressure-degraded (footprint)
+    /// sampling on a session that asked for exact.
+    pub degraded: bool,
 }
 
 struct FrameJob {
@@ -124,6 +150,9 @@ struct FrameJob {
     /// in the instant between the requester's registry lookup and the
     /// in-flight guard taking effect.
     session: Arc<Mutex<Session>>,
+    /// The absolute instant this request stops being worth serving; workers
+    /// re-check it when the job comes off the queue.
+    deadline: Option<Instant>,
     reply: mpsc::Sender<Result<FrameResult, ServiceError>>,
     /// Holds the session's in-flight count from admission until the worker
     /// has finished (the job is dropped after execution — or on shed —
@@ -143,6 +172,20 @@ struct ServiceCounters {
     render_us: AtomicU64,
     streams_started: AtomicU64,
     frames_streamed: AtomicU64,
+    streams_aborted: AtomicU64,
+    stale_serves: AtomicU64,
+    degraded_serves: AtomicU64,
+    deadline_shed: AtomicU64,
+    quarantined: AtomicU64,
+    panics_caught: AtomicU64,
+}
+
+/// Revalidation for a poisoned session lock. Render panics are caught
+/// before they can unwind through the guard, so poison here means some
+/// other holder died mid-update and the session's state cannot be trusted:
+/// quarantine it rather than guess at which fields were half-written.
+fn revalidate_session(session: &mut Session) {
+    session.quarantine();
 }
 
 /// The service's end-to-end telemetry: lock-free latency histograms over
@@ -195,6 +238,9 @@ pub struct Service {
     pools: SharedPools,
     counters: ServiceCounters,
     telemetry: ServiceTelemetry,
+    /// The load sensor behind the degradation ladder, re-evaluated (with
+    /// its own throttle) on every frame request and `/healthz` probe.
+    pressure: PressureGauge,
     shutdown: AtomicBool,
     started: Instant,
     /// The bound address, filled in by [`serve`] (used by `/shutdown` to
@@ -262,6 +308,7 @@ impl Service {
             pools,
             counters: ServiceCounters::default(),
             telemetry: service_telemetry,
+            pressure: PressureGauge::new(options.pressure),
             shutdown: AtomicBool::new(false),
             started: Instant::now(),
             addr: Mutex::new(None),
@@ -298,13 +345,13 @@ impl Service {
             return Err(ServiceError::ShuttingDown);
         }
         // Subscribe before touching the registry lock (never hold both).
-        let subscription = spec.shared.then(|| {
-            self.channels
-                .lock()
-                .expect("channels poisoned")
-                .subscribe(&spec)
-        });
-        let mut registry = self.registry.lock().expect("registry poisoned");
+        // Both registries keep every field individually consistent (maps of
+        // finished values plus counters), so poison recovery needs no
+        // repair beyond clearing the flag.
+        let subscription = spec
+            .shared
+            .then(|| lock_recover(&self.channels, |_| {}).subscribe(&spec));
+        let mut registry = lock_recover(&self.registry, |_| {});
         registry.evict_idle();
         let created = match subscription {
             Some(sub) => registry.create_shared(spec, sub),
@@ -324,25 +371,55 @@ impl Service {
     /// Retires broadcast channels with no subscribers left (their counters
     /// fold into the `/stats` totals).
     fn sweep_channels(&self) {
-        self.channels.lock().expect("channels poisoned").sweep();
+        lock_recover(&self.channels, |_| {}).sweep();
+    }
+
+    /// Re-evaluates the pressure gauge against the queue (throttled inside
+    /// the gauge) and applies the *elevated* rung: channel look-ahead is
+    /// shut off while pressure is non-healthy and restored on recovery.
+    /// The saturated rung (stale frontier serves, sampling degradation) is
+    /// applied per-request by [`Service::fetch_frame`].
+    fn pressure_tick(&self) -> PressureState {
+        let depth = self.queue.stats().depth;
+        let state = self.pressure.evaluate(
+            depth,
+            self.options.admission.watermark,
+            &self.telemetry.queue_wait_us,
+        );
+        let desired = if state == PressureState::Healthy {
+            self.options.channel_lookahead
+        } else {
+            0
+        };
+        let channels = lock_recover(&self.channels, |_| {});
+        if channels.lookahead() != desired {
+            channels.set_lookahead(desired);
+        }
+        state
+    }
+
+    /// The current pressure state without re-evaluating the gauge.
+    pub fn pressure_state(&self) -> PressureState {
+        self.pressure.state()
     }
 
     /// Steers a session to a new field (restarting its animation clock).
     pub fn steer(&self, id: u64, field: FieldSpec) -> Result<(), ServiceError> {
-        let session = self
-            .registry
-            .lock()
-            .expect("registry poisoned")
+        let session = lock_recover(&self.registry, |_| {})
             .get(id)
             .ok_or(ServiceError::NotFound)?;
-        session.lock().expect("session poisoned").steer(field);
+        let mut s = lock_recover(&session, revalidate_session);
+        if s.is_quarantined() {
+            return Err(ServiceError::Quarantined);
+        }
+        s.steer(field);
         Ok(())
     }
 
     /// Closes a session (retiring its broadcast channel if it was the last
     /// subscriber).
     pub fn close_session(&self, id: u64) -> Result<(), ServiceError> {
-        if self.registry.lock().expect("registry poisoned").close(id) {
+        if lock_recover(&self.registry, |_| {}).close(id) {
             self.sweep_channels();
             Ok(())
         } else {
@@ -355,10 +432,35 @@ impl Service {
     /// worker. Blocks until the frame is ready, the request is shed, or the
     /// reply timeout expires.
     pub fn fetch_frame(&self, id: u64, frame: u64) -> Result<FrameResult, ServiceError> {
+        self.fetch_frame_deadline(id, frame, None)
+    }
+
+    /// [`Service::fetch_frame`] with an explicit deadline budget in
+    /// milliseconds (the `X-Deadline-Ms` header); `None` falls back to
+    /// [`ServiceOptions::default_deadline`]. The deadline is enforced at
+    /// admission — shed immediately when the queue's recent p99 wait
+    /// already exceeds the remaining budget — and re-checked when a worker
+    /// picks the job up.
+    pub fn fetch_frame_deadline(
+        &self,
+        id: u64,
+        frame: u64,
+        deadline_ms: Option<u64>,
+    ) -> Result<FrameResult, ServiceError> {
         let start = Instant::now();
-        let outcome = self.fetch_frame_inner(id, frame);
+        let outcome = self.fetch_frame_inner(id, frame, deadline_ms, start);
         let elapsed = start.elapsed();
         self.telemetry.request_us.record_duration(elapsed);
+        if let Ok(result) = &outcome {
+            if result.stale {
+                self.counters.stale_serves.fetch_add(1, Ordering::Relaxed);
+            }
+            if result.degraded {
+                self.counters
+                    .degraded_serves
+                    .fetch_add(1, Ordering::Relaxed);
+            }
+        }
         // detail = 1 marks a failed request.
         self.telemetry.trace.record_with(
             TraceStage::Request,
@@ -383,19 +485,44 @@ impl Service {
         outcome
     }
 
-    fn fetch_frame_inner(&self, id: u64, frame: u64) -> Result<FrameResult, ServiceError> {
+    fn fetch_frame_inner(
+        &self,
+        id: u64,
+        frame: u64,
+        deadline_ms: Option<u64>,
+        start: Instant,
+    ) -> Result<FrameResult, ServiceError> {
         if self.is_shutting_down() {
             return Err(ServiceError::ShuttingDown);
         }
-        let session = self
-            .registry
-            .lock()
-            .expect("registry poisoned")
+        let pressure = self.pressure_tick();
+        let deadline = deadline_ms
+            .map(Duration::from_millis)
+            .or(self.options.default_deadline)
+            .map(|budget| start + budget);
+        let session = lock_recover(&self.registry, |_| {})
             .get(id)
             .ok_or(ServiceError::NotFound)?;
-        let (key, guard, queue_id) = {
-            let mut s = session.lock().expect("session poisoned");
+        let (key, guard, queue_id, channel, degraded) = {
+            let mut s = lock_recover(&session, revalidate_session);
+            if s.is_quarantined() {
+                return Err(ServiceError::Quarantined);
+            }
             s.touch();
+            // The saturated rung of the ladder switches non-pinned exact
+            // sessions to footprint sampling; recovery restores them. Both
+            // are no-ops on sessions the rung doesn't apply to, and both
+            // happen *before* the cache key is computed so degraded frames
+            // cache under the footprint key they were rendered with.
+            match pressure {
+                PressureState::Saturated => {
+                    s.degrade();
+                }
+                PressureState::Healthy => {
+                    s.restore();
+                }
+                PressureState::Elevated => {}
+            }
             // A shared session's synthesis jobs queue under its *channel's*
             // id: the channel is one fair peer of the private sessions, no
             // matter how many subscribers it feeds.
@@ -403,10 +530,16 @@ impl Service {
             // Mark the prospective job in-flight *before* the cache check
             // and submission: from here until the worker finishes, idle
             // eviction must not reap the session.
-            (s.key_for(frame), s.begin_job(), queue_id)
+            (
+                s.key_for(frame),
+                s.begin_job(),
+                queue_id,
+                s.channel().cloned(),
+                s.is_degraded(),
+            )
         };
-        if let Some(bytes) = self.cache.lock().expect("cache poisoned").lookup(key) {
-            let mut s = session.lock().expect("session poisoned");
+        if let Some(bytes) = lock_recover(&self.cache, FrameCache::revalidate).lookup(key) {
+            let mut s = lock_recover(&session, revalidate_session);
             s.note_served(frame);
             // A cached serve on a shared session is the broadcast fan-out
             // path: count the delivery on its channel.
@@ -418,7 +551,38 @@ impl Service {
                 frame,
                 cached: true,
                 skipped: false,
+                stale: false,
+                degraded,
             });
+        }
+        // Saturated shared subscribers take the channel's cached frontier
+        // frame instead of queueing synthesis: stale, but instant and
+        // fan-out-cheap — the first rung before any shed.
+        if pressure == PressureState::Saturated {
+            if let Some(channel) = &channel {
+                if let Some((frontier, bytes)) = channel.latest_frame() {
+                    channel.note_delivered();
+                    lock_recover(&session, revalidate_session).note_served(frontier);
+                    return Ok(FrameResult {
+                        bytes,
+                        frame: frontier,
+                        cached: true,
+                        skipped: frontier != frame,
+                        stale: true,
+                        degraded: false,
+                    });
+                }
+            }
+        }
+        // Deadline admission: a job whose remaining budget is already below
+        // the queue's recent p99 wait would almost surely time out in line —
+        // shed it now so the client can retry elsewhere/later.
+        if let Some(deadline) = deadline {
+            let remaining = deadline.saturating_duration_since(Instant::now());
+            if remaining.is_zero() || self.pressure.queue_wait_p99() > remaining {
+                self.counters.deadline_shed.fetch_add(1, Ordering::Relaxed);
+                return Err(ServiceError::DeadlineExceeded);
+            }
         }
         let (tx, rx) = mpsc::channel();
         match self.queue.submit(
@@ -427,6 +591,7 @@ impl Service {
                 frame,
                 submitted: Instant::now(),
                 session: Arc::clone(&session),
+                deadline,
                 reply: tx,
                 _guard: guard,
             },
@@ -445,10 +610,7 @@ impl Service {
             // Note the frame actually served (a skipped shared serve lands
             // on the frontier, not the requested index), so `advance`
             // continues from what the client really saw.
-            session
-                .lock()
-                .expect("session poisoned")
-                .note_served(result.frame);
+            lock_recover(&session, revalidate_session).note_served(result.frame);
         }
         outcome
     }
@@ -473,19 +635,42 @@ impl Service {
     /// always progress — even when a rewound index is still in the cache
     /// and serving it never touches the pipeline.
     pub fn advance(&self, id: u64) -> Result<FrameResult, ServiceError> {
-        let session = self
-            .registry
-            .lock()
-            .expect("registry poisoned")
-            .get(id)
-            .ok_or(ServiceError::NotFound)?;
-        let next = session.lock().expect("session poisoned").next_advance();
-        self.fetch_frame(id, next)
+        self.advance_deadline(id, None)
     }
 
-    /// One synthesis worker: drains the queue until it closes.
+    /// [`Service::advance`] with an explicit deadline budget (the
+    /// `X-Deadline-Ms` header), enforced like
+    /// [`Service::fetch_frame_deadline`].
+    pub fn advance_deadline(
+        &self,
+        id: u64,
+        deadline_ms: Option<u64>,
+    ) -> Result<FrameResult, ServiceError> {
+        let session = lock_recover(&self.registry, |_| {})
+            .get(id)
+            .ok_or(ServiceError::NotFound)?;
+        let next = lock_recover(&session, revalidate_session).next_advance();
+        self.fetch_frame_deadline(id, next, deadline_ms)
+    }
+
+    /// One synthesis worker: drains the queue until it closes. The loop is
+    /// panic-contained twice over: `execute` catches render panics itself
+    /// (quarantining the session), and a panic escaping anywhere else in
+    /// the iteration — e.g. an injected fault in the queue — is caught here
+    /// so the worker survives; the affected requester sees `Internal` when
+    /// its reply sender drops.
     fn worker_loop(&self) {
-        while let Some((queue_sid, job)) = self.queue.pop() {
+        loop {
+            let popped = match std::panic::catch_unwind(AssertUnwindSafe(|| self.queue.pop())) {
+                Ok(popped) => popped,
+                Err(_) => {
+                    self.counters.panics_caught.fetch_add(1, Ordering::Relaxed);
+                    continue;
+                }
+            };
+            let Some((queue_sid, job)) = popped else {
+                break;
+            };
             let outcome = self.execute(queue_sid, &job);
             // A hung-up client (timeout, disconnect) makes send fail; the
             // work is already done and cached, so that is not an error.
@@ -509,14 +694,26 @@ impl Service {
             job.submitted.elapsed(),
             0,
         );
+        // The deadline is re-checked now that the queue wait is behind us:
+        // a job that expired in line is dropped before any synthesis.
+        if let Some(deadline) = job.deadline {
+            if Instant::now() > deadline {
+                self.counters.deadline_shed.fetch_add(1, Ordering::Relaxed);
+                return Err(ServiceError::DeadlineExceeded);
+            }
+        }
         // The job carries its session handle; no registry re-lookup, so an
         // admitted request can never turn into a spurious NotFound however
         // the registry changed while the job was queued.
-        let mut s = job.session.lock().expect("session poisoned");
+        let mut s = lock_recover(&job.session, revalidate_session);
+        if s.is_quarantined() {
+            return Err(ServiceError::Quarantined);
+        }
         // Re-check the cache: a racing request for the same frame may have
         // rendered it while this job queued.
         let key = s.key_for(job.frame);
-        if let Some(bytes) = self.cache.lock().expect("cache poisoned").peek(key) {
+        let degraded = s.is_degraded();
+        if let Some(bytes) = lock_recover(&self.cache, FrameCache::revalidate).peek(key) {
             // For shared sessions this is the common fan-out case: the
             // channel (driven by a racing subscriber) rendered the frame
             // while this job queued. Count the delivery.
@@ -528,44 +725,66 @@ impl Service {
                 frame: job.frame,
                 cached: true,
                 skipped: false,
+                stale: false,
+                degraded,
             });
         }
-        let rendered = s.render_frame(
-            job.frame,
-            self.options.max_advances_per_request,
-            |frame_key, bytes, timings| {
-                self.counters
-                    .frames_rendered
-                    .fetch_add(1, Ordering::Relaxed);
-                self.counters
-                    .advect_us
-                    .fetch_add(timings.advect_us, Ordering::Relaxed);
-                self.counters
-                    .synthesize_us
-                    .fetch_add(timings.synthesize_us, Ordering::Relaxed);
-                self.counters
-                    .render_us
-                    .fetch_add(timings.render_us, Ordering::Relaxed);
-                self.telemetry.advect_us.record(timings.advect_us);
-                self.telemetry.synthesize_us.record(timings.synthesize_us);
-                self.telemetry.render_us.record(timings.render_us);
-                // Frames below the requested index were rendered on the way
-                // there: count them as look-ahead insertions so /stats shows
-                // how much future-serving work the request banked.
-                let lookahead = frame_key.frame != job.frame;
-                self.cache.lock().expect("cache poisoned").insert_tagged(
-                    frame_key,
-                    Arc::clone(bytes),
-                    lookahead,
-                );
-            },
-        );
+        // Render under catch_unwind: the session guard lives *outside* the
+        // closure, so a panicking render never unwinds through it (no
+        // poison) and the session can be quarantined right here — this
+        // request answers 500, every other session keeps serving.
+        let rendered = std::panic::catch_unwind(AssertUnwindSafe(|| {
+            s.render_frame(
+                job.frame,
+                self.options.max_advances_per_request,
+                |frame_key, bytes, timings| {
+                    self.counters
+                        .frames_rendered
+                        .fetch_add(1, Ordering::Relaxed);
+                    self.counters
+                        .advect_us
+                        .fetch_add(timings.advect_us, Ordering::Relaxed);
+                    self.counters
+                        .synthesize_us
+                        .fetch_add(timings.synthesize_us, Ordering::Relaxed);
+                    self.counters
+                        .render_us
+                        .fetch_add(timings.render_us, Ordering::Relaxed);
+                    self.telemetry.advect_us.record(timings.advect_us);
+                    self.telemetry.synthesize_us.record(timings.synthesize_us);
+                    self.telemetry.render_us.record(timings.render_us);
+                    // Frames below the requested index were rendered on the way
+                    // there: count them as look-ahead insertions so /stats shows
+                    // how much future-serving work the request banked.
+                    let lookahead = frame_key.frame != job.frame;
+                    lock_recover(&self.cache, FrameCache::revalidate).insert_tagged(
+                        frame_key,
+                        Arc::clone(bytes),
+                        lookahead,
+                    );
+                },
+            )
+        }));
+        let rendered = match rendered {
+            Ok(rendered) => rendered,
+            Err(_) => {
+                self.counters.panics_caught.fetch_add(1, Ordering::Relaxed);
+                if s.quarantine() {
+                    self.counters.quarantined.fetch_add(1, Ordering::Relaxed);
+                }
+                return Err(ServiceError::Internal(
+                    "render panicked; session quarantined",
+                ));
+            }
+        };
         match rendered {
             Ok(served) => Ok(FrameResult {
                 bytes: served.bytes,
                 frame: served.frame,
                 cached: false,
                 skipped: served.skipped,
+                stale: false,
+                degraded,
             }),
             Err(RenderError::TooFarAhead { needed, max }) => Err(ServiceError::BadRequest(
                 format!("frame needs {needed} synthesis steps, above the per-request cap of {max}"),
@@ -590,7 +809,7 @@ impl Service {
     /// (one lock or atomic load per counter), so each block is internally
     /// consistent — no torn multi-counter reads within a subsystem.
     pub fn stats_json(&self) -> Json {
-        let registry = self.registry.lock().expect("registry poisoned");
+        let registry = lock_recover(&self.registry, |_| {});
         let reg = registry.stats();
         let session_ids = registry.ids();
         let handles: Vec<(u64, Arc<Mutex<Session>>)> = session_ids
@@ -598,7 +817,7 @@ impl Service {
             .filter_map(|&id| registry.get(id).map(|handle| (id, handle)))
             .collect();
         drop(registry);
-        let cache = self.cache.lock().expect("cache poisoned");
+        let cache = lock_recover(&self.cache, FrameCache::revalidate);
         let (cache_len, cache_bytes, cache_cap, cache_stats) = (
             cache.len(),
             cache.bytes(),
@@ -606,8 +825,9 @@ impl Service {
             cache.stats(),
         );
         drop(cache);
-        let channel_totals = self.channels.lock().expect("channels poisoned").totals();
+        let channel_totals = lock_recover(&self.channels, |_| {}).totals();
         let q = self.queue.stats();
+        let pressure_counters = self.pressure.counters();
         // One load per counter, gathered up front: later JSON building never
         // re-reads a counter it already reported.
         let frames = self.counters.frames_rendered.load(Ordering::Relaxed);
@@ -617,6 +837,12 @@ impl Service {
         let http_requests = self.counters.http_requests.load(Ordering::Relaxed);
         let streams_started = self.counters.streams_started.load(Ordering::Relaxed);
         let frames_streamed = self.counters.frames_streamed.load(Ordering::Relaxed);
+        let streams_aborted = self.counters.streams_aborted.load(Ordering::Relaxed);
+        let stale_serves = self.counters.stale_serves.load(Ordering::Relaxed);
+        let degraded_serves = self.counters.degraded_serves.load(Ordering::Relaxed);
+        let deadline_shed = self.counters.deadline_shed.load(Ordering::Relaxed);
+        let quarantined = self.counters.quarantined.load(Ordering::Relaxed);
+        let panics_caught = self.counters.panics_caught.load(Ordering::Relaxed);
         let mean_synthesize_us = if frames > 0 {
             synthesize_us as f64 / frames as f64
         } else {
@@ -666,6 +892,7 @@ impl Service {
                     ("created", Json::num(reg.created as f64)),
                     ("evicted", Json::num(reg.evicted as f64)),
                     ("closed", Json::num(reg.closed as f64)),
+                    ("quarantined", Json::num(quarantined as f64)),
                     ("capacity", Json::num(self.options.max_sessions as f64)),
                     (
                         "ids",
@@ -747,6 +974,42 @@ impl Service {
                 ]),
             ),
             (
+                "pressure",
+                Json::object([
+                    ("state", Json::str(self.pressure.state().name())),
+                    (
+                        "entered_elevated",
+                        Json::num(pressure_counters.entered_elevated as f64),
+                    ),
+                    (
+                        "entered_saturated",
+                        Json::num(pressure_counters.entered_saturated as f64),
+                    ),
+                    ("recovered", Json::num(pressure_counters.recovered as f64)),
+                    ("stale_serves", Json::num(stale_serves as f64)),
+                    ("degraded_serves", Json::num(degraded_serves as f64)),
+                    ("deadline_shed", Json::num(deadline_shed as f64)),
+                ]),
+            ),
+            (
+                "faults",
+                Json::object([
+                    ("panics_caught", Json::num(panics_caught as f64)),
+                    (
+                        "lock_recoveries",
+                        Json::num(softpipe::sync::recoveries() as f64),
+                    ),
+                    (
+                        "injected_panics",
+                        Json::num(softpipe::fault::injected_panics() as f64),
+                    ),
+                    (
+                        "injected_delays",
+                        Json::num(softpipe::fault::injected_delays() as f64),
+                    ),
+                ]),
+            ),
+            (
                 "pipes",
                 match &self.pools.pipes {
                     Some(pool) => {
@@ -756,6 +1019,7 @@ impl Service {
                             ("spawned", Json::num(p.spawned as f64)),
                             ("reused", Json::num(p.reused as f64)),
                             ("retired", Json::num(p.retired as f64)),
+                            ("discarded", Json::num(p.discarded as f64)),
                             ("idle", Json::num(p.idle as f64)),
                         ])
                     }
@@ -768,6 +1032,7 @@ impl Service {
                     ("requests", Json::num(http_requests as f64)),
                     ("streams", Json::num(streams_started as f64)),
                     ("streamed_frames", Json::num(frames_streamed as f64)),
+                    ("streams_aborted", Json::num(streams_aborted as f64)),
                 ]),
             ),
             (
@@ -833,14 +1098,15 @@ impl Service {
         for (name, help, histogram) in histograms {
             write_prometheus_histogram(&mut out, name, help, &histogram.snapshot());
         }
-        let reg = self.registry.lock().expect("registry poisoned").stats();
-        let cache = self.cache.lock().expect("cache poisoned");
+        let reg = lock_recover(&self.registry, |_| {}).stats();
+        let cache = lock_recover(&self.cache, FrameCache::revalidate);
         let (cache_len, cache_bytes, cache_stats) = (cache.len(), cache.bytes(), cache.stats());
         drop(cache);
-        let channels = self.channels.lock().expect("channels poisoned").totals();
+        let channels = lock_recover(&self.channels, |_| {}).totals();
         let q = self.queue.stats();
+        let pressure = self.pressure.counters();
         let c = &self.counters;
-        let singles: [(&str, &str, &str, f64); 28] = [
+        let singles: [(&str, &str, &str, f64); 41] = [
             // (name, type, help, value)
             (
                 "spotnoise_http_requests_total",
@@ -999,6 +1265,84 @@ impl Service {
                 channels.skips as f64,
             ),
             (
+                "spotnoise_streams_aborted_total",
+                "counter",
+                "Streams cut short by a client disconnect mid-write",
+                c.streams_aborted.load(Ordering::Relaxed) as f64,
+            ),
+            (
+                "spotnoise_pressure_state",
+                "gauge",
+                "Pressure ladder state (0 healthy, 1 elevated, 2 saturated)",
+                self.pressure.state() as u8 as f64,
+            ),
+            (
+                "spotnoise_pressure_entered_elevated_total",
+                "counter",
+                "Transitions into the elevated pressure state",
+                pressure.entered_elevated as f64,
+            ),
+            (
+                "spotnoise_pressure_entered_saturated_total",
+                "counter",
+                "Transitions into the saturated pressure state",
+                pressure.entered_saturated as f64,
+            ),
+            (
+                "spotnoise_pressure_recovered_total",
+                "counter",
+                "Pressure de-escalations back down the ladder",
+                pressure.recovered as f64,
+            ),
+            (
+                "spotnoise_stale_serves_total",
+                "counter",
+                "Saturated serves answered with the cached channel frontier",
+                c.stale_serves.load(Ordering::Relaxed) as f64,
+            ),
+            (
+                "spotnoise_degraded_serves_total",
+                "counter",
+                "Frames served under pressure-degraded footprint sampling",
+                c.degraded_serves.load(Ordering::Relaxed) as f64,
+            ),
+            (
+                "spotnoise_deadline_shed_total",
+                "counter",
+                "Requests shed or dropped for missing their deadline",
+                c.deadline_shed.load(Ordering::Relaxed) as f64,
+            ),
+            (
+                "spotnoise_sessions_quarantined_total",
+                "counter",
+                "Sessions quarantined after a panicked render",
+                c.quarantined.load(Ordering::Relaxed) as f64,
+            ),
+            (
+                "spotnoise_panics_caught_total",
+                "counter",
+                "Panics contained by the service's unwind barriers",
+                c.panics_caught.load(Ordering::Relaxed) as f64,
+            ),
+            (
+                "spotnoise_lock_recoveries_total",
+                "counter",
+                "Poisoned locks recovered and revalidated",
+                softpipe::sync::recoveries() as f64,
+            ),
+            (
+                "spotnoise_fault_injected_panics_total",
+                "counter",
+                "Panics injected by the fault plan",
+                softpipe::fault::injected_panics() as f64,
+            ),
+            (
+                "spotnoise_fault_injected_delays_total",
+                "counter",
+                "Delays injected by the fault plan",
+                softpipe::fault::injected_delays() as f64,
+            ),
+            (
                 "spotnoise_uptime_seconds",
                 "gauge",
                 "Seconds since service start",
@@ -1016,7 +1360,7 @@ impl Service {
         }
         if let Some(pool) = &self.pools.pipes {
             let p = pool.stats();
-            let pool_metrics: [(&str, &str, &str, f64); 4] = [
+            let pool_metrics: [(&str, &str, &str, f64); 5] = [
                 (
                     "spotnoise_pipes_spawned_total",
                     "counter",
@@ -1034,6 +1378,12 @@ impl Service {
                     "counter",
                     "Returned pipes dropped at capacity",
                     p.retired as f64,
+                ),
+                (
+                    "spotnoise_pipes_discarded_total",
+                    "counter",
+                    "Poisoned pipes discarded instead of reshelved",
+                    p.discarded as f64,
                 ),
                 (
                     "spotnoise_pipes_idle",
@@ -1092,7 +1442,7 @@ impl Service {
         }
         self.queue.close();
         // Wake the accept loop with a no-op connection.
-        if let Some(addr) = *self.addr.lock().expect("addr poisoned") {
+        if let Some(addr) = *lock_recover(&self.addr, |_| {}) {
             let _ = TcpStream::connect_timeout(&addr, Duration::from_millis(200));
         }
     }
@@ -1109,25 +1459,41 @@ impl Service {
                 Response::error(503, "shutting_down", "server is shutting down")
             }
             ServiceError::Internal(detail) => Response::error(500, "internal", detail),
+            ServiceError::Quarantined => Response::error(
+                500,
+                "quarantined",
+                "session quarantined after a panicked render; close it and create a fresh one",
+            ),
+            ServiceError::DeadlineExceeded => Response::error(
+                503,
+                "deadline",
+                "deadline cannot be met under the current queue wait",
+            )
+            .with_header("Retry-After", "1"),
         }
     }
 
     fn frame_response(result: &FrameResult) -> Response {
-        let response = Response::shared(200, Arc::clone(&result.bytes))
+        let mut response = Response::shared(200, Arc::clone(&result.bytes))
             .with_header("X-Frame-Cache", if result.cached { "hit" } else { "miss" })
             .with_header("X-Frame-Index", result.frame.to_string());
         if result.skipped {
-            response.with_header("X-Frame-Skipped", "1")
-        } else {
-            response
+            response = response.with_header("X-Frame-Skipped", "1");
         }
+        if result.stale {
+            response = response.with_header("X-Frame-Stale", "1");
+        }
+        if result.degraded {
+            response = response.with_header("X-Frame-Degraded", "1");
+        }
+        response
     }
 
     fn session_info_response(&self, status: u16, id: u64) -> Response {
-        let Some(session) = self.registry.lock().expect("registry poisoned").get(id) else {
+        let Some(session) = lock_recover(&self.registry, |_| {}).get(id) else {
             return Self::error_response(&ServiceError::NotFound);
         };
-        let s = session.lock().expect("session poisoned");
+        let s = lock_recover(&session, revalidate_session);
         let spec = s.spec();
         Response::json(
             status,
@@ -1156,6 +1522,9 @@ impl Service {
                 ),
                 ("dt", Json::num(spec.dt)),
                 ("shared", Json::Bool(s.is_shared())),
+                ("pinned", Json::Bool(spec.pinned)),
+                ("quarantined", Json::Bool(s.is_quarantined())),
+                ("degraded", Json::Bool(s.is_degraded())),
                 ("frame_bytes", Json::num(spec.frame_bytes() as f64)),
                 ("head_frame", Json::num(s.head_frame() as f64)),
                 ("frames_rendered", Json::num(s.frames_rendered() as f64)),
@@ -1168,6 +1537,9 @@ impl Service {
     /// Routes one parsed request to a response.
     pub fn route(&self, request: &Request) -> Response {
         self.counters.http_requests.fetch_add(1, Ordering::Relaxed);
+        // Chaos hook for the routing layer itself; a panic fired here is
+        // contained by the connection thread's unwind barrier.
+        softpipe::fault::fire("route");
         let (path, query) = match request.path.split_once('?') {
             Some((path, query)) => (path, query),
             None => (request.path.as_str(), ""),
@@ -1181,18 +1553,36 @@ impl Service {
                 Err(detail) => Response::error(400, "bad_request", &detail),
                 Ok(last) => Response::json(200, self.trace_json(last)),
             },
-            ("GET", ["healthz"]) => Response::json(
-                200,
-                Json::object([
-                    ("status", Json::str("ok")),
-                    ("shutting_down", Json::Bool(self.is_shutting_down())),
-                ]),
-            ),
+            ("GET", ["healthz"]) => {
+                // Tri-state health: `ok` and `elevated` answer 200 (the
+                // server is serving, possibly without speculative work),
+                // `saturated` answers 503 so load balancers steer away
+                // while the ladder degrades instead of collapses.
+                let state = self.pressure_tick();
+                let shutting_down = self.is_shutting_down();
+                let status = if shutting_down || state == PressureState::Saturated {
+                    503
+                } else {
+                    200
+                };
+                Response::json(
+                    status,
+                    Json::object([
+                        (
+                            "status",
+                            Json::str(if shutting_down {
+                                "shutting_down"
+                            } else {
+                                state.name()
+                            }),
+                        ),
+                        ("pressure", Json::str(state.name())),
+                        ("shutting_down", Json::Bool(shutting_down)),
+                    ]),
+                )
+            }
             ("GET", ["stats"]) => {
-                self.registry
-                    .lock()
-                    .expect("registry poisoned")
-                    .evict_idle();
+                lock_recover(&self.registry, |_| {}).evict_idle();
                 self.sweep_channels();
                 Response::json(200, self.stats_json())
             }
@@ -1241,7 +1631,7 @@ impl Service {
                 let Some(id) = parse_session_id(sid) else {
                     return Self::error_response(&ServiceError::NotFound);
                 };
-                match self.advance(id) {
+                match self.advance_deadline(id, request.deadline_ms) {
                     Ok(result) => Self::frame_response(&result),
                     Err(err) => Self::error_response(&err),
                 }
@@ -1253,7 +1643,7 @@ impl Service {
                 let Ok(frame) = index.parse::<u64>() else {
                     return Response::error(400, "bad_request", "frame index not a number");
                 };
-                match self.fetch_frame(id, frame) {
+                match self.fetch_frame_deadline(id, frame, request.deadline_ms) {
                     Ok(result) => Self::frame_response(&result),
                     Err(err) => Self::error_response(&err),
                 }
@@ -1299,11 +1689,23 @@ impl Service {
         self.counters
             .streams_started
             .fetch_add(1, Ordering::Relaxed);
+        // A client that disconnects mid-stream surfaces as a write error
+        // (broken pipe / connection reset) on any of the writes below. The
+        // error is counted and propagated — never panicked on — and every
+        // in-flight guard is already released by the time a fetch returns,
+        // so an abandoned stream leaves the session reapable by idle
+        // eviction like any other.
+        let abort = |e: std::io::Error| {
+            self.counters
+                .streams_aborted
+                .fetch_add(1, Ordering::Relaxed);
+            e
+        };
         let headers = vec![
             ("X-Stream-From".to_string(), stream.from.to_string()),
             ("X-Stream-Count".to_string(), count.to_string()),
         ];
-        write_stream_head(out, 200, &headers, keep_alive)?;
+        write_stream_head(out, 200, &headers, keep_alive).map_err(abort)?;
         let mut sent = 0u64;
         loop {
             let record = FrameRecord {
@@ -1311,8 +1713,10 @@ impl Service {
                 len: result.bytes.len() as u32,
                 cached: result.cached,
                 skipped: result.skipped,
+                stale: result.stale,
+                degraded: result.degraded,
             };
-            write_frame_record(out, &record, &result.bytes)?;
+            write_frame_record(out, &record, &result.bytes).map_err(abort)?;
             self.counters
                 .frames_streamed
                 .fetch_add(1, Ordering::Relaxed);
@@ -1327,7 +1731,7 @@ impl Service {
                 Err(_) => break,
             }
         }
-        finish_chunked(out)
+        finish_chunked(out).map_err(abort)
     }
 }
 
@@ -1469,7 +1873,7 @@ fn drain_connections(connections: &ConnectionSet) {
     let deadline = Instant::now() + CONNECTION_DRAIN_GRACE;
     loop {
         {
-            let mut conns = connections.lock().expect("connections poisoned");
+            let mut conns = lock_recover(connections, |_| {});
             conns.retain(|h| !h.is_finished());
             if conns.is_empty() {
                 return;
@@ -1512,10 +1916,7 @@ impl ServiceHandle {
         // `self` is dropped on return and Drop drains again; clearing here
         // makes that a no-op so an idle keep-alive connection (which waits
         // out the full grace) cannot double the shutdown latency.
-        self.connections
-            .lock()
-            .expect("connections poisoned")
-            .clear();
+        lock_recover(&self.connections, |_| {}).clear();
     }
 
     /// Initiates shutdown and waits for workers and the accept loop.
@@ -1577,14 +1978,24 @@ fn handle_connection(service: Arc<Service>, stream: TcpStream) {
         // incrementally as frames synthesize, not built up front.
         match parse_stream_request(&request) {
             Some(Ok(stream)) => {
-                if service
-                    .handle_stream(&mut writer, stream, keep_alive)
-                    .is_err()
-                    || !keep_alive
-                {
-                    break;
+                // The unwind barrier: a panic mid-stream cannot be turned
+                // into a clean 500 (the head may be written), so the
+                // connection is dropped — but the thread, and the server,
+                // survive.
+                let outcome = std::panic::catch_unwind(AssertUnwindSafe(|| {
+                    service.handle_stream(&mut writer, stream, keep_alive)
+                }));
+                match outcome {
+                    Ok(Ok(())) if keep_alive => continue,
+                    Ok(_) => break,
+                    Err(_) => {
+                        service
+                            .counters
+                            .panics_caught
+                            .fetch_add(1, Ordering::Relaxed);
+                        break;
+                    }
                 }
-                continue;
             }
             Some(Err(response)) => {
                 service
@@ -1598,7 +2009,20 @@ fn handle_connection(service: Arc<Service>, stream: TcpStream) {
             }
             None => {}
         }
-        let response = service.route(&request);
+        // The same barrier for buffered routes: a panicking handler answers
+        // *this* request with a 500 and the connection (and every other
+        // session) keeps going.
+        let response = match std::panic::catch_unwind(AssertUnwindSafe(|| service.route(&request)))
+        {
+            Ok(response) => response,
+            Err(_) => {
+                service
+                    .counters
+                    .panics_caught
+                    .fetch_add(1, Ordering::Relaxed);
+                Response::error(500, "internal", "request handler panicked")
+            }
+        };
         if response.write_to(&mut writer, keep_alive).is_err() || !keep_alive {
             break;
         }
@@ -1609,10 +2033,13 @@ fn handle_connection(service: Arc<Service>, stream: TcpStream) {
 /// accept loop and the synthesis worker pool, and returns the running
 /// server's handle.
 pub fn serve(addr: impl ToSocketAddrs, options: ServiceOptions) -> std::io::Result<ServiceHandle> {
+    // Arm the chaos plan, if any: `SPOTNOISE_FAULT=panic:raster:0.02,...`
+    // makes every server in this process run under injected faults.
+    softpipe::fault::install_from_env();
     let listener = TcpListener::bind(addr)?;
     let local = listener.local_addr()?;
     let service = Service::new(options);
-    *service.addr.lock().expect("addr poisoned") = Some(local);
+    *lock_recover(&service.addr, |_| {}) = Some(local);
 
     let workers = if options.workers > 0 {
         options.workers
@@ -1651,7 +2078,7 @@ pub fn serve(addr: impl ToSocketAddrs, options: ServiceOptions) -> std::io::Resu
                             .name("connection".to_string())
                             .spawn(move || handle_connection(service, stream));
                         if let Ok(handle) = handle {
-                            let mut conns = connections.lock().expect("connections poisoned");
+                            let mut conns = lock_recover(&connections, |_| {});
                             conns.retain(|h| !h.is_finished());
                             conns.push(handle);
                         }
@@ -1775,6 +2202,53 @@ mod tests {
     }
 
     #[test]
+    fn zero_deadline_requests_are_shed_unless_cached() {
+        let handle = start();
+        let service = handle.service();
+        let id = service.create_session(tiny_spec()).unwrap();
+        // An uncached frame with no budget left sheds at admission...
+        assert!(matches!(
+            service.fetch_frame_deadline(id, 0, Some(0)),
+            Err(ServiceError::DeadlineExceeded)
+        ));
+        // ...but once the frame is cached, even a spent deadline serves it
+        // (the cache probe costs nothing).
+        service.fetch_frame(id, 0).unwrap();
+        assert!(service.fetch_frame_deadline(id, 0, Some(0)).unwrap().cached);
+        let stats = service.stats_json();
+        let pressure = stats.get("pressure").unwrap();
+        assert_eq!(
+            pressure.get("deadline_shed").and_then(Json::as_f64),
+            Some(1.0)
+        );
+        handle.shutdown();
+    }
+
+    #[test]
+    fn quarantined_sessions_refuse_requests_and_are_reaped() {
+        let handle = start();
+        let service = handle.service();
+        let id = service.create_session(tiny_spec()).unwrap();
+        let session = lock_recover(&service.registry, |_| {}).get(id).unwrap();
+        assert!(lock_recover(&session, revalidate_session).quarantine());
+        assert!(
+            matches!(service.fetch_frame(id, 0), Err(ServiceError::Quarantined)),
+            "a quarantined session answers every frame request with the typed error"
+        );
+        assert!(matches!(
+            service.steer(id, FieldSpec::Shear { rate: 1.0 }),
+            Err(ServiceError::Quarantined)
+        ));
+        // The /stats sweep reaps it immediately — no idle timeout needed.
+        lock_recover(&service.registry, |_| {}).evict_idle();
+        assert!(matches!(
+            service.fetch_frame(id, 0),
+            Err(ServiceError::NotFound)
+        ));
+        handle.shutdown();
+    }
+
+    #[test]
     fn unknown_sessions_and_bad_requests_are_typed_errors() {
         let handle = start();
         let service = handle.service();
@@ -1800,6 +2274,7 @@ mod tests {
             path: path.to_string(),
             body: body.to_vec(),
             keep_alive: true,
+            deadline_ms: None,
         };
         let created = service.route(&req("POST", "/sessions", b""));
         assert_eq!(created.status, 201);

@@ -26,6 +26,7 @@ use crate::spec::{service_domain, FieldSpec, SessionSpec};
 use flowfield::VectorField;
 use softpipe::machine::MachineConfig;
 use softpipe::{FrameArena, PipePool};
+use spotnoise::config::SamplingMode;
 use spotnoise::metrics::StageTimings;
 use spotnoise::pipeline::{ExecutionMode, Pipeline};
 use spotnoise::telemetry::{self, TraceCtx, TraceSink};
@@ -138,6 +139,15 @@ pub struct Session {
     /// the index `advance` continues from. Kept separate from the
     /// pipeline's head because a cached serve never moves the pipeline.
     next_advance: u64,
+    /// Set when a render for this session panicked: the session's pipeline
+    /// state can no longer be trusted, every further frame request is
+    /// refused, and the registry reaps it as soon as its in-flight work
+    /// drains.
+    quarantined: bool,
+    /// Set while the pressure ladder has this session switched from exact
+    /// to footprint sampling. Tracks only *service-imposed* degradation: a
+    /// session that asked for footprint natively is not "degraded".
+    degraded: bool,
 }
 
 /// Builds the synthesis pipeline for a spec on the given pools — the one
@@ -257,6 +267,8 @@ impl Session {
             rewinds: 0,
             steers: 0,
             next_advance: 0,
+            quarantined: false,
+            degraded: false,
             spec,
         }
     }
@@ -348,6 +360,64 @@ impl Session {
     /// Times the session was steered.
     pub fn steers(&self) -> u64 {
         self.steers
+    }
+
+    /// True when a panicked render has poisoned this session.
+    pub fn is_quarantined(&self) -> bool {
+        self.quarantined
+    }
+
+    /// Quarantines the session after a panicked render: its pipeline state
+    /// can no longer be trusted, so every further frame request is refused
+    /// and the registry reaps it once its in-flight work drains. Returns
+    /// `true` on the transition only, so callers can count quarantined
+    /// sessions without double-counting repeated panics.
+    pub fn quarantine(&mut self) -> bool {
+        let first = !self.quarantined;
+        self.quarantined = true;
+        first
+    }
+
+    /// True while the pressure ladder has this session switched to
+    /// footprint sampling.
+    pub fn is_degraded(&self) -> bool {
+        self.degraded
+    }
+
+    /// Switches an exact-sampling private session to footprint sampling —
+    /// the pressure ladder's quality dial. Returns `true` when the switch
+    /// happened; pinned, shared, already-degraded and natively-footprint
+    /// sessions are left alone. Advection is sampling-independent, so the
+    /// flip applies to the live pipeline without a rebuild and every frame
+    /// from here on is bit-identical to a natively-footprint session's —
+    /// which is what keeps the recomputed cache key sound.
+    pub fn degrade(&mut self) -> bool {
+        if self.degraded || self.spec.pinned || self.spec.config.sampling != SamplingMode::Exact {
+            return false;
+        }
+        let Backing::Private(private) = &mut self.backing else {
+            return false;
+        };
+        self.spec.config.sampling = SamplingMode::Footprint;
+        private.pipeline.set_sampling(SamplingMode::Footprint);
+        self.config_key = self.spec.config_cache_key();
+        self.degraded = true;
+        true
+    }
+
+    /// Undoes [`Session::degrade`] once pressure recovers; returns `true`
+    /// when the session was switched back to exact sampling.
+    pub fn restore(&mut self) -> bool {
+        if !self.degraded {
+            return false;
+        }
+        self.spec.config.sampling = SamplingMode::Exact;
+        if let Backing::Private(private) = &mut self.backing {
+            private.pipeline.set_sampling(SamplingMode::Exact);
+        }
+        self.config_key = self.spec.config_cache_key();
+        self.degraded = false;
+        true
     }
 
     /// Marks the session as used now (for idle eviction).
@@ -580,13 +650,19 @@ impl SessionRegistry {
     /// ([`Session::in_flight`]): a queued job holds no lock yet, but
     /// evicting its session between queue pop and synthesis would turn an
     /// admitted request into a spurious `404`.
+    ///
+    /// Quarantined sessions are reaped as soon as their in-flight work has
+    /// drained, idle or not — they can never serve another frame, so
+    /// keeping them alive for the timeout would only pin dead pipelines.
     pub fn evict_idle(&mut self) -> usize {
         let timeout = self.idle_timeout;
         let victims: Vec<u64> = self
             .sessions
             .iter()
             .filter_map(|(&id, session)| match session.try_lock() {
-                Ok(s) if s.idle_for() > timeout && s.in_flight() == 0 => Some(id),
+                Ok(s) if s.in_flight() == 0 && (s.is_quarantined() || s.idle_for() > timeout) => {
+                    Some(id)
+                }
                 _ => None,
             })
             .collect();
@@ -791,6 +867,74 @@ mod tests {
         drop(guard);
         assert_eq!(r.evict_idle(), 0);
         drop(second);
+        assert_eq!(r.evict_idle(), 1);
+        assert!(r.get(id).is_none());
+    }
+
+    #[test]
+    fn degrade_matches_a_native_footprint_session_and_restores() {
+        let mut degraded = Session::new(quick_spec());
+        let f0_exact = degraded.render_frame(0, 16, |_, _, _| {}).unwrap();
+        assert!(degraded.degrade(), "exact private session must degrade");
+        assert!(degraded.is_degraded());
+        assert!(!degraded.degrade(), "second degrade is a no-op");
+        let f1 = degraded.render_frame(1, 16, |_, _, _| {}).unwrap();
+
+        // A session that asked for footprint from the start.
+        let mut native_spec = quick_spec();
+        native_spec.config.sampling = SamplingMode::Footprint;
+        let mut native = Session::new(native_spec);
+        native.render_frame(0, 16, |_, _, _| {}).unwrap();
+        let f1_native = native.render_frame(1, 16, |_, _, _| {}).unwrap();
+        assert_eq!(
+            f1.bytes, f1_native.bytes,
+            "degraded mid-stream differs from a native footprint session"
+        );
+        // And the degraded session's cache key now matches the native one.
+        assert_eq!(degraded.key_for(1), native.key_for(1));
+
+        assert!(degraded.restore());
+        assert!(!degraded.restore(), "second restore is a no-op");
+        let f2 = degraded.render_frame(2, 16, |_, _, _| {}).unwrap();
+        let mut exact = Session::new(quick_spec());
+        let f0_check = exact.render_frame(0, 16, |_, _, _| {}).unwrap();
+        exact.render_frame(1, 16, |_, _, _| {}).unwrap();
+        let f2_exact = exact.render_frame(2, 16, |_, _, _| {}).unwrap();
+        assert_eq!(f0_exact.bytes, f0_check.bytes);
+        assert_eq!(
+            f2.bytes, f2_exact.bytes,
+            "restored session differs from an always-exact session"
+        );
+        // A natively-footprint session never counts as degraded.
+        assert!(!native.degrade());
+        assert!(!native.is_degraded());
+    }
+
+    #[test]
+    fn pinned_sessions_refuse_degradation() {
+        let mut spec = quick_spec();
+        spec.pinned = true;
+        let mut s = Session::new(spec);
+        assert!(!s.degrade());
+        assert!(!s.is_degraded());
+    }
+
+    #[test]
+    fn quarantined_sessions_are_reaped_once_work_drains() {
+        let mut r = SessionRegistry::new(8, Duration::from_secs(300));
+        let (id, handle) = r.create(quick_spec()).unwrap();
+        let guard = handle.lock().unwrap().begin_job();
+        assert!(handle.lock().unwrap().quarantine(), "first quarantine");
+        assert!(
+            !handle.lock().unwrap().quarantine(),
+            "repeat quarantine is not a transition"
+        );
+        // In-flight work still pins the session (a worker may hold its
+        // frame job).
+        assert_eq!(r.evict_idle(), 0);
+        drop(guard);
+        // Freshly touched, nowhere near the idle timeout — reaped anyway.
+        handle.lock().unwrap().touch();
         assert_eq!(r.evict_idle(), 1);
         assert!(r.get(id).is_none());
     }

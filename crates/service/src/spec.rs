@@ -294,6 +294,11 @@ pub struct SessionSpec {
     /// sessions of the same spec render identical texels and must share
     /// frame-cache entries.
     pub shared: bool,
+    /// Opt out of pressure-driven quality degradation: a pinned session is
+    /// never switched to footprint sampling under load (it sheds instead).
+    /// Like `shared`, not part of the cache key — pinning changes *when*
+    /// the service may degrade, never what a given config renders.
+    pub pinned: bool,
 }
 
 impl Default for SessionSpec {
@@ -305,6 +310,7 @@ impl Default for SessionSpec {
             pipes: 1,
             dt: 0.05,
             shared: false,
+            pinned: false,
         }
     }
 }
@@ -336,6 +342,9 @@ impl SessionSpec {
         }
         if let Some(shared) = value.get("shared") {
             spec.shared = shared.as_bool().ok_or("shared not a boolean")?;
+        }
+        if let Some(pinned) = value.get("pinned") {
+            spec.pinned = pinned.as_bool().ok_or("pinned not a boolean")?;
         }
         spec.validate()?;
         Ok(spec)
@@ -531,6 +540,18 @@ mod tests {
         assert_eq!(shared.config_cache_key(), private.config_cache_key());
         assert_eq!(shared.field.cache_key(), private.field.cache_key());
         assert!(SessionSpec::from_body(br#"{"shared": 1}"#).is_err());
+    }
+
+    #[test]
+    fn pinned_flag_parses_without_perturbing_the_cache_key() {
+        let pinned = SessionSpec::from_body(br#"{"pinned": true}"#).unwrap();
+        assert!(pinned.pinned);
+        let default = SessionSpec::default();
+        assert!(!default.pinned);
+        // Pinning gates *when* degradation may happen, never what a config
+        // renders — same cache keys either way.
+        assert_eq!(pinned.config_cache_key(), default.config_cache_key());
+        assert!(SessionSpec::from_body(br#"{"pinned": "yes"}"#).is_err());
     }
 
     #[test]

@@ -310,6 +310,7 @@ fn queued_jobs_protect_their_session_from_idle_eviction() {
                 path: "/stats".to_string(),
                 body: Vec::new(),
                 keep_alive: true,
+                deadline_ms: None,
             };
             while !done.load(Ordering::SeqCst) {
                 let _ = service.route(&stats);

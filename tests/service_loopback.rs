@@ -150,7 +150,7 @@ fn overload_is_shed_with_busy_and_the_queue_stays_bounded() {
                         assert_eq!(fetched.bytes.len(), 64 * 64 * 4);
                         Ok(())
                     }
-                    Err(ClientError::Busy) => Err(()),
+                    Err(ClientError::Busy { .. }) => Err(()),
                     Err(e) => panic!("unexpected failure: {e}"),
                 }
             })
