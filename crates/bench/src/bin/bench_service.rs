@@ -27,9 +27,17 @@
 //! per worker count — the rayon shim override and the server's synthesis
 //! worker pool both pinned to the count — and the runs are written as one
 //! `bench_service_sweep/v1` artifact.
+//!
+//! `--cluster` switches to the cluster-tier bench instead: two peer-linked
+//! worker processes behind a router, measuring the routed-vs-direct hot
+//! path, cross-node peer cache hits, shared co-location and bit identity
+//! through the proxy. Writes `BENCH_cluster.json` (schema
+//! `bench_cluster/v1`); with `--check` the artifact must show a routed hot
+//! p50 within 16× of single-node, peer cache hits > 0, every shared
+//! session co-located and byte-identical frames through the router.
 
 use spotnoise_bench::json::Json;
-use spotnoise_bench::service_bench;
+use spotnoise_bench::{cluster_bench, service_bench};
 use std::path::PathBuf;
 use std::process::ExitCode;
 
@@ -257,21 +265,93 @@ fn check_sweep_artifact(path: &PathBuf, expected_runs: usize) -> Result<usize, S
     Ok(cases)
 }
 
+/// Validates a `--cluster` artifact: the price of the router hop is
+/// bounded, the peer cache demonstrably crossed nodes, shared sessions
+/// co-located, and the proxied bytes were the worker's bytes.
+fn check_cluster_artifact(path: &PathBuf) -> Result<String, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("read {path:?}: {e}"))?;
+    let doc = Json::parse(&text)?;
+    let schema = doc
+        .get("schema")
+        .and_then(Json::as_str)
+        .ok_or("missing schema field")?;
+    if schema != "bench_cluster/v1" {
+        return Err(format!("unexpected schema {schema:?}"));
+    }
+    let num = |key: &str| -> Result<f64, String> {
+        doc.get(key)
+            .and_then(Json::as_f64)
+            .ok_or_else(|| format!("missing numeric {key}"))
+    };
+    let flag = |key: &str| -> Result<bool, String> {
+        doc.get(key)
+            .and_then(Json::as_bool)
+            .ok_or_else(|| format!("missing boolean {key}"))
+    };
+    let single = num("single_hot_p50_us")?;
+    let routed = num("routed_hot_p50_us")?;
+    if single <= 0.0 || routed <= 0.0 {
+        return Err(format!(
+            "implausible hot p50s: single {single}us, routed {routed}us"
+        ));
+    }
+    // The router adds one loopback hop to a path that is otherwise a pure
+    // cache lookup, so the routed p50 is a small multiple of the direct
+    // one. The bound is loose — two extra socket traversals under CI
+    // scheduling jitter — but catches the proxy accidentally re-entering
+    // the synthesis path or serializing behind a lock.
+    let ratio = routed / single;
+    if ratio > 16.0 {
+        return Err(format!(
+            "routed hot p50 {routed:.1}us is {ratio:.1}x the single-node {single:.1}us (limit 16x)"
+        ));
+    }
+    let peer_hits = num("peer_hits")?;
+    let peer_serves = num("peer_serves")?;
+    if peer_hits < 1.0 || peer_serves < 1.0 {
+        return Err(format!(
+            "no cross-node cache traffic recorded (peer_hits {peer_hits}, peer_serves \
+             {peer_serves}): the peer lookup never fired"
+        ));
+    }
+    if !flag("peer_frame_flagged")? {
+        return Err("the peer-demo frame was not served with the peer flag".to_string());
+    }
+    if !flag("colocated")? {
+        return Err(format!(
+            "same-spec shared sessions spread over {} nodes, expected 1",
+            num("shared_nodes")?
+        ));
+    }
+    if !flag("bit_identical")? {
+        return Err(
+            "a frame through the router differed from the owning worker's bytes".to_string(),
+        );
+    }
+    Ok(format!(
+        "{} topology, routed hot p50 {routed:.1}us = {ratio:.2}x single-node, \
+         {peer_hits} peer hits / {peer_serves} serves, shared co-located, bit-identical",
+        doc.get("topology").and_then(Json::as_str).unwrap_or("?"),
+    ))
+}
+
 fn main() -> ExitCode {
-    let mut out = PathBuf::from("BENCH_service.json");
+    let mut out: Option<PathBuf> = None;
     let mut check = false;
     let mut quick = false;
+    let mut cluster = false;
     let mut threads: Option<Vec<usize>> = None;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--out" => {
                 if let Some(path) = args.next() {
-                    out = PathBuf::from(path);
+                    out = Some(PathBuf::from(path));
                 }
             }
             "--check" => check = true,
             "--quick" => quick = true,
+            "--cluster" => cluster = true,
             "--threads" => match args.next().map(|list| {
                 list.split(',')
                     .map(|n| n.trim().parse::<usize>())
@@ -288,8 +368,43 @@ fn main() -> ExitCode {
             other => eprintln!("unknown argument: {other}"),
         }
     }
+    let out = out.unwrap_or_else(|| {
+        PathBuf::from(if cluster {
+            "BENCH_cluster.json"
+        } else {
+            "BENCH_service.json"
+        })
+    });
     if let Some(parent) = out.parent().filter(|p| !p.as_os_str().is_empty()) {
         std::fs::create_dir_all(parent).expect("cannot create output directory");
+    }
+    if cluster {
+        let options = if quick {
+            cluster_bench::ClusterBenchOptions::quick()
+        } else {
+            cluster_bench::ClusterBenchOptions::standard()
+        };
+        let report = match cluster_bench::run_cluster_bench(options) {
+            Ok(report) => report,
+            Err(e) => {
+                eprintln!("cluster bench failed: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        println!("{}", cluster_bench::format_report(&report));
+        std::fs::write(&out, cluster_bench::report_to_json(&report))
+            .expect("write BENCH_cluster.json");
+        println!("wrote {}", out.display());
+        if check {
+            match check_cluster_artifact(&out) {
+                Ok(summary) => println!("check OK: {summary}"),
+                Err(e) => {
+                    eprintln!("check FAILED: {e}");
+                    return ExitCode::FAILURE;
+                }
+            }
+        }
+        return ExitCode::SUCCESS;
     }
     let options = if quick {
         service_bench::ServiceBenchOptions::quick()

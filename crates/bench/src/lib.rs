@@ -18,6 +18,7 @@
 
 #![warn(missing_docs)]
 
+pub mod cluster_bench;
 pub mod json;
 pub mod raster_bench;
 pub mod service_bench;

@@ -1,0 +1,106 @@
+//! The `spotnoise-router` cluster front-tier binary.
+//!
+//! ```text
+//! spotnoise-router --workers host:port,host:port [--addr 127.0.0.1]
+//!                  [--port 7996] [--node-id r0]
+//!                  [--connect-timeout-ms 1000] [--health-timeout-ms 250]
+//! ```
+//!
+//! Shards sessions across the listed worker nodes by consistent hashing
+//! (shared-field sessions co-locate on their channel's owner) and proxies
+//! the full service API: CRUD, frame fetch, frame streams, and aggregated
+//! `/stats`, `/metrics` and `/healthz` cluster views. Saturated or dead
+//! workers are routed around; the router sheds `503` only when every
+//! worker is down.
+//!
+//! Prints `listening on http://<addr>` once bound (port 0 picks an
+//! ephemeral port and prints the real one) and runs until `POST /shutdown`
+//! — which stops the router only, never the workers.
+
+use spotnoise_service::{serve_router, RouterOptions};
+use std::net::SocketAddr;
+use std::process::ExitCode;
+use std::time::Duration;
+
+fn parse<T: std::str::FromStr>(args: &mut impl Iterator<Item = String>, flag: &str) -> Option<T> {
+    match args.next().map(|v| v.parse::<T>()) {
+        Some(Ok(v)) => Some(v),
+        _ => {
+            eprintln!("{flag} needs a value");
+            None
+        }
+    }
+}
+
+fn main() -> ExitCode {
+    let mut addr = "127.0.0.1".to_string();
+    let mut port: u16 = 7996;
+    let mut options = RouterOptions::default();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let ok = match arg.as_str() {
+            "--addr" => parse::<String>(&mut args, "--addr")
+                .map(|v| addr = v)
+                .is_some(),
+            "--port" => parse::<u16>(&mut args, "--port")
+                .map(|v| port = v)
+                .is_some(),
+            "--node-id" => parse::<String>(&mut args, "--node-id")
+                .map(|v| options.node_id = Some(v))
+                .is_some(),
+            "--connect-timeout-ms" => parse::<u64>(&mut args, "--connect-timeout-ms")
+                .map(|v| options.connect_timeout = Duration::from_millis(v))
+                .is_some(),
+            "--health-timeout-ms" => parse::<u64>(&mut args, "--health-timeout-ms")
+                .map(|v| {
+                    options.health_timeout = Duration::from_millis(v);
+                    options.health_ttl = Duration::from_millis(v);
+                })
+                .is_some(),
+            "--workers" => match parse::<String>(&mut args, "--workers") {
+                None => false,
+                Some(list) => {
+                    let parsed: Result<Vec<SocketAddr>, _> = list
+                        .split(',')
+                        .filter(|s| !s.is_empty())
+                        .map(str::parse)
+                        .collect();
+                    match parsed {
+                        Ok(workers) => {
+                            options.workers = workers;
+                            true
+                        }
+                        Err(e) => {
+                            eprintln!("--workers: {e} (expected host:port,host:port)");
+                            false
+                        }
+                    }
+                }
+            },
+            other => {
+                eprintln!("unknown argument: {other}");
+                false
+            }
+        };
+        if !ok {
+            return ExitCode::FAILURE;
+        }
+    }
+    if options.workers.is_empty() {
+        eprintln!("--workers is required (comma-separated worker addresses)");
+        return ExitCode::FAILURE;
+    }
+    let handle = match serve_router((addr.as_str(), port), options) {
+        Ok(handle) => handle,
+        Err(e) => {
+            eprintln!("bind {addr}:{port}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    println!("listening on http://{}", handle.addr());
+    use std::io::Write as _;
+    let _ = std::io::stdout().flush();
+    handle.join();
+    println!("shut down cleanly");
+    ExitCode::SUCCESS
+}

@@ -4,12 +4,18 @@
 //! spotnoise-service [--addr 127.0.0.1] [--port 7997] [--cache-bytes 67108864]
 //!                   [--watermark 64] [--per-session 16] [--workers 0]
 //!                   [--max-sessions 64] [--idle-timeout-secs 300]
+//!                   [--node-id w0] [--peers host:port,host:port]
 //! ```
+//!
+//! `--node-id` names this node in `X-Node-Id` headers and `/stats` (the
+//! bound address by default); `--peers` lists sibling nodes whose frame
+//! caches are consulted on a local cache miss before synthesizing.
 //!
 //! Prints `listening on http://<addr>` once bound (port 0 picks an
 //! ephemeral port and prints the real one) and runs until `POST /shutdown`.
 
 use spotnoise_service::{serve, AdmissionConfig, ServiceOptions};
+use std::net::SocketAddr;
 use std::process::ExitCode;
 use std::time::Duration;
 
@@ -55,6 +61,29 @@ fn main() -> ExitCode {
             "--idle-timeout-secs" => parse::<u64>(&mut args, "--idle-timeout-secs")
                 .map(|v| options.idle_timeout = Duration::from_secs(v))
                 .is_some(),
+            "--node-id" => parse::<String>(&mut args, "--node-id")
+                .map(|v| options.node_id = Some(v))
+                .is_some(),
+            "--peers" => match parse::<String>(&mut args, "--peers") {
+                None => false,
+                Some(list) => {
+                    let parsed: Result<Vec<SocketAddr>, _> = list
+                        .split(',')
+                        .filter(|s| !s.is_empty())
+                        .map(str::parse)
+                        .collect();
+                    match parsed {
+                        Ok(peers) => {
+                            options.peers = peers;
+                            true
+                        }
+                        Err(e) => {
+                            eprintln!("--peers: {e} (expected host:port,host:port)");
+                            false
+                        }
+                    }
+                }
+            },
             other => {
                 eprintln!("unknown argument: {other}");
                 false

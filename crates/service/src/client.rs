@@ -10,11 +10,19 @@
 //! frame-streaming endpoint; a stream abandoned before its terminal chunk
 //! leaves undrained chunks in the connection, so the client marks itself
 //! desynced and refuses further requests — reconnect to recover.
+//!
+//! [`ClientPool`] shelves idle keep-alive connections per target address —
+//! the router's proxy path and the node core's peer cache probes check
+//! connections out, and drop reshelves them unless the connection is
+//! desynced or was dropped mid-request.
 
+use crate::cache::FrameKey;
 use crate::http::{read_chunk, FrameRecord, FRAME_RECORD_HEADER};
 use spotnoise::json::Json;
 use std::io::{self, BufRead, BufReader, Read, Write};
 use std::net::{SocketAddr, TcpStream};
+use std::ops::{Deref, DerefMut};
+use std::sync::Mutex;
 use std::time::Duration;
 
 /// A parsed HTTP response.
@@ -96,14 +104,21 @@ pub struct FetchedFrame {
     pub bytes: Vec<u8>,
     /// The frame index the server rendered (from `X-Frame-Index`).
     pub frame: u64,
-    /// Whether the server served it from its cache (`X-Frame-Cache`).
+    /// Whether the frame was served from cache rather than synthesized —
+    /// local or peer (`X-Frame-Cache` is `hit` or `peer`).
     pub cache_hit: bool,
+    /// Whether the serving node fetched the frame from a sibling node's
+    /// cache instead of rendering it (`X-Frame-Cache: peer`).
+    pub peer: bool,
     /// Whether a saturated server served the channel's cached frontier
     /// instead of the requested index (`X-Frame-Stale`).
     pub stale: bool,
     /// Whether the frame was rendered under pressure-degraded footprint
     /// sampling (`X-Frame-Degraded`).
     pub degraded: bool,
+    /// The identity of the node that served the frame (`X-Node-Id`), when
+    /// the server advertises one.
+    pub node: Option<String>,
 }
 
 /// Backoff parameters for [`ServiceClient::fetch_frame_with_retry`]:
@@ -155,9 +170,15 @@ pub struct ServiceClient {
     /// undrained chunks are still in the connection, so any further request
     /// would read stream data as its response head. Reconnect to recover.
     desynced: bool,
-    /// The address and read deadline the connection was opened with, kept
-    /// so [`ServiceClient::reconnect`] can rebuild it in place.
+    /// Set while a request is in flight and cleared once its reply has been
+    /// fully read. A connection dropped dirty (an error mid-request left
+    /// unread reply bytes in the stream) must not be reshelved into a
+    /// [`ClientPool`].
+    dirty: bool,
+    /// The address and deadlines the connection was opened with, kept so
+    /// [`ServiceClient::reconnect`] can rebuild it in place.
     addr: SocketAddr,
+    connect_timeout: Option<Duration>,
     read_timeout: Option<Duration>,
 }
 
@@ -177,16 +198,33 @@ impl ServiceClient {
         addr: SocketAddr,
         timeout: Option<Duration>,
     ) -> io::Result<Self> {
-        let stream = TcpStream::connect(addr)?;
+        Self::connect_with_timeouts(addr, None, timeout)
+    }
+
+    /// Connects with both a TCP connect deadline and a blocking-read
+    /// deadline (`None` for either blocks forever). The connect deadline is
+    /// what keeps a peer probe against a dead sibling node from hanging a
+    /// frame request.
+    pub fn connect_with_timeouts(
+        addr: SocketAddr,
+        connect_timeout: Option<Duration>,
+        read_timeout: Option<Duration>,
+    ) -> io::Result<Self> {
+        let stream = match connect_timeout {
+            Some(deadline) => TcpStream::connect_timeout(&addr, deadline)?,
+            None => TcpStream::connect(addr)?,
+        };
         stream.set_nodelay(true)?;
-        stream.set_read_timeout(timeout)?;
+        stream.set_read_timeout(read_timeout)?;
         let reader = BufReader::new(stream.try_clone()?);
         Ok(ServiceClient {
             reader,
             writer: stream,
             desynced: false,
+            dirty: false,
             addr,
-            read_timeout: timeout,
+            connect_timeout,
+            read_timeout,
         })
     }
 
@@ -202,7 +240,7 @@ impl ServiceClient {
     /// [`ClientError::TimedOut`] (the late reply would desync the old
     /// keep-alive connection) and for a desynced client.
     pub fn reconnect(&mut self) -> io::Result<()> {
-        *self = Self::connect_with_read_timeout(self.addr, self.read_timeout)?;
+        *self = Self::connect_with_timeouts(self.addr, self.connect_timeout, self.read_timeout)?;
         Ok(())
     }
 
@@ -288,6 +326,7 @@ impl ServiceClient {
         body: &[u8],
     ) -> io::Result<HttpReply> {
         self.check_synced()?;
+        self.dirty = true;
         self.write_request_head(method, path, extra_headers, body)?;
         let (status, headers) = self.read_reply_head()?;
         let mut content_length = 0usize;
@@ -300,6 +339,7 @@ impl ServiceClient {
         }
         let mut body = vec![0u8; content_length];
         self.reader.read_exact(&mut body)?;
+        self.dirty = false;
         Ok(HttpReply {
             status,
             headers,
@@ -339,19 +379,24 @@ impl ServiceClient {
     }
 
     fn frame_from_reply(reply: HttpReply) -> Result<FetchedFrame, ClientError> {
-        let cache_hit = reply.header("x-frame-cache") == Some("hit");
+        let cache = reply.header("x-frame-cache");
+        let peer = cache == Some("peer");
+        let cache_hit = peer || cache == Some("hit");
         let frame = reply
             .header("x-frame-index")
             .and_then(|v| v.parse().ok())
             .unwrap_or(0);
         let stale = reply.header("x-frame-stale") == Some("1");
         let degraded = reply.header("x-frame-degraded") == Some("1");
+        let node = reply.header("x-node-id").map(str::to_string);
         Ok(FetchedFrame {
             bytes: reply.body,
             frame,
             cache_hit,
+            peer,
             stale,
             degraded,
+            node,
         })
     }
 
@@ -360,6 +405,24 @@ impl ServiceClient {
         let path = format!("/sessions/{session}/frame/{index}");
         let reply = Self::expect_success(self.request("GET", &path, b"")?)?;
         Self::frame_from_reply(reply)
+    }
+
+    /// Probes the server's frame cache for a content-hash key
+    /// (`GET /cache/<field>/<config>/<seed>/<frame>`, all hex): `Some`
+    /// bytes when cached, `None` when not. This is the peer-lookup path —
+    /// the probe is an uncounted peek on the remote cache and never
+    /// triggers synthesis, so sibling nodes can consult each other without
+    /// recursion or cache-statistics distortion.
+    pub fn fetch_cached(&mut self, key: FrameKey) -> Result<Option<Vec<u8>>, ClientError> {
+        let path = format!(
+            "/cache/{:x}/{:x}/{:x}/{:x}",
+            key.field, key.config, key.seed, key.frame
+        );
+        match Self::expect_success(self.request("GET", &path, b"")?) {
+            Ok(reply) => Ok(Some(reply.body)),
+            Err(ClientError::NotFound) => Ok(None),
+            Err(err) => Err(err),
+        }
     }
 
     /// Fetches frame `index` with an `X-Deadline-Ms` budget: the server
@@ -478,6 +541,7 @@ impl ServiceClient {
         count: u64,
     ) -> Result<FrameStream<'_>, ClientError> {
         self.check_synced()?;
+        self.dirty = true;
         let path = format!("/sessions/{session}/stream?from={from}&count={count}");
         self.write_request_head("GET", &path, &[], b"")?;
         let (status, headers) = self.read_reply_head()?;
@@ -492,6 +556,7 @@ impl ServiceClient {
             }
             let mut body = vec![0u8; content_length];
             self.reader.read_exact(&mut body)?;
+            self.dirty = false;
             return Err(
                 match Self::expect_success(HttpReply {
                     status,
@@ -514,6 +579,7 @@ impl ServiceClient {
         }
         Ok(FrameStream {
             client: self,
+            head: headers,
             finished: false,
         })
     }
@@ -536,16 +602,31 @@ pub struct StreamedFrame {
     pub stale: bool,
     /// Whether the frame was rendered under degraded footprint sampling.
     pub degraded: bool,
+    /// Whether the serving node fetched the frame from a sibling node's
+    /// cache instead of rendering it.
+    pub peer: bool,
 }
 
 /// A frame stream being read off a [`ServiceClient`] connection. Drain it
 /// to `Ok(None)`; dropping it early desyncs the client.
 pub struct FrameStream<'a> {
     client: &'a mut ServiceClient,
+    head: Vec<(String, String)>,
     finished: bool,
 }
 
 impl FrameStream<'_> {
+    /// A response header from the stream head (name matched
+    /// case-insensitively) — e.g. `X-Stream-From`, `X-Stream-Count`,
+    /// `X-Node-Id`. The router's stream relay forwards these intact.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        let name = name.to_ascii_lowercase();
+        self.head
+            .iter()
+            .find(|(k, _)| *k == name)
+            .map(|(_, v)| v.as_str())
+    }
+
     /// Reads the next frame record; `Ok(None)` is the terminal chunk — the
     /// stream is complete and the connection is reusable.
     pub fn next_frame(&mut self) -> Result<Option<StreamedFrame>, ClientError> {
@@ -554,6 +635,7 @@ impl FrameStream<'_> {
         }
         let Some(chunk) = read_chunk(&mut self.client.reader)? else {
             self.finished = true;
+            self.client.dirty = false;
             return Ok(None);
         };
         let record = FrameRecord::decode_header(&chunk)?;
@@ -571,6 +653,7 @@ impl FrameStream<'_> {
             skipped: record.skipped,
             stale: record.stale,
             degraded: record.degraded,
+            peer: record.peer,
         }))
     }
 }
@@ -579,6 +662,195 @@ impl Drop for FrameStream<'_> {
     fn drop(&mut self) {
         if !self.finished {
             self.client.desynced = true;
+        }
+    }
+}
+
+/// Whether an I/O error means the keep-alive connection went stale while
+/// shelved (the server closed it between requests) — the one failure a
+/// pooled request retries once on a fresh connection, because the request
+/// provably never reached the server.
+fn is_stale_keepalive(err: &io::Error) -> bool {
+    matches!(
+        err.kind(),
+        io::ErrorKind::UnexpectedEof
+            | io::ErrorKind::BrokenPipe
+            | io::ErrorKind::ConnectionReset
+            | io::ErrorKind::ConnectionAborted
+    )
+}
+
+/// A pool of keep-alive [`ServiceClient`] connections to one address.
+///
+/// The router holds one pool per worker node and the node core holds one
+/// per peer, so proxied requests and peer cache probes reuse warm
+/// connections instead of paying a TCP handshake per request. Checked-out
+/// connections reshelve on drop unless they are desynced or were dropped
+/// mid-request ([`ServiceClient`] dirty tracking); the pooled request
+/// helpers retry once on a stale shelved connection, sharing the
+/// reconnect-on-[`ClientError::TimedOut`] recovery logic with the direct
+/// client.
+pub struct ClientPool {
+    addr: SocketAddr,
+    connect_timeout: Option<Duration>,
+    read_timeout: Option<Duration>,
+    max_idle: usize,
+    idle: Mutex<Vec<ServiceClient>>,
+}
+
+impl ClientPool {
+    /// Creates a pool for one target address with the default read deadline
+    /// and up to 8 shelved idle connections.
+    pub fn new(addr: SocketAddr) -> Self {
+        ClientPool {
+            addr,
+            connect_timeout: None,
+            read_timeout: Some(DEFAULT_READ_TIMEOUT),
+            max_idle: 8,
+            idle: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// Sets the TCP connect deadline for fresh connections.
+    pub fn with_connect_timeout(mut self, timeout: Duration) -> Self {
+        self.connect_timeout = Some(timeout);
+        self
+    }
+
+    /// Sets the blocking-read deadline for fresh connections (`None`
+    /// blocks forever).
+    pub fn with_read_timeout(mut self, timeout: Option<Duration>) -> Self {
+        self.read_timeout = timeout;
+        self
+    }
+
+    /// Caps how many idle connections the pool shelves (excess connections
+    /// are simply dropped on check-in).
+    pub fn with_max_idle(mut self, max_idle: usize) -> Self {
+        self.max_idle = max_idle;
+        self
+    }
+
+    /// The address the pool connects to.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// How many idle connections are currently shelved.
+    pub fn idle(&self) -> usize {
+        self.idle_shelf().len()
+    }
+
+    fn idle_shelf(&self) -> std::sync::MutexGuard<'_, Vec<ServiceClient>> {
+        // A panic while a connection is checked *out* cannot poison the
+        // shelf (the lock is never held across a request), so recovering
+        // the guard is always sound.
+        self.idle.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    fn connect_fresh(&self) -> io::Result<ServiceClient> {
+        ServiceClient::connect_with_timeouts(self.addr, self.connect_timeout, self.read_timeout)
+    }
+
+    /// Checks a connection out of the pool: a shelved idle connection when
+    /// one exists, a fresh connection otherwise. Dropping the returned
+    /// [`PooledClient`] reshelves the connection if it is still clean.
+    pub fn checkout(&self) -> io::Result<PooledClient<'_>> {
+        if let Some(client) = self.idle_shelf().pop() {
+            return Ok(PooledClient {
+                client: Some(client),
+                pool: self,
+                reused: true,
+            });
+        }
+        Ok(PooledClient {
+            client: Some(self.connect_fresh()?),
+            pool: self,
+            reused: false,
+        })
+    }
+
+    /// Sends one request through a pooled connection and reads the full
+    /// response. A shelved connection the server closed while idle fails
+    /// with a stale-keep-alive error before any reply byte arrives; that
+    /// one case retries once on a guaranteed-fresh connection.
+    pub fn request(&self, method: &str, path: &str, body: &[u8]) -> io::Result<HttpReply> {
+        self.request_with_headers(method, path, &[], body)
+    }
+
+    /// [`ClientPool::request`] with extra request headers.
+    pub fn request_with_headers(
+        &self,
+        method: &str,
+        path: &str,
+        extra_headers: &[(&str, String)],
+        body: &[u8],
+    ) -> io::Result<HttpReply> {
+        let mut client = self.checkout()?;
+        let reused = client.reused;
+        match client.request_with_headers(method, path, extra_headers, body) {
+            Ok(reply) => Ok(reply),
+            Err(err) if reused && is_stale_keepalive(&err) => {
+                drop(client);
+                let mut fresh = PooledClient {
+                    client: Some(self.connect_fresh()?),
+                    pool: self,
+                    reused: false,
+                };
+                fresh.request_with_headers(method, path, extra_headers, body)
+            }
+            Err(err) => Err(err),
+        }
+    }
+}
+
+/// A [`ServiceClient`] checked out of a [`ClientPool`]. Dereferences to the
+/// client; on drop the connection returns to the pool's idle shelf unless
+/// it is desynced, mid-request dirty, or the shelf is full.
+pub struct PooledClient<'a> {
+    client: Option<ServiceClient>,
+    pool: &'a ClientPool,
+    reused: bool,
+}
+
+impl PooledClient<'_> {
+    /// Whether the connection came off the idle shelf (`true`) or was
+    /// freshly opened for this checkout (`false`). A request that fails
+    /// with a stale-keep-alive error on a reused connection is safe to
+    /// retry once; the same failure on a fresh connection is a real error.
+    pub fn reused(&self) -> bool {
+        self.reused
+    }
+
+    /// Drops the connection instead of reshelving it.
+    pub fn discard(mut self) {
+        self.client = None;
+    }
+}
+
+impl Deref for PooledClient<'_> {
+    type Target = ServiceClient;
+    fn deref(&self) -> &ServiceClient {
+        self.client.as_ref().expect("pooled client present")
+    }
+}
+
+impl DerefMut for PooledClient<'_> {
+    fn deref_mut(&mut self) -> &mut ServiceClient {
+        self.client.as_mut().expect("pooled client present")
+    }
+}
+
+impl Drop for PooledClient<'_> {
+    fn drop(&mut self) {
+        if let Some(client) = self.client.take() {
+            if client.desynced || client.dirty {
+                return;
+            }
+            let mut shelf = self.pool.idle_shelf();
+            if shelf.len() < self.pool.max_idle {
+                shelf.push(client);
+            }
         }
     }
 }

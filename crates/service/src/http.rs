@@ -400,9 +400,9 @@ pub const FRAME_RECORD_HEADER: usize = 16;
 /// The in-stream framing of one streamed frame: a 16-byte header —
 /// flags `u32` LE (bit 0 = served from cache, bit 1 = skipped to the live
 /// frontier, bit 2 = stale frontier re-serve under saturation, bit 3 =
-/// rendered with degraded sampling), frame index `u64` LE, body length
-/// `u32` LE — followed by the frame body. Each record is exactly one HTTP
-/// chunk.
+/// rendered with degraded sampling, bit 4 = fetched from a sibling node's
+/// cache), frame index `u64` LE, body length `u32` LE — followed by the
+/// frame body. Each record is exactly one HTTP chunk.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct FrameRecord {
     /// The frame index this record carries.
@@ -421,6 +421,9 @@ pub struct FrameRecord {
     /// Whether the frame was rendered with pressure-degraded (footprint)
     /// sampling instead of the session's requested exact mode.
     pub degraded: bool,
+    /// Whether the frame came out of a sibling node's cache (the peer
+    /// frame-cache lookup); implies `cached`.
+    pub peer: bool,
 }
 
 impl FrameRecord {
@@ -440,6 +443,9 @@ impl FrameRecord {
         if self.degraded {
             flags |= 8;
         }
+        if self.peer {
+            flags |= 16;
+        }
         h[0..4].copy_from_slice(&flags.to_le_bytes());
         h[4..12].copy_from_slice(&self.frame.to_le_bytes());
         h[12..16].copy_from_slice(&self.len.to_le_bytes());
@@ -455,7 +461,7 @@ impl FrameRecord {
             ));
         }
         let flags = u32::from_le_bytes(bytes[0..4].try_into().expect("4 bytes"));
-        if flags & !0b1111 != 0 {
+        if flags & !0b1_1111 != 0 {
             return Err(io::Error::new(
                 io::ErrorKind::InvalidData,
                 format!("unknown frame record flags {flags:#x}"),
@@ -468,6 +474,7 @@ impl FrameRecord {
             skipped: flags & 2 != 0,
             stale: flags & 4 != 0,
             degraded: flags & 8 != 0,
+            peer: flags & 16 != 0,
         })
     }
 }
@@ -692,6 +699,7 @@ mod tests {
             skipped: false,
             stale: false,
             degraded: false,
+            peer: false,
         };
         let mut wire = Vec::new();
         write_frame_record(&mut wire, &record, &body).unwrap();
@@ -711,6 +719,7 @@ mod tests {
             skipped: true,
             stale: true,
             degraded: true,
+            peer: true,
         };
         assert_eq!(
             FrameRecord::decode_header(&skipped.encode_header()).unwrap(),

@@ -26,13 +26,23 @@
 //!   queue-wait latency that disables channel look-ahead when elevated and
 //!   serves stale frontiers / drops to footprint sampling when saturated,
 //!   so overload degrades *quality* before it degrades *availability*;
-//! * [`http`] + [`server`] — a std-only HTTP/1.1 front end over
+//! * [`node`] — the transport-free core: one [`NodeCore`](node::NodeCore)
+//!   owns all of the above plus the synthesis workers, with no socket in
+//!   sight — the seam the cluster tier is built on (and a peer frame-cache
+//!   lookup that lets sibling nodes serve each other's cached frames);
+//! * [`http`] + [`server`] — a std-only HTTP/1.1 codec/dispatch shell over
 //!   [`std::net::TcpListener`] with endpoints for session CRUD, frame fetch
 //!   (raw little-endian `f32` texture bytes), `/stats` (JSON), `/metrics`
 //!   (Prometheus text over [`spotnoise::telemetry`] histograms) and
 //!   `/trace` (Chrome trace-event JSON from the frame-lifecycle span ring);
-//! * [`client`] — the blocking loopback client the load bench and the
-//!   integration tests drive the server with;
+//! * [`cluster`] + [`router`] — the sharded cluster tier: a consistent-hash
+//!   ring placing sessions (and shared-field channels) on worker nodes, a
+//!   front-tier router proxying the full API across them, cluster-view
+//!   `/stats`, `/metrics` and `/healthz` aggregation, and degraded routing
+//!   around saturated nodes;
+//! * [`client`] — the blocking client the router, the load bench and the
+//!   integration tests drive servers with (with per-address connection
+//!   pooling for proxy use);
 //! * [`spec`] — field/session specifications and their stable content
 //!   hashes.
 //!
@@ -60,9 +70,12 @@
 pub mod cache;
 pub mod channel;
 pub mod client;
+pub mod cluster;
 pub mod http;
+pub mod node;
 pub mod pressure;
 pub mod queue;
+pub mod router;
 pub mod server;
 pub mod session;
 pub mod spec;
@@ -70,12 +83,14 @@ pub mod spec;
 pub use cache::{FrameCache, FrameKey};
 pub use channel::{ChannelKey, ChannelRegistry, ChannelSubscription, ChannelTotals, FieldChannel};
 pub use client::{
-    ClientError, FetchedFrame, FrameStream, RetryPolicy, ServiceClient, StreamedFrame,
+    ClientError, ClientPool, FetchedFrame, FrameStream, PooledClient, RetryPolicy, ServiceClient,
+    StreamedFrame,
 };
+pub use cluster::{ClusterSessionId, HashRing};
+pub use node::{FrameResult, NodeCore, ServiceError, ServiceOptions, ServiceTelemetry};
 pub use pressure::{PressureConfig, PressureCounters, PressureGauge, PressureState};
 pub use queue::{AdmissionConfig, AdmissionError, FrameQueue, QueueStats};
-pub use server::{
-    serve, FrameResult, Service, ServiceError, ServiceHandle, ServiceOptions, ServiceTelemetry,
-};
+pub use router::{serve_router, Router, RouterHandle, RouterOptions};
+pub use server::{serve, FrontHandle, Frontend, Service, ServiceHandle};
 pub use session::{ServedFrame, Session, SessionRegistry};
 pub use spec::{FieldSpec, SessionSpec};

@@ -1,0 +1,216 @@
+//! Tests driving the transport-free [`NodeCore`] directly — no sockets, no
+//! HTTP — and holding it to the same contract as the served path: the
+//! session lifecycle behaves identically, and the bytes are bit-identical
+//! to both direct `synthesize_dnc` calls and a real loopback server.
+//!
+//! This is the seam the state/transport split exists for: everything the
+//! HTTP shell and the router do is re-expressible as `NodeCore` calls.
+
+use flowfield::analytic::Vortex;
+use flowfield::{Rect, Vec2};
+use softpipe::machine::MachineConfig;
+use spotnoise::advect::{PositionMode, SpotAnimator};
+use spotnoise::config::SynthesisConfig;
+use spotnoise::dnc::synthesize_dnc;
+use spotnoise::json::Json;
+use spotnoise_service::{
+    serve, FieldSpec, NodeCore, ServiceClient, ServiceError, ServiceOptions, SessionSpec,
+};
+
+fn domain() -> Rect {
+    Rect::new(Vec2::ZERO, Vec2::new(1.0, 1.0))
+}
+
+fn test_config(seed: u64) -> SynthesisConfig {
+    SynthesisConfig {
+        texture_size: 64,
+        spot_count: 120,
+        spot_texture_size: 16,
+        seed,
+        ..SynthesisConfig::small_test()
+    }
+}
+
+// Masters-only machine — deterministic divide-and-conquer output, same
+// idiom as the loopback suite.
+fn session_body(seed: u64, omega: f64) -> String {
+    format!(
+        concat!(
+            "{{\"field\": {{\"kind\": \"vortex\", \"omega\": {}, \"cx\": 0.5, \"cy\": 0.5}}, ",
+            "\"config\": {{\"texture_size\": 64, \"spot_count\": 120, ",
+            "\"spot_texture_size\": 16, \"seed\": {}}}, ",
+            "\"machine\": {{\"processors\": 2, \"pipes\": 2}}, \"dt\": 0.05}}"
+        ),
+        omega, seed
+    )
+}
+
+fn direct_frame_bytes(seed: u64, omega: f64, index: u64) -> Vec<u8> {
+    let cfg = test_config(seed);
+    let field = Vortex {
+        omega,
+        center: Vec2::new(0.5, 0.5),
+        domain: domain(),
+    };
+    let mut animator =
+        SpotAnimator::new(domain(), cfg.spot_count, PositionMode::Advected, cfg.seed);
+    for _ in 0..=index {
+        animator.advance(&field, 0.05);
+    }
+    let spots = animator.spots();
+    let out = synthesize_dnc(&field, &spots, &cfg, &MachineConfig::new(2, 2));
+    let mut bytes = Vec::with_capacity(out.texture.data().len() * 4);
+    for v in out.texture.data() {
+        bytes.extend_from_slice(&v.to_le_bytes());
+    }
+    bytes
+}
+
+fn spec(seed: u64, omega: f64) -> SessionSpec {
+    SessionSpec::from_body(session_body(seed, omega).as_bytes()).expect("parse session spec")
+}
+
+#[test]
+fn node_core_serves_the_same_bytes_as_the_http_path() {
+    let (seed, omega) = (31u64, 1.0f64);
+
+    // The transport-free path: NodeCore driven as a library.
+    let core = NodeCore::new(ServiceOptions::default());
+    let workers = core.start_workers(2);
+    let id = core.create_session(spec(seed, omega)).expect("create");
+    let mut core_frames = Vec::new();
+    for frame in 0..3u64 {
+        let result = core.fetch_frame(id, frame).expect("core fetch");
+        assert_eq!(result.frame, frame);
+        assert!(!result.cached, "first fetch must synthesize");
+        core_frames.push(result.bytes.to_vec());
+    }
+
+    // The served path: the same spec over loopback HTTP.
+    let handle = serve("127.0.0.1:0", ServiceOptions::default()).expect("bind loopback");
+    let mut client = ServiceClient::connect(handle.addr()).expect("connect");
+    let session = client
+        .create_session(&session_body(seed, omega))
+        .expect("create over http");
+    for (frame, core_bytes) in core_frames.iter().enumerate() {
+        let fetched = client
+            .fetch_frame(&session, frame as u64)
+            .expect("http fetch");
+        assert_eq!(
+            &fetched.bytes, core_bytes,
+            "frame {frame}: HTTP shell and NodeCore disagree — the transport \
+             layer is perturbing frames"
+        );
+        assert_eq!(*core_bytes, direct_frame_bytes(seed, omega, frame as u64));
+    }
+    handle.shutdown();
+
+    // Cache hit on re-fetch, still identical.
+    let again = core.fetch_frame(id, 1).expect("core refetch");
+    assert!(again.cached);
+    assert_eq!(*again.bytes, core_frames[1]);
+
+    core.begin_shutdown();
+    for w in workers {
+        w.join().expect("worker thread");
+    }
+}
+
+#[test]
+fn node_core_lifecycle_steer_close_and_errors() {
+    let core = NodeCore::new(ServiceOptions::default());
+    let workers = core.start_workers(2);
+    let id = core.create_session(spec(7, 1.0)).expect("create");
+    let before = core.fetch_frame(id, 0).expect("fetch before steer");
+
+    // Steering swaps the field; the next frame must differ from the
+    // unsteered trajectory.
+    let steered = FieldSpec::from_json(
+        &Json::parse(r#"{"kind": "vortex", "omega": -3.0, "cx": 0.5, "cy": 0.5}"#)
+            .expect("parse field json"),
+    )
+    .expect("field spec");
+    core.steer(id, steered).expect("steer");
+    let after = core.fetch_frame(id, 1).expect("fetch after steer");
+    assert_eq!(after.bytes.len(), before.bytes.len());
+    assert_ne!(
+        *after.bytes,
+        direct_frame_bytes(7, 1.0, 1),
+        "steering must actually change the synthesized trajectory"
+    );
+
+    // Unknown session and unknown steer target.
+    assert!(matches!(
+        core.fetch_frame(id + 999, 0),
+        Err(ServiceError::NotFound)
+    ));
+    assert!(matches!(
+        core.steer(id + 999, FieldSpec::default_vortex()),
+        Err(ServiceError::NotFound)
+    ));
+
+    // Close; the id is gone, closing twice reports NotFound.
+    core.close_session(id).expect("close");
+    assert!(matches!(
+        core.fetch_frame(id, 0),
+        Err(ServiceError::NotFound)
+    ));
+    assert!(matches!(
+        core.close_session(id),
+        Err(ServiceError::NotFound)
+    ));
+
+    core.begin_shutdown();
+    for w in workers {
+        w.join().expect("worker thread");
+    }
+}
+
+#[test]
+fn a_quarantined_session_refuses_frames_until_closed() {
+    let core = NodeCore::new(ServiceOptions::default());
+    let workers = core.start_workers(1);
+    let id = core.create_session(spec(13, 1.0)).expect("create");
+    core.fetch_frame(id, 0).expect("healthy fetch");
+
+    // Quarantine through the same escape hatch the panic barrier uses.
+    let session = core.session_handle(id).expect("session handle");
+    assert!(session.lock().expect("lock session").quarantine());
+    assert!(matches!(
+        core.fetch_frame(id, 1),
+        Err(ServiceError::Quarantined)
+    ));
+    // Close still works — that is the documented recovery path.
+    core.close_session(id).expect("close quarantined");
+    assert!(matches!(
+        core.fetch_frame(id, 1),
+        Err(ServiceError::NotFound)
+    ));
+
+    // A fresh session on the same core is unaffected.
+    let fresh = core.create_session(spec(13, 1.0)).expect("create fresh");
+    let result = core.fetch_frame(fresh, 0).expect("fetch on fresh session");
+    assert_eq!(*result.bytes, direct_frame_bytes(13, 1.0, 0));
+
+    core.begin_shutdown();
+    for w in workers {
+        w.join().expect("worker thread");
+    }
+}
+
+#[test]
+fn shutdown_refuses_new_work_and_shutting_down_is_observable() {
+    let core = NodeCore::new(ServiceOptions::default());
+    let workers = core.start_workers(1);
+    assert!(!core.is_shutting_down());
+    assert!(core.begin_shutdown(), "first shutdown call wins");
+    assert!(!core.begin_shutdown(), "second call is a no-op");
+    assert!(core.is_shutting_down());
+    assert!(matches!(
+        core.create_session(spec(3, 1.0)),
+        Err(ServiceError::ShuttingDown)
+    ));
+    for w in workers {
+        w.join().expect("worker thread");
+    }
+}
